@@ -1,0 +1,104 @@
+/// \file Read-write interplay (Sections 3.3 and 4.2): analytic queries keep
+/// cracking a column while updater user transactions insert and delete
+/// through the differential-file layer. Measures query throughput at
+/// increasing update rates and reports how often refinement was forgone
+/// because a user transaction held a conflicting lock.
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/updatable_index.h"
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+namespace bench {
+namespace {
+
+struct MixResult {
+  double seconds;
+  uint64_t queries;
+  uint64_t updates;
+  uint64_t skipped;
+};
+
+MixResult RunMix(const Column& column, size_t query_threads,
+                 size_t update_threads, size_t ops_per_thread) {
+  LockManager lm;
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  UpdatableIndex index(column, config, &lm, "R/A");
+  const Value domain = static_cast<Value>(column.size());
+
+  std::atomic<uint64_t> txn{1};
+  std::atomic<uint64_t> skipped{0};
+  std::vector<std::thread> threads;
+  StopWatch wall;
+  for (size_t t = 0; t < query_threads + update_threads; ++t) {
+    const bool updater = t >= query_threads;
+    threads.emplace_back([&, t, updater] {
+      Rng rng(t * 31 + 7);
+      QueryContext ctx;
+      for (size_t i = 0; i < ops_per_thread; ++i) {
+        ctx.txn_id = txn.fetch_add(1);
+        if (updater) {
+          (void)index.Insert(rng.UniformRange(0, domain), &ctx);
+        } else {
+          const Value lo = rng.UniformRange(0, domain - domain / 100);
+          ctx.stats.refinement_skipped = false;
+          int64_t sum = 0;
+          (void)index.RangeSum(ValueRange{lo, lo + domain / 100}, &ctx, &sum);
+          if (ctx.stats.refinement_skipped) skipped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  return MixResult{wall.ElapsedSeconds(), query_threads * ops_per_thread,
+                   update_threads * ops_per_thread, skipped.load()};
+}
+
+void Run() {
+  const size_t rows = EnvSize("AI_BENCH_ROWS", 1000000);
+  const size_t ops = EnvSize("AI_BENCH_UPDATE_OPS", 200);
+  PrintHeader("Read-write mix: cracking queries vs. updater transactions",
+              "rows=" + std::to_string(rows) + " ops/thread=" +
+                  std::to_string(ops) +
+                  " query selectivity=1%; updates via differential files "
+                  "with X key locks");
+
+  Column column = MakeUniqueRandomColumn(rows);
+  std::printf("\n%-22s %10s %10s %12s %16s\n", "mix (readers+writers)",
+              "total (s)", "queries", "updates", "refine skipped");
+  struct {
+    size_t readers;
+    size_t writers;
+  } mixes[] = {{6, 0}, {5, 1}, {4, 2}, {2, 4}};
+  for (const auto& mix : mixes) {
+    MixResult r = RunMix(column, mix.readers, mix.writers, ops);
+    char label[32];
+    std::snprintf(label, sizeof(label), "%zu readers + %zu writers",
+                  mix.readers, mix.writers);
+    std::printf("%-22s %10.3f %10llu %12llu %16llu\n", label, r.seconds,
+                static_cast<unsigned long long>(r.queries),
+                static_cast<unsigned long long>(r.updates),
+                static_cast<unsigned long long>(r.skipped));
+  }
+  std::printf(
+      "\nReading guide: refinement skips appear only while an updater "
+      "transaction holds its key lock (intention-exclusive on the column); "
+      "queries always answer correctly by scanning instead, and refinement "
+      "resumes the moment the locks clear — optional structural updates in "
+      "action (Section 3.3).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptidx
+
+int main() {
+  adaptidx::bench::Run();
+  return 0;
+}

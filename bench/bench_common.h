@@ -1,0 +1,58 @@
+#ifndef ADAPTIDX_BENCH_BENCH_COMMON_H_
+#define ADAPTIDX_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/index_factory.h"
+#include "engine/driver.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+namespace bench {
+
+/// \brief Reads a size_t from the environment, falling back to `def`.
+/// Benchmarks default to laptop scale; export AI_BENCH_ROWS / AI_BENCH_QUERIES
+/// / AI_BENCH_MAX_CLIENTS to run the paper's full scale (100M rows).
+inline size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v) return def;
+  return static_cast<size_t>(parsed);
+}
+
+/// \brief The paper's data set: a column of unique randomly distributed
+/// integers (Section 6, "100 million tuples populated with unique randomly
+/// distributed integers").
+inline Column MakeUniqueRandomColumn(size_t rows, uint64_t seed = 2012) {
+  return Column::UniqueRandom("A", rows, seed);
+}
+
+/// \brief Runs `queries` against a fresh index of `config` with
+/// `num_clients` concurrent clients.
+inline RunResult RunWorkload(const Column& column, const IndexConfig& config,
+                             const std::vector<RangeQuery>& queries,
+                             size_t num_clients,
+                             bool record_per_query = false) {
+  auto index = MakeIndex(&column, config);
+  DriverOptions dopts;
+  dopts.num_clients = num_clients;
+  dopts.record_per_query = record_per_query;
+  return Driver::Run(index.get(), queries, dopts);
+}
+
+inline void PrintHeader(const std::string& title, const std::string& setup) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("%s\n", setup.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_BENCH_BENCH_COMMON_H_

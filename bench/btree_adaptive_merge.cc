@@ -1,0 +1,79 @@
+/// \file Section 4 experiment: adaptive merging on a partitioned B-tree.
+/// The first query loads sorted runs as partitions of a single B-tree;
+/// subsequent queries merge their key ranges into the final partition via
+/// instantly-committed system transactions, ghost-deleting from the run
+/// partitions. Reports the adaptive decay of merge work and the partition
+/// count converging to 1.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "btree/btree_index.h"
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvSize("AI_BENCH_BTREE_ROWS", 262144);
+  const size_t num_queries = EnvSize("AI_BENCH_BTREE_QUERIES", 256);
+  PrintHeader("Section 4: adaptive merging in a partitioned B-tree",
+              "rows=" + std::to_string(rows) +
+                  " queries=" + std::to_string(num_queries) +
+                  " selectivity=1% type=Q1(count) clients=1");
+
+  Column column = MakeUniqueRandomColumn(rows);
+  WorkloadGenerator gen(0, static_cast<Value>(rows));
+  WorkloadOptions wopts;
+  wopts.num_queries = num_queries;
+  wopts.selectivity = 0.01;
+  wopts.type = QueryType::kCount;
+  wopts.seed = 23;
+  const auto queries = gen.Generate(wopts);
+
+  BTreeMergeOptions opts;
+  opts.run_size = rows / 16 + 1;
+  BTreeMergeIndex index(&column, opts);
+
+  std::printf("\n%-8s %14s %14s %14s %10s\n", "query#", "response (ms)",
+              "merge (ms)", "partitions", "ghosts");
+  size_t step = 1;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryContext ctx;
+    uint64_t count = 0;
+    StopWatch sw;
+    (void)index.RangeCount(ValueRange{queries[i].lo, queries[i].hi}, &ctx,
+                           &count);
+    const double ms = sw.ElapsedMillis();
+    if (i % step == 0 || i + 1 == queries.size()) {
+      std::printf("%-8zu %14.3f %14.3f %14zu %10zu\n", i + 1, ms,
+                  static_cast<double>(ctx.stats.crack_ns) / 1e6,
+                  index.NumPieces(), index.tree().num_ghosts());
+    }
+    if (i + 1 >= 16) step = 16;
+  }
+
+  // Drive to full convergence, then purge ghosts (maintenance transaction).
+  QueryContext ctx;
+  uint64_t count = 0;
+  (void)index.RangeCount(ValueRange{0, static_cast<Value>(rows)}, &ctx,
+                         &count);
+  std::printf("\nafter full-domain query: fully merged=%s partitions=%zu\n",
+              index.FullyMerged() ? "yes" : "no", index.NumPieces());
+  std::printf("B-tree: height=%d leaves=%zu live=%zu ghosts=%zu\n",
+              index.tree().height(), index.tree().num_leaves(),
+              index.tree().size(), index.tree().num_ghosts());
+  std::printf(
+      "\npaper-shape check: converged to the single final partition: %s\n",
+      index.NumPieces() == 1 ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptidx
+
+int main() {
+  adaptidx::bench::Run();
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file Reproduces Figure 12: effect of concurrency on total time (a) and
+/// throughput (b). 1024 random sum queries of 0.01% selectivity, split over
+/// 1..32 concurrent clients, for scan / sort / crack (piece latches).
+///
+/// Expected shape: all methods speed up with clients up to the core count,
+/// then level out; cracking keeps its advantage at every client count —
+/// concurrency is "not only possible but also beneficial".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace adaptidx {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvSize("AI_BENCH_ROWS", 4000000);
+  const size_t num_queries = EnvSize("AI_BENCH_QUERIES", 1024);
+  const size_t max_clients = EnvSize("AI_BENCH_MAX_CLIENTS", 32);
+  PrintHeader("Figure 12: effect of concurrency control on total time",
+              "rows=" + std::to_string(rows) +
+                  " queries=" + std::to_string(num_queries) +
+                  " selectivity=0.01% type=Q2(sum) clients=1..32");
+
+  Column column = MakeUniqueRandomColumn(rows);
+  WorkloadGenerator gen(0, static_cast<Value>(rows));
+  WorkloadOptions wopts;
+  wopts.num_queries = num_queries;
+  wopts.selectivity = 0.0001;
+  wopts.type = QueryType::kSum;
+  wopts.seed = 7;
+  const auto queries = gen.Generate(wopts);
+
+  std::vector<size_t> client_counts;
+  for (size_t c = 1; c <= max_clients; c *= 2) client_counts.push_back(c);
+
+  struct MethodRow {
+    const char* name;
+    IndexMethod method;
+    std::vector<double> total_secs;
+    std::vector<double> qps;
+  };
+  MethodRow methods[] = {{"scan", IndexMethod::kScan, {}, {}},
+                         {"sort", IndexMethod::kSort, {}, {}},
+                         {"crack", IndexMethod::kCrack, {}, {}}};
+
+  for (auto& m : methods) {
+    for (size_t clients : client_counts) {
+      IndexConfig config;
+      config.method = m.method;
+      // Fresh index per run, exactly like the paper repeats the sequence.
+      RunResult r = RunWorkload(column, config, queries, clients);
+      m.total_secs.push_back(r.total_seconds);
+      m.qps.push_back(r.throughput_qps);
+    }
+  }
+
+  std::printf("\n(a) Total time for %zu queries (secs)\n", num_queries);
+  std::printf("%-8s", "clients");
+  for (const auto& m : methods) std::printf(" %12s", m.name);
+  std::printf("\n");
+  for (size_t i = 0; i < client_counts.size(); ++i) {
+    std::printf("%-8zu", client_counts[i]);
+    for (const auto& m : methods) std::printf(" %12.3f", m.total_secs[i]);
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) Throughput (queries / sec)\n");
+  std::printf("%-8s", "clients");
+  for (const auto& m : methods) std::printf(" %12s", m.name);
+  std::printf("\n");
+  for (size_t i = 0; i < client_counts.size(); ++i) {
+    std::printf("%-8zu", client_counts[i]);
+    for (const auto& m : methods) std::printf(" %12.1f", m.qps[i]);
+    std::printf("\n");
+  }
+
+  const size_t last = client_counts.size() - 1;
+  std::printf(
+      "\npaper-shape check: crack faster than scan at 1 client: %s; at %zu "
+      "clients: %s\n",
+      methods[2].total_secs[0] < methods[0].total_secs[0] ? "yes" : "NO",
+      client_counts[last],
+      methods[2].total_secs[last] < methods[0].total_secs[last] ? "yes"
+                                                                : "NO");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptidx
+
+int main() {
+  adaptidx::bench::Run();
+  return 0;
+}

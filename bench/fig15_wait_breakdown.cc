@@ -1,0 +1,86 @@
+/// \file Reproduces Figure 15: per-query breakdown of index-refinement
+/// (crack) time and latch wait time as the workload sequence evolves.
+/// Set-up per the paper: Q2 (sum) queries, piece latches, 50% selectivity,
+/// 8 concurrent clients.
+///
+/// Expected shape: both series start high (the first query latches the
+/// whole column; the next 7 wait for it) and decay by orders of magnitude —
+/// "the crack time of one query is in practice the wait time for another".
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace adaptidx {
+namespace bench {
+namespace {
+
+void Run() {
+  const size_t rows = EnvSize("AI_BENCH_ROWS", 1000000);
+  const size_t num_queries = EnvSize("AI_BENCH_QUERIES", 1024);
+  const size_t clients = EnvSize("AI_BENCH_FIG15_CLIENTS", 8);
+  PrintHeader("Figure 15: per-query wait time vs. index refinement time",
+              "rows=" + std::to_string(rows) +
+                  " queries=" + std::to_string(num_queries) +
+                  " selectivity=50% type=Q2(sum) clients=" +
+                  std::to_string(clients) + " piece latches");
+
+  Column column = MakeUniqueRandomColumn(rows);
+  WorkloadGenerator gen(0, static_cast<Value>(rows));
+  WorkloadOptions wopts;
+  wopts.num_queries = num_queries;
+  wopts.selectivity = 0.50;
+  wopts.type = QueryType::kSum;
+  wopts.seed = 7;
+  const auto queries = gen.Generate(wopts);
+
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  RunResult r = RunWorkload(column, config, queries, clients,
+                            /*record_per_query=*/true);
+
+  // Log-spaced sample of the completion-ordered sequence (the paper plots
+  // all points on a log-log scale; we print a representative subset).
+  std::printf("\n%-8s %16s %16s\n", "query#", "refine (secs)", "wait (secs)");
+  size_t step = 1;
+  for (size_t i = 0; i < r.records.size(); i += step) {
+    const auto& s = r.records[i].stats;
+    std::printf("%-8zu %16.6f %16.6f\n", i + 1,
+                static_cast<double>(s.crack_ns) / 1e9,
+                static_cast<double>(s.wait_ns) / 1e9);
+    if (i + 1 >= 16) step = (i + 1) / 4;
+  }
+
+  // Aggregate decay check: first vs. last quarter of the sequence.
+  auto quarter_stats = [&](size_t from, size_t to) {
+    double crack = 0;
+    double wait = 0;
+    for (size_t i = from; i < to; ++i) {
+      crack += static_cast<double>(r.records[i].stats.crack_ns);
+      wait += static_cast<double>(r.records[i].stats.wait_ns);
+    }
+    return std::make_pair(crack / 1e9, wait / 1e9);
+  };
+  const size_t q = r.records.size() / 4;
+  auto [crack_first, wait_first] = quarter_stats(0, q);
+  auto [crack_last, wait_last] = quarter_stats(r.records.size() - q,
+                                               r.records.size());
+  std::printf("\nfirst quarter:  refine %.4fs  wait %.4fs\n", crack_first,
+              wait_first);
+  std::printf("last quarter:   refine %.4fs  wait %.4fs\n", crack_last,
+              wait_last);
+  std::printf(
+      "\npaper-shape check: refine decays (%s), wait decays with it (%s)\n",
+      crack_last < crack_first ? "yes" : "NO",
+      wait_last < wait_first ? "yes" : "NO");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptidx
+
+int main() {
+  adaptidx::bench::Run();
+  return 0;
+}

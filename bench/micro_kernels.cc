@@ -1,0 +1,159 @@
+/// \file Micro-benchmarks (google-benchmark) for the hot kernels:
+///  - crack-in-two / crack-in-three on both cracker-array layouts
+///    (Figure 7's representation question),
+///  - the scan fallback kernels,
+///  - latch acquire/release cost (the per-operation ingredient of the
+///    Figure 13 overhead),
+///  - AVL table-of-contents lookups.
+
+#include <benchmark/benchmark.h>
+
+#include "cracking/avl_tree.h"
+#include "cracking/cracker_array.h"
+#include "latch/wait_queue_latch.h"
+#include "storage/column.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+constexpr size_t kRows = 1 << 20;
+
+ArrayLayout LayoutArg(int64_t a) {
+  return a == 0 ? ArrayLayout::kRowIdValuePairs : ArrayLayout::kPairOfArrays;
+}
+
+void BM_CrackInTwo(benchmark::State& state) {
+  Column col = Column::UniqueRandom("A", kRows, 3);
+  Rng rng(11);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackerArray arr(col, LayoutArg(state.range(0)));
+    const Value pivot = rng.UniformRange(0, kRows);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(arr.CrackTwo(0, kRows, pivot));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_CrackInTwo)->Arg(0)->Arg(1)->ArgName("layout")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CrackInThree(benchmark::State& state) {
+  Column col = Column::UniqueRandom("A", kRows, 5);
+  Rng rng(13);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackerArray arr(col, LayoutArg(state.range(0)));
+    Value lo = rng.UniformRange(0, kRows);
+    Value hi = rng.UniformRange(0, kRows);
+    if (lo > hi) std::swap(lo, hi);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(arr.CrackThree(0, kRows, lo, hi));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_CrackInThree)->Arg(0)->Arg(1)->ArgName("layout")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TwoCracksVsThree(benchmark::State& state) {
+  // Cost of crack-in-three's single pass vs two crack-in-two passes.
+  Column col = Column::UniqueRandom("A", kRows, 7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    CrackerArray arr(col, ArrayLayout::kPairOfArrays);
+    state.ResumeTiming();
+    const Position p = arr.CrackTwo(0, kRows, kRows / 3);
+    benchmark::DoNotOptimize(arr.CrackTwo(p, kRows, 2 * kRows / 3));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_TwoCracksVsThree)->Unit(benchmark::kMillisecond);
+
+void BM_ScanCount(benchmark::State& state) {
+  Column col = Column::UniqueRandom("A", kRows, 9);
+  CrackerArray arr(col, LayoutArg(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        arr.ScanCountRange(0, kRows, kRows / 4, kRows / 2));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_ScanCount)->Arg(0)->Arg(1)->ArgName("layout")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PositionalSum(benchmark::State& state) {
+  Column col = Column::UniqueRandom("A", kRows, 10);
+  CrackerArray arr(col, LayoutArg(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arr.PositionalSumRange(0, kRows));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_PositionalSum)->Arg(0)->Arg(1)->ArgName("layout")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LatchUncontendedWrite(benchmark::State& state) {
+  WaitQueueLatch latch;
+  for (auto _ : state) {
+    latch.WriteLock(0);
+    latch.WriteUnlock();
+  }
+}
+BENCHMARK(BM_LatchUncontendedWrite);
+
+void BM_LatchUncontendedRead(benchmark::State& state) {
+  WaitQueueLatch latch;
+  for (auto _ : state) {
+    latch.ReadLock();
+    latch.ReadUnlock();
+  }
+}
+BENCHMARK(BM_LatchUncontendedRead);
+
+void BM_LatchInstrumentedWrite(benchmark::State& state) {
+  WaitQueueLatch latch;
+  LatchStats stats;
+  int64_t wait = 0;
+  uint64_t conflicts = 0;
+  LatchAcquireContext ctx{&stats, &wait, &conflicts};
+  for (auto _ : state) {
+    latch.WriteLock(0, ctx);
+    latch.WriteUnlock();
+  }
+}
+BENCHMARK(BM_LatchInstrumentedWrite);
+
+void BM_AvlLookup(benchmark::State& state) {
+  AvlTree tree;
+  const size_t cracks = static_cast<size_t>(state.range(0));
+  Rng rng(21);
+  while (tree.size() < cracks) {
+    const Value v = rng.UniformRange(0, 1 << 26);
+    tree.Insert(v, static_cast<Position>(v));
+  }
+  Value probe = 1;
+  for (auto _ : state) {
+    AvlTree::Entry e;
+    benchmark::DoNotOptimize(tree.Floor(probe, &e));
+    probe = (probe * 2862933555777941757ULL + 3037000493ULL) & ((1 << 26) - 1);
+  }
+}
+BENCHMARK(BM_AvlLookup)->Arg(64)->Arg(1024)->Arg(16384)->ArgName("cracks");
+
+void BM_AvlInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    AvlTree tree;
+    Rng rng(23);
+    state.ResumeTiming();
+    for (int i = 0; i < 1024; ++i) {
+      const Value v = rng.UniformRange(0, 1 << 26);
+      tree.Insert(v, static_cast<Position>(v));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AvlInsert)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace adaptidx

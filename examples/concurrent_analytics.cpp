@@ -1,0 +1,92 @@
+/// \file Concurrent analytics: many dashboard clients fire range aggregates
+/// at the same unindexed column at once. Demonstrates the paper's central
+/// result — adaptive indexing under concurrency *benefits* from the extra
+/// queries instead of suffering from them, and latch waits decay as the
+/// index refines.
+///
+///   $ ./build/examples/concurrent_analytics [clients] [queries]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cracking_index.h"
+#include "core/index_factory.h"
+#include "engine/driver.h"
+#include "workload/workload.h"
+
+using namespace adaptidx;
+
+namespace {
+
+void PrintPhase(const char* label, const RunResult& r) {
+  std::printf("%-26s %8.3f s %10.1f q/s %10.2f ms wait %8llu conflicts\n",
+              label, r.total_seconds, r.throughput_qps,
+              static_cast<double>(r.total_wait_ns) / 1e6,
+              static_cast<unsigned long long>(r.total_conflicts));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t clients = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 8;
+  const size_t queries = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1024;
+  constexpr size_t kRows = 2'000'000;
+
+  std::printf("Concurrent analytics demo: %zu clients, %zu queries, "
+              "%zu-row column\n\n",
+              clients, queries, kRows);
+  Column column = Column::UniqueRandom("A", kRows, 7);
+
+  WorkloadGenerator gen(0, static_cast<Value>(kRows));
+  WorkloadOptions wopts;
+  wopts.num_queries = queries;
+  wopts.selectivity = 0.001;
+  wopts.type = QueryType::kSum;
+  wopts.seed = 99;
+  const auto workload = gen.Generate(wopts);
+  wopts.seed = 100;  // the refresh asks new questions over the same data
+  const auto refresh = gen.Generate(wopts);
+
+  // Phase 1: cold start — the first wave of clients hits a column with no
+  // index at all. The very first query builds the cracker array while
+  // everyone else queues (the expensive moment of Figure 15), after which
+  // piece latches let the wave spread across disjoint pieces.
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  auto index = MakeIndex(&column, config);
+  DriverOptions dopts;
+  dopts.num_clients = clients;
+
+  std::printf("phase 1: cold column, piece latches\n");
+  RunResult wave1 = Driver::Run(index.get(), workload, dopts);
+  PrintPhase("  wave 1 (cold)", wave1);
+
+  // Phase 2: the dashboard refreshes with *new* queries. The index the
+  // first wave built as a side effect now pays off: latch waits and
+  // response times collapse.
+  RunResult wave2 = Driver::Run(index.get(), refresh, dopts);
+  PrintPhase("  wave 2 (warmed by w1)", wave2);
+
+  auto* crack = static_cast<CrackingIndex*>(index.get());
+  std::printf("  index state: %zu cracks, %zu pieces (built entirely as a "
+              "side effect)\n\n",
+              crack->NumCracks(), crack->NumPieces());
+
+  // Contrast: the same two waves under a single column-grain latch.
+  std::printf("contrast: same workload, column latch\n");
+  IndexConfig coarse;
+  coarse.method = IndexMethod::kCrack;
+  coarse.cracking.mode = ConcurrencyMode::kColumnLatch;
+  coarse.cracking.name = "crack-column";
+  auto column_latched = MakeIndex(&column, coarse);
+  RunResult c1 = Driver::Run(column_latched.get(), workload, dopts);
+  PrintPhase("  wave 1 (cold)", c1);
+  RunResult c2 = Driver::Run(column_latched.get(), refresh, dopts);
+  PrintPhase("  wave 2 (warmed)", c2);
+
+  std::printf(
+      "\nTakeaways: (1) wave 2 is far cheaper than wave 1 — the read-only\n"
+      "dashboard built its own index; (2) piece latches accumulate less\n"
+      "wait time than the column latch under identical load.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+/// \file Method comparison on a drifting workload: a business day where
+/// analysts first explore uniformly, then pile onto one hot region. Shows
+/// how every access method of the paper behaves on identical queries:
+/// scan (no learning), sort (all cost up front), cracking (lazy, steady
+/// improvement), adaptive merging (heavy first query, fast convergence),
+/// hybrid crack-sort (lazy start *and* fast convergence), and the
+/// partitioned-B-tree realization of merging.
+///
+///   $ ./build/examples/method_comparison
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "engine/operators.h"
+#include "util/stopwatch.h"
+#include "workload/workload.h"
+
+using namespace adaptidx;
+
+namespace {
+
+struct PhaseResult {
+  double first_ms = 0;
+  double total_ms = 0;
+};
+
+PhaseResult RunPhase(AdaptiveIndex* index,
+                     const std::vector<RangeQuery>& queries) {
+  PhaseResult out;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    QueryContext ctx;
+    QueryResult result;
+    StopWatch sw;
+    (void)ExecuteQuery(index, queries[i], &ctx, &result);
+    const double ms = sw.ElapsedMillis();
+    if (i == 0) out.first_ms = ms;
+    out.total_ms += ms;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr size_t kRows = 2'000'000;
+  Column column = Column::UniqueRandom("A", kRows, 31);
+
+  // Morning: 128 uniform exploratory queries over the whole domain.
+  WorkloadGenerator whole(0, kRows);
+  WorkloadOptions morning_opts;
+  morning_opts.num_queries = 128;
+  morning_opts.selectivity = 0.002;
+  morning_opts.type = QueryType::kSum;
+  morning_opts.seed = 41;
+  const auto morning = whole.Generate(morning_opts);
+
+  // Afternoon: 256 queries hammering the hottest 5% of the domain.
+  WorkloadGenerator hot(0, kRows / 20);
+  WorkloadOptions noon_opts;
+  noon_opts.num_queries = 256;
+  noon_opts.selectivity = 0.01;
+  noon_opts.type = QueryType::kSum;
+  noon_opts.seed = 43;
+  const auto afternoon = hot.Generate(noon_opts);
+
+  std::printf("Drifting workload: %zu rows; morning = %zu uniform queries, "
+              "afternoon = %zu hot-spot queries\n\n",
+              kRows, morning.size(), afternoon.size());
+  std::printf("%-12s %14s %14s %14s %12s\n", "method", "first query",
+              "morning total", "afternoon tot", "pieces");
+
+  for (IndexMethod m :
+       {IndexMethod::kScan, IndexMethod::kSort, IndexMethod::kCrack,
+        IndexMethod::kAdaptiveMerge, IndexMethod::kHybrid,
+        IndexMethod::kBTreeMerge}) {
+    IndexConfig config;
+    config.method = m;
+    config.merge.run_size = kRows / 16;
+    config.hybrid.partition_size = kRows / 16;
+    config.btree.run_size = 1u << 15;
+    // The B-tree substrate pays per-record insertion costs; keep it at a
+    // fraction of the data so the example stays snappy.
+    std::unique_ptr<Column> small;
+    const Column* data = &column;
+    if (m == IndexMethod::kBTreeMerge) {
+      small = std::make_unique<Column>(
+          Column::UniqueRandom("A", kRows / 8, 31));
+      data = small.get();
+    }
+    auto index = MakeIndex(data, config);
+    const PhaseResult am = RunPhase(index.get(), morning);
+    const PhaseResult pm = RunPhase(index.get(), afternoon);
+    std::printf("%-12s %12.1fms %12.1fms %12.1fms %12zu\n",
+                ToString(m).c_str(), am.first_ms, am.total_ms, pm.total_ms,
+                index->NumPieces());
+  }
+
+  std::printf(
+      "\nHow to read this: scan never improves; sort spends everything on\n"
+      "query 1; crack starts cheap and keeps improving where queries go;\n"
+      "merge invests in sorted runs up front and converges fast; hybrid\n"
+      "starts cheap like cracking but pays physical extraction costs while\n"
+      "ranges drain out of its initial partitions. The afternoon hot spot\n"
+      "is where the adaptive methods shine — they only ever optimized the\n"
+      "regions the workload actually touched.\n");
+  return 0;
+}

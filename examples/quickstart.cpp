@@ -1,0 +1,87 @@
+/// \file Quickstart: load a table, run range queries, and watch the adaptive
+/// index build itself as a side effect of query processing.
+///
+///   $ ./build/examples/quickstart
+///
+/// Walks through the embedded `Database` facade: creating a table of unique
+/// random integers, running Q1 (count) and Q2 (sum) range queries with
+/// database cracking, and inspecting the per-query stats that show the index
+/// getting cheaper to use with every query.
+
+#include <cstdio>
+
+#include "engine/database.h"
+#include "storage/column.h"
+#include "util/stopwatch.h"
+
+using namespace adaptidx;
+
+int main() {
+  constexpr size_t kRows = 1'000'000;
+
+  // 1. Create a table. Columns are dense aligned arrays (one per attribute).
+  Database db;
+  std::vector<Column> columns;
+  columns.push_back(Column::UniqueRandom("A", kRows, /*seed=*/2012));
+  Column b("B", {});
+  for (size_t i = 0; i < kRows; ++i) b.Append(static_cast<Value>(i % 1000));
+  columns.push_back(std::move(b));
+  if (Status s = db.CreateTable("R", std::move(columns)); !s.ok()) {
+    std::fprintf(stderr, "CreateTable failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("Loaded table R with %zu rows (columns A, B), unsorted.\n\n",
+              kRows);
+
+  // 2. Configure the access method: database cracking with piece-grained
+  // latches (the paper's best configuration). No index is built up front;
+  // the first query initializes it as a side effect.
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+
+  // 3. Run a sequence of range queries and watch response time fall while
+  // the crack count rises.
+  std::printf("%-6s %-28s %12s %10s %10s\n", "query",
+              "predicate", "result", "ms", "cracks");
+  Value lo = 100'000;
+  for (int i = 0; i < 10; ++i, lo += 70'000) {
+    const Value hi = lo + 50'000;
+    uint64_t count = 0;
+    QueryStats stats;
+    StopWatch sw;
+    if (Status s = db.Count("R", "A", lo, hi, config, &count, &stats);
+        !s.ok()) {
+      std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    const double ms = sw.ElapsedMillis();
+    char pred[64];
+    std::snprintf(pred, sizeof(pred), "count(*) where %lld<=A<%lld",
+                  static_cast<long long>(lo), static_cast<long long>(hi));
+    std::printf("%-6d %-28s %12llu %10.3f %10llu\n", i + 1, pred,
+                static_cast<unsigned long long>(count), ms,
+                static_cast<unsigned long long>(stats.cracks));
+  }
+
+  // 4. Sum over the same (now partially indexed) column: previously cracked
+  // ranges are answered positionally with no further refinement.
+  int64_t sum = 0;
+  QueryStats stats;
+  (void)db.Sum("R", "A", 100'000, 150'000, config, &sum, &stats);
+  std::printf("\nsum(A) where 100000<=A<150000 = %lld (refinements: %llu — "
+              "bounds were already cracked)\n",
+              static_cast<long long>(sum),
+              static_cast<unsigned long long>(stats.cracks));
+
+  // 5. The two-column plan of the paper's Figure 6: select on A, fetch
+  // aligned values of B positionally, aggregate.
+  int64_t sum_b = 0;
+  (void)db.SumOther("R", "A", "B", 100'000, 150'000, config, &sum_b);
+  std::printf("sum(B)  where 100000<=A<150000 = %lld (select on A, "
+              "positional fetch of B)\n",
+              static_cast<long long>(sum_b));
+
+  std::printf("\nDone. The index now exists purely as a side effect of the "
+              "queries above;\nno CREATE INDEX was ever issued.\n");
+  return 0;
+}

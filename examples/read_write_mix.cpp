@@ -1,0 +1,81 @@
+/// \file Read-write mix: an order stream updates a column through the
+/// differential-file layer (Section 4.2) while analysts keep querying it.
+/// Shows the paper's transactional split in action: updates are user
+/// transactions under the lock manager; index refinement is a latch-only
+/// system transaction that politely steps aside while conflicting user
+/// locks exist.
+///
+///   $ ./build/examples/read_write_mix
+
+#include <cstdio>
+
+#include "core/updatable_index.h"
+#include "storage/column.h"
+
+using namespace adaptidx;
+
+int main() {
+  constexpr size_t kRows = 500'000;
+  LockManager lm;
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  UpdatableIndex orders(Column::UniqueRandom("amount", kRows, 5), config,
+                        &lm, "orders/amount");
+  std::printf("orders table: %zu rows, cracking index with lock-manager "
+              "probe\n\n", orders.num_rows());
+
+  QueryContext ctx;
+  ctx.txn_id = 1;
+
+  // 1. Plain analytics: cracks as a side effect.
+  uint64_t count = 0;
+  (void)orders.RangeCount(ValueRange{100'000, 200'000}, &ctx, &count);
+  std::printf("count(amount in [100k,200k))          = %llu   "
+              "(refined: %s)\n",
+              static_cast<unsigned long long>(count),
+              ctx.stats.refinement_skipped ? "no" : "yes");
+
+  // 2. An open user transaction locks a key range it intends to update.
+  (void)lm.Acquire(42, "orders/amount/key:150000", LockMode::kX);
+  QueryContext ctx2;
+  ctx2.txn_id = 2;
+  (void)orders.RangeCount(ValueRange{100'000, 200'000}, &ctx2, &count);
+  std::printf("same query while txn 42 holds X lock  = %llu   "
+              "(refined: %s — system txn forgoes optimization)\n",
+              static_cast<unsigned long long>(count),
+              ctx2.stats.refinement_skipped ? "no" : "yes");
+  lm.ReleaseAll(42);
+
+  // 3. Auto-commit updates through differential files / anti-matter.
+  QueryContext uctx;
+  uctx.txn_id = 3;
+  RowId fresh;
+  (void)orders.Insert(150'500, &uctx, &fresh);
+  uctx.txn_id = 4;
+  (void)orders.Insert(150'501, &uctx);
+  std::printf("\ninserted 2 orders -> pending inserts  = %zu\n",
+              orders.pending_inserts());
+
+  QueryContext ctx3;
+  ctx3.txn_id = 5;
+  (void)orders.RangeCount(ValueRange{100'000, 200'000}, &ctx3, &count);
+  std::printf("count after inserts                   = %llu   "
+              "(base + differentials)\n",
+              static_cast<unsigned long long>(count));
+
+  uctx.txn_id = 6;
+  (void)orders.Delete(150'500, fresh, &uctx);
+  std::printf("deleted one pending order -> pending  = %zu inserts, %zu "
+              "anti-matter\n",
+              orders.pending_inserts(), orders.pending_deletes());
+
+  // 4. Checkpoint: fold differentials into a fresh base and rebuild.
+  (void)orders.Checkpoint();
+  QueryContext ctx4;
+  ctx4.txn_id = 7;
+  (void)orders.RangeCount(ValueRange{100'000, 200'000}, &ctx4, &count);
+  std::printf("\nafter checkpoint: rows=%zu pending=0, count = %llu "
+              "(index rebuilt, re-cracks on demand)\n",
+              orders.num_rows(), static_cast<unsigned long long>(count));
+  return 0;
+}

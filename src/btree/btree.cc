@@ -1,0 +1,300 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+
+namespace adaptidx {
+
+PartitionedBTree::PartitionedBTree(size_t node_capacity)
+    : node_capacity_(std::max<size_t>(4, node_capacity)),
+      root_(new LeafNode()) {}
+
+PartitionedBTree::~PartitionedBTree() { DestroyRec(root_); }
+
+void PartitionedBTree::DestroyRec(Node* node) {
+  if (!node->is_leaf) {
+    auto* inner = static_cast<InnerNode*>(node);
+    for (Node* child : inner->children) DestroyRec(child);
+  }
+  if (node->is_leaf) {
+    delete static_cast<LeafNode*>(node);
+  } else {
+    delete static_cast<InnerNode*>(node);
+  }
+}
+
+PartitionedBTree::SplitResult PartitionedBTree::InsertRec(Node* node,
+                                                          const BTreeKey& key,
+                                                          bool* inserted) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    const size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+    if (it != leaf->keys.end() && *it == key) {
+      if (leaf->ghost[idx]) {
+        leaf->ghost[idx] = 0;  // resurrect the ghost record
+        --ghost_count_;
+        ++live_count_;
+        *inserted = true;
+      }
+      return {};
+    }
+    leaf->keys.insert(it, key);
+    leaf->ghost.insert(leaf->ghost.begin() + static_cast<long>(idx), 0);
+    ++live_count_;
+    *inserted = true;
+    if (leaf->keys.size() <= node_capacity_) return {};
+    // Split the leaf in half.
+    auto* right = new LeafNode();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<long>(mid),
+                       leaf->keys.end());
+    right->ghost.assign(leaf->ghost.begin() + static_cast<long>(mid),
+                        leaf->ghost.end());
+    leaf->keys.resize(mid);
+    leaf->ghost.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right;
+    return SplitResult{right, right->keys.front()};
+  }
+
+  auto* inner = static_cast<InnerNode*>(node);
+  const size_t child_idx = static_cast<size_t>(
+      std::upper_bound(inner->seps.begin(), inner->seps.end(), key) -
+      inner->seps.begin());
+  SplitResult child_split = InsertRec(inner->children[child_idx], key,
+                                      inserted);
+  if (child_split.right == nullptr) return {};
+  inner->seps.insert(inner->seps.begin() + static_cast<long>(child_idx),
+                     child_split.sep);
+  inner->children.insert(
+      inner->children.begin() + static_cast<long>(child_idx) + 1,
+      child_split.right);
+  if (inner->seps.size() <= node_capacity_) return {};
+  // Split the inner node; the middle separator moves up.
+  auto* right = new InnerNode();
+  const size_t mid = inner->seps.size() / 2;
+  const BTreeKey up = inner->seps[mid];
+  right->seps.assign(inner->seps.begin() + static_cast<long>(mid) + 1,
+                     inner->seps.end());
+  right->children.assign(inner->children.begin() + static_cast<long>(mid) + 1,
+                         inner->children.end());
+  inner->seps.resize(mid);
+  inner->children.resize(mid + 1);
+  return SplitResult{right, up};
+}
+
+void PartitionedBTree::Insert(const BTreeKey& key) {
+  bool inserted = false;
+  SplitResult split = InsertRec(root_, key, &inserted);
+  if (split.right != nullptr) {
+    auto* new_root = new InnerNode();
+    new_root->seps.push_back(split.sep);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+  }
+}
+
+void PartitionedBTree::BulkLoadPartition(
+    uint32_t pid, const std::vector<CrackerEntry>& sorted) {
+  for (const CrackerEntry& e : sorted) {
+    Insert(BTreeKey{pid, e.value, e.row_id});
+  }
+}
+
+const PartitionedBTree::LeafNode* PartitionedBTree::FindLeaf(
+    const BTreeKey& key) const {
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    const auto* inner = static_cast<const InnerNode*>(node);
+    const size_t idx = static_cast<size_t>(
+        std::upper_bound(inner->seps.begin(), inner->seps.end(), key) -
+        inner->seps.begin());
+    node = inner->children[idx];
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+void PartitionedBTree::ScanRange(
+    uint32_t pid, Value lo, Value hi,
+    const std::function<void(const BTreeKey&)>& fn) const {
+  if (lo >= hi) return;
+  const BTreeKey start{pid, lo, 0};
+  const BTreeKey stop{pid, hi, 0};
+  const LeafNode* leaf = FindLeaf(start);
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), start);
+    for (; it != leaf->keys.end(); ++it) {
+      if (!(*it < stop)) return;
+      const size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+      if (!leaf->ghost[idx]) fn(*it);
+    }
+    leaf = leaf->next;
+  }
+}
+
+size_t PartitionedBTree::DeleteRange(uint32_t pid, Value lo, Value hi) {
+  if (lo >= hi) return 0;
+  const BTreeKey start{pid, lo, 0};
+  const BTreeKey stop{pid, hi, 0};
+  // FindLeaf is const; ghost flags are logically mutable record state.
+  auto* leaf = const_cast<LeafNode*>(FindLeaf(start));
+  size_t deleted = 0;
+  while (leaf != nullptr) {
+    auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), start);
+    for (; it != leaf->keys.end(); ++it) {
+      if (!(*it < stop)) {
+        live_count_ -= deleted;
+        ghost_count_ += deleted;
+        return deleted;
+      }
+      const size_t idx = static_cast<size_t>(it - leaf->keys.begin());
+      if (!leaf->ghost[idx]) {
+        leaf->ghost[idx] = 1;
+        ++deleted;
+      }
+    }
+    leaf = leaf->next;
+  }
+  live_count_ -= deleted;
+  ghost_count_ += deleted;
+  return deleted;
+}
+
+void PartitionedBTree::PurgeGhosts() {
+  std::vector<BTreeKey> live;
+  live.reserve(live_count_);
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InnerNode*>(node)->children.front();
+  }
+  const auto* leaf = static_cast<const LeafNode*>(node);
+  for (; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (!leaf->ghost[i]) live.push_back(leaf->keys[i]);
+    }
+  }
+  DestroyRec(root_);
+  BuildFromSorted(live);
+  ghost_count_ = 0;
+  live_count_ = live.size();
+}
+
+void PartitionedBTree::BuildFromSorted(const std::vector<BTreeKey>& keys) {
+  if (keys.empty()) {
+    root_ = new LeafNode();
+    return;
+  }
+  // Pack leaves at 2/3 fill so post-build inserts have room.
+  const size_t pack = std::max<size_t>(2, node_capacity_ * 2 / 3);
+  std::vector<std::pair<Node*, BTreeKey>> level;  // (node, min key)
+  LeafNode* prev = nullptr;
+  for (size_t base = 0; base < keys.size(); base += pack) {
+    const size_t end = std::min(keys.size(), base + pack);
+    auto* leaf = new LeafNode();
+    leaf->keys.assign(keys.begin() + static_cast<long>(base),
+                      keys.begin() + static_cast<long>(end));
+    leaf->ghost.assign(leaf->keys.size(), 0);
+    if (prev != nullptr) prev->next = leaf;
+    prev = leaf;
+    level.emplace_back(leaf, leaf->keys.front());
+  }
+  while (level.size() > 1) {
+    std::vector<std::pair<Node*, BTreeKey>> upper;
+    for (size_t base = 0; base < level.size(); base += pack) {
+      const size_t end = std::min(level.size(), base + pack);
+      auto* inner = new InnerNode();
+      for (size_t i = base; i < end; ++i) {
+        if (i > base) inner->seps.push_back(level[i].second);
+        inner->children.push_back(level[i].first);
+      }
+      upper.emplace_back(inner, level[base].second);
+    }
+    level = std::move(upper);
+  }
+  root_ = level.front().first;
+}
+
+size_t PartitionedBTree::CountLeavesRec(const Node* node) {
+  if (node->is_leaf) return 1;
+  const auto* inner = static_cast<const InnerNode*>(node);
+  size_t n = 0;
+  for (const Node* child : inner->children) n += CountLeavesRec(child);
+  return n;
+}
+
+size_t PartitionedBTree::num_leaves() const { return CountLeavesRec(root_); }
+
+int PartitionedBTree::HeightRec(const Node* node) {
+  if (node->is_leaf) return 1;
+  return 1 + HeightRec(static_cast<const InnerNode*>(node)->children.front());
+}
+
+int PartitionedBTree::height() const { return HeightRec(root_); }
+
+std::vector<uint32_t> PartitionedBTree::Partitions() const {
+  std::vector<uint32_t> pids;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InnerNode*>(node)->children.front();
+  }
+  for (const auto* leaf = static_cast<const LeafNode*>(node); leaf != nullptr;
+       leaf = leaf->next) {
+    // Keys are globally sorted, so live partition ids appear in ascending
+    // runs; collecting on change of id yields the distinct ascending set.
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->ghost[i]) continue;
+      if (pids.empty() || pids.back() != leaf->keys[i].partition) {
+        pids.push_back(leaf->keys[i].partition);
+      }
+    }
+  }
+  return pids;
+}
+
+int PartitionedBTree::LeafDepth() const {
+  int d = 1;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = static_cast<const InnerNode*>(node)->children.front();
+    ++d;
+  }
+  return d;
+}
+
+bool PartitionedBTree::ValidateRec(const Node* node, const BTreeKey* lo,
+                                   const BTreeKey* hi, int depth,
+                                   int leaf_depth) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return false;
+    const auto* leaf = static_cast<const LeafNode*>(node);
+    if (leaf->keys.size() != leaf->ghost.size()) return false;
+    if (leaf->keys.size() > node_capacity_ + 1) return false;
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (i > 0 && !(leaf->keys[i - 1] < leaf->keys[i])) return false;
+      if (lo != nullptr && leaf->keys[i] < *lo) return false;
+      if (hi != nullptr && !(leaf->keys[i] < *hi)) return false;
+    }
+    return true;
+  }
+  const auto* inner = static_cast<const InnerNode*>(node);
+  if (inner->children.size() != inner->seps.size() + 1) return false;
+  if (inner->seps.empty()) return false;
+  for (size_t i = 1; i < inner->seps.size(); ++i) {
+    if (!(inner->seps[i - 1] < inner->seps[i])) return false;
+  }
+  for (size_t i = 0; i < inner->children.size(); ++i) {
+    const BTreeKey* clo = i == 0 ? lo : &inner->seps[i - 1];
+    const BTreeKey* chi = i == inner->seps.size() ? hi : &inner->seps[i];
+    if (!ValidateRec(inner->children[i], clo, chi, depth + 1, leaf_depth)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PartitionedBTree::Validate() const {
+  return ValidateRec(root_, nullptr, nullptr, 1, LeafDepth());
+}
+
+}  // namespace adaptidx

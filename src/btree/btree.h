@@ -1,0 +1,136 @@
+#ifndef ADAPTIDX_BTREE_BTREE_H_
+#define ADAPTIDX_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cracking/cracker_array.h"
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief Composite key of a partitioned B-tree (Section 4.1): "a
+/// traditional B-tree index with an artificial leading key field that
+/// captures partition identifiers". The rowID participates in ordering to
+/// make keys unique under duplicate values.
+struct BTreeKey {
+  uint32_t partition;
+  Value value;
+  RowId row_id;
+
+  friend bool operator<(const BTreeKey& a, const BTreeKey& b) {
+    if (a.partition != b.partition) return a.partition < b.partition;
+    if (a.value != b.value) return a.value < b.value;
+    return a.row_id < b.row_id;
+  }
+  friend bool operator==(const BTreeKey& a, const BTreeKey& b) {
+    return a.partition == b.partition && a.value == b.value &&
+           a.row_id == b.row_id;
+  }
+};
+
+/// \brief In-memory B+-tree keyed by BTreeKey, the storage substrate for
+/// adaptive merging in Section 4.
+///
+/// Properties matching the paper's design:
+///  - Partitions "appear and disappear simply by insertion and deletion of
+///    records with appropriate values in the artificial leading key field" —
+///    there is no partition catalog; `Partitions()` derives the live set.
+///  - Deletion uses "pseudo-deleted ghost records" (Section 3.1): ghosts
+///    stay in place, scans skip them, and `PurgeGhosts` (a maintenance
+///    system transaction) rebuilds the tree compactly.
+///
+/// The tree itself is not synchronized; the owning index serializes
+/// structural changes with its latch (see BTreeMergeIndex). This mirrors the
+/// paper's split between data structure and concurrency protocol.
+class PartitionedBTree {
+ public:
+  explicit PartitionedBTree(size_t node_capacity = 64);
+  ~PartitionedBTree();
+
+  PartitionedBTree(const PartitionedBTree&) = delete;
+  PartitionedBTree& operator=(const PartitionedBTree&) = delete;
+
+  /// \brief Inserts one record (duplicate keys are ignored; a ghost with the
+  /// same key is resurrected).
+  void Insert(const BTreeKey& key);
+
+  /// \brief Appends a sorted run as partition `pid`. `sorted` must be
+  /// ordered by (value, row_id); the partition must not already contain
+  /// records.
+  void BulkLoadPartition(uint32_t pid, const std::vector<CrackerEntry>& sorted);
+
+  /// \brief Visits live records of `pid` with value in [lo, hi) in key
+  /// order.
+  void ScanRange(uint32_t pid, Value lo, Value hi,
+                 const std::function<void(const BTreeKey&)>& fn) const;
+
+  /// \brief Ghost-deletes live records of `pid` with value in [lo, hi).
+  /// \return number of records deleted.
+  size_t DeleteRange(uint32_t pid, Value lo, Value hi);
+
+  /// \brief Rebuilds the tree without ghosts (maintenance transaction).
+  void PurgeGhosts();
+
+  /// \brief Live (non-ghost) record count.
+  size_t size() const { return live_count_; }
+  size_t num_ghosts() const { return ghost_count_; }
+  size_t num_leaves() const;
+  int height() const;
+
+  /// \brief Distinct partition ids with live records, ascending.
+  std::vector<uint32_t> Partitions() const;
+
+  /// \brief Checks B+-tree invariants: key order within and across leaves,
+  /// separator correctness, child counts. Used by tests.
+  bool Validate() const;
+
+ private:
+  struct Node {
+    bool is_leaf;
+    explicit Node(bool leaf) : is_leaf(leaf) {}
+  };
+  struct LeafNode : Node {
+    LeafNode() : Node(true) {}
+    std::vector<BTreeKey> keys;       // sorted
+    std::vector<uint8_t> ghost;       // parallel to keys
+    LeafNode* next = nullptr;
+  };
+  struct InnerNode : Node {
+    InnerNode() : Node(false) {}
+    // children.size() == seps.size() + 1; seps[i] is the smallest key
+    // reachable under children[i + 1].
+    std::vector<BTreeKey> seps;
+    std::vector<Node*> children;
+  };
+
+  /// Recursive insert; returns a new right sibling + separator on split.
+  struct SplitResult {
+    Node* right = nullptr;
+    BTreeKey sep;
+  };
+  SplitResult InsertRec(Node* node, const BTreeKey& key, bool* inserted);
+
+  /// Leftmost leaf that may contain `key`.
+  const LeafNode* FindLeaf(const BTreeKey& key) const;
+
+  static void DestroyRec(Node* node);
+  static size_t CountLeavesRec(const Node* node);
+  static int HeightRec(const Node* node);
+  bool ValidateRec(const Node* node, const BTreeKey* lo, const BTreeKey* hi,
+                   int depth, int leaf_depth) const;
+  int LeafDepth() const;
+
+  /// Rebuilds bottom-up from sorted live keys.
+  void BuildFromSorted(const std::vector<BTreeKey>& keys);
+
+  const size_t node_capacity_;
+  Node* root_;
+  size_t live_count_ = 0;
+  size_t ghost_count_ = 0;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_BTREE_BTREE_H_

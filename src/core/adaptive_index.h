@@ -1,0 +1,98 @@
+#ifndef ADAPTIDX_CORE_ADAPTIVE_INDEX_H_
+#define ADAPTIDX_CORE_ADAPTIVE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "latch/latch_stats.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \brief Per-query instrumentation, filled in by index implementations.
+///
+/// The fields mirror the paper's measurements: `crack_ns` is the "index
+/// refinement" series of Figure 15, `wait_ns` the "wait time" series
+/// (all blocked latch acquisitions, write and read), and `conflicts` the
+/// count plotted conceptually in Figure 1 (right).
+struct QueryStats {
+  int64_t response_ns = 0;  ///< end-to-end query latency
+  int64_t wait_ns = 0;      ///< time blocked on latches
+  int64_t crack_ns = 0;     ///< time spent refining under write latches
+  int64_t init_ns = 0;      ///< one-off index initialization charged here
+  int64_t read_ns = 0;      ///< time reading data under read latches
+  uint64_t conflicts = 0;   ///< blocked latch acquisitions
+  uint64_t cracks = 0;      ///< crack/merge/sort refinement actions applied
+  uint64_t pieces_touched = 0;       ///< pieces read or cracked
+  bool refinement_skipped = false;   ///< conflict avoidance fired
+  int64_t start_ns = 0;     ///< wall-clock start (sequence ordering)
+  int64_t finish_ns = 0;    ///< wall-clock finish
+};
+
+/// \brief Carried through every query execution; owns the stats and
+/// identifies the client/transaction for lock-manager interplay.
+struct QueryContext {
+  QueryStats stats;
+  uint32_t client_id = 0;
+  uint64_t txn_id = 0;
+
+  /// \brief Builds the latch acquisition sink wired to this query's stats
+  /// and the index-wide aggregate.
+  LatchAcquireContext LatchCtx(LatchStats* global) {
+    return LatchAcquireContext{global, &stats.wait_ns, &stats.conflicts};
+  }
+};
+
+/// \brief Abstract access method evaluated in the paper's experiments: plain
+/// scan, full index (sort), database cracking, adaptive merging, hybrid
+/// crack-sort, and the partitioned-B-tree realization of adaptive merging
+/// all implement this interface.
+///
+/// Semantics: the index answers over a fixed base column (read-only user
+/// data); `RangeCount`/`RangeSum` are the paper's Q1/Q2 templates with the
+/// predicate normalized to the half-open range [lo, hi). All methods are
+/// thread-safe; adaptive implementations may refine their physical structure
+/// as a side effect under the concurrency control being studied.
+class AdaptiveIndex {
+ public:
+  virtual ~AdaptiveIndex() = default;
+
+  /// \brief Short method name used in benchmark output ("scan", "sort",
+  /// "crack", ...).
+  virtual std::string Name() const = 0;
+
+  /// \brief Q1: `select count(*) from R where lo <= A < hi`.
+  virtual Status RangeCount(const ValueRange& range, QueryContext* ctx,
+                            uint64_t* count) = 0;
+
+  /// \brief Q2: `select sum(A) from R where lo <= A < hi`.
+  virtual Status RangeSum(const ValueRange& range, QueryContext* ctx,
+                          int64_t* sum) = 0;
+
+  /// \brief Materializes the rowIDs of qualifying tuples (the positional
+  /// intermediate of Figure 6, used to fetch other columns). Optional.
+  virtual Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                             std::vector<RowId>* row_ids) {
+    (void)range;
+    (void)ctx;
+    (void)row_ids;
+    return Status::NotSupported(Name() + " does not materialize rowIDs");
+  }
+
+  /// \brief Number of physical pieces/partitions currently in the index;
+  /// 1 for non-adaptive methods. Diagnostics only.
+  virtual size_t NumPieces() const { return 1; }
+
+  /// \brief Index-wide latch statistics.
+  const LatchStats& latch_stats() const { return latch_stats_; }
+  LatchStats* mutable_latch_stats() { return &latch_stats_; }
+
+ protected:
+  LatchStats latch_stats_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_ADAPTIVE_INDEX_H_

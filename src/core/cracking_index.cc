@@ -1,0 +1,716 @@
+#include "core/cracking_index.h"
+
+#include <algorithm>
+#include <map>
+
+#include "lock/lock_manager.h"
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+std::string ToString(ConcurrencyMode mode) {
+  switch (mode) {
+    case ConcurrencyMode::kNone:
+      return "none";
+    case ConcurrencyMode::kColumnLatch:
+      return "column-latch";
+    case ConcurrencyMode::kPieceLatch:
+      return "piece-latch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Structure-latch guards that compile to no-ops when concurrency control is
+/// disabled (Figure 13 measures exactly this administrative difference).
+class MaybeSharedLock {
+ public:
+  MaybeSharedLock(std::shared_mutex* mu, bool enabled)
+      : mu_(enabled ? mu : nullptr) {
+    if (mu_ != nullptr) mu_->lock_shared();
+  }
+  ~MaybeSharedLock() {
+    if (mu_ != nullptr) mu_->unlock_shared();
+  }
+  MaybeSharedLock(const MaybeSharedLock&) = delete;
+  MaybeSharedLock& operator=(const MaybeSharedLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+};
+
+class MaybeUniqueLock {
+ public:
+  MaybeUniqueLock(std::shared_mutex* mu, bool enabled)
+      : mu_(enabled ? mu : nullptr) {
+    if (mu_ != nullptr) mu_->lock();
+  }
+  ~MaybeUniqueLock() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  MaybeUniqueLock(const MaybeUniqueLock&) = delete;
+  MaybeUniqueLock& operator=(const MaybeUniqueLock&) = delete;
+
+ private:
+  std::shared_mutex* mu_;
+};
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Value-bound snapshot of a piece captured at revalidation time; see the
+/// publication-safety argument in CrackPieceLocked.
+struct PieceSnapshot {
+  Position begin = 0;
+  Position end = 0;
+  Value lo_value = 0;
+  Value hi_value = 0;
+  bool sorted = false;
+};
+
+struct CountAggregator {
+  static constexpr bool kNeedsRead = false;
+  uint64_t result = 0;
+  void Positional(const CrackerArray& a, Position b, Position e) {
+    (void)a;
+    result += e - b;
+  }
+  void Filtered(const CrackerArray& a, Position b, Position e,
+                const ValueRange& r) {
+    result += a.ScanCountRange(b, e, r.lo, r.hi);
+  }
+};
+
+struct SumAggregator {
+  static constexpr bool kNeedsRead = true;
+  int64_t result = 0;
+  void Positional(const CrackerArray& a, Position b, Position e) {
+    result += a.PositionalSumRange(b, e);
+  }
+  void Filtered(const CrackerArray& a, Position b, Position e,
+                const ValueRange& r) {
+    result += a.ScanSumRange(b, e, r.lo, r.hi);
+  }
+};
+
+struct RowIdAggregator {
+  static constexpr bool kNeedsRead = true;
+  std::vector<RowId>* out;
+  void Positional(const CrackerArray& a, Position b, Position e) {
+    a.CollectRowIds(b, e, out);
+  }
+  void Filtered(const CrackerArray& a, Position b, Position e,
+                const ValueRange& r) {
+    for (Position i = b; i < e; ++i) {
+      const Value v = a.ValueAt(i);
+      if (v >= r.lo && v < r.hi) out->push_back(a.RowIdAt(i));
+    }
+  }
+};
+
+struct Region {
+  Position begin;
+  Position end;
+  bool filtered;
+};
+
+}  // namespace
+
+CrackingIndex::CrackingIndex(const Column* column, CrackingOptions opts)
+    : column_(column),
+      opts_(std::move(opts)),
+      policy_(opts_.strategy, opts_.sort_piece_threshold) {}
+
+void CrackingIndex::EnsureInitialized(QueryContext* ctx) {
+  if (initialized_.load(std::memory_order_acquire)) return;
+  const int64_t wait_start = NowNanos();
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  if (initialized_.load(std::memory_order_relaxed)) {
+    // Another query built the index while we blocked; that blocking is
+    // genuine concurrency wait (the "first query latches the complete
+    // column" effect of Figure 15).
+    ctx->stats.wait_ns += NowNanos() - wait_start;
+    return;
+  }
+  ScopedTimer init_timer(&ctx->stats.init_ns);
+  array_ = std::make_unique<CrackerArray>(*column_, opts_.layout);
+  Value lo = 0;
+  Value hi = 0;
+  if (array_->size() > 0) {
+    lo = array_->ValueAt(0);
+    hi = array_->ValueAt(0);
+    for (Position i = 1; i < array_->size(); ++i) {
+      const Value v = array_->ValueAt(i);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  domain_lo_ = lo;
+  domain_hi_ = hi + 1;
+  pieces_ = std::make_unique<PieceMap>(array_->size(), domain_lo_, domain_hi_,
+                                       opts_.scheduling);
+  initialized_.store(true, std::memory_order_release);
+}
+
+std::shared_ptr<Piece> CrackingIndex::PieceForValueLocked(Value v) const {
+  AvlTree::Entry e;
+  const Position begin = avl_.Floor(v, &e) ? e.pos : 0;
+  auto piece = pieces_->FindByBegin(begin);
+  if (piece == nullptr) piece = pieces_->FindByPosition(begin);
+  return piece;
+}
+
+void CrackingIndex::PublishCrackLocked(Value v, Position pos) {
+  if (!avl_.Insert(v, pos)) return;  // crack already known; positions final
+  const size_t n = array_->size();
+  if (n == 0) return;
+  if (pos >= n) {
+    auto last = pieces_->FindByPosition(n - 1);
+    pieces_->Split(last, last->end, v);
+    return;
+  }
+  auto piece = pieces_->FindByPosition(pos);
+  pieces_->Split(piece, pos, v);
+}
+
+bool CrackingIndex::UserLockConflict(QueryContext* ctx) const {
+  if (opts_.lock_manager == nullptr) return false;
+  return opts_.lock_manager->HasConflicting(opts_.lock_resource, LockMode::kX,
+                                            ctx->txn_id);
+}
+
+Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
+                                         Value v,
+                                         const RefinementDirective& directive,
+                                         QueryContext* ctx) {
+  // The caller holds the piece's write latch (piece mode) or is the only
+  // writer (column/none mode): begin/end are stable. Value bounds are read
+  // under the structure latch; neighbor cracks can only tighten them toward
+  // the actual content afterwards, so the snapshot below is conservative.
+  PieceSnapshot snap;
+  {
+    MaybeSharedLock sl(&structure_mu_,
+                       opts_.mode != ConcurrencyMode::kNone);
+    snap.begin = piece->begin;
+    snap.end = piece->end;
+    snap.lo_value = piece->lo_value;
+    snap.hi_value = piece->hi_value;
+    snap.sorted = piece->sorted;
+  }
+
+  // Cracks produced in this step: (value, position), published atomically.
+  // Publication safety: the target bound v satisfies v in
+  // [snap.lo_value, snap.hi_value); extra cracks are filtered to the open
+  // interval (snap.lo_value, snap.hi_value). Any crack value in that
+  // interval can never be contradicted by concurrent neighbor cracks, whose
+  // pivots always stay outside the interval.
+  std::map<Value, Position> local;
+  bool mark_sorted = false;
+  Position target_pos = 0;
+
+  if (snap.sorted) {
+    target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
+    local.emplace(v, target_pos);
+  } else if (directive.sort_piece) {
+    ScopedTimer t(&ctx->stats.crack_ns);
+    array_->SortRange(snap.begin, snap.end);
+    target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
+    local.emplace(v, target_pos);
+    mark_sorted = true;
+    ++ctx->stats.cracks;
+  } else {
+    ScopedTimer t(&ctx->stats.crack_ns);
+    Position lo_pos = snap.begin;
+    Position hi_pos = snap.end;
+    if (opts_.stochastic && snap.end - snap.begin >= opts_.stochastic_min_piece) {
+      // Stochastic cracking: one extra data-driven crack keeps convergence
+      // robust when query bounds are adversarial. The pivot is a value
+      // sampled pseudo-randomly from the piece itself.
+      const uint64_t h = Mix64(snap.begin ^ (snap.end << 1) ^
+                               static_cast<uint64_t>(v));
+      const Position rp = snap.begin + h % (snap.end - snap.begin);
+      const Value rv = array_->ValueAt(rp);
+      if (rv != v && rv > snap.lo_value && rv < snap.hi_value) {
+        const Position rpos = array_->CrackTwo(snap.begin, snap.end, rv);
+        local.emplace(rv, rpos);
+        ++ctx->stats.cracks;
+        if (v < rv) {
+          hi_pos = rpos;
+        } else {
+          lo_pos = rpos;
+        }
+      }
+    }
+    target_pos = array_->CrackTwo(lo_pos, hi_pos, v);
+    local.emplace(v, target_pos);
+    ++ctx->stats.cracks;
+
+    if (opts_.group_crack && opts_.mode == ConcurrencyMode::kPieceLatch) {
+      // Section 7 "Dynamic Algorithms": refine for the queries queued on
+      // this piece in the same step, so they find their crack ready.
+      std::vector<Value> pending = piece->latch.PendingWriterBounds();
+      std::sort(pending.begin(), pending.end());
+      pending.erase(std::unique(pending.begin(), pending.end()),
+                    pending.end());
+      size_t done = 0;
+      for (Value w : pending) {
+        if (done >= opts_.group_crack_max) break;
+        if (w <= snap.lo_value || w >= snap.hi_value) continue;
+        if (local.count(w) > 0) continue;
+        // Narrow to the sub-range between the cracks already made.
+        Position wb = snap.begin;
+        Position we = snap.end;
+        auto it = local.lower_bound(w);
+        if (it != local.end()) we = it->second;
+        if (it != local.begin()) wb = std::prev(it)->second;
+        const Position wpos = array_->CrackTwo(wb, we, w);
+        local.emplace(w, wpos);
+        ++ctx->stats.cracks;
+        ++done;
+      }
+    }
+  }
+
+  {
+    MaybeUniqueLock xl(&structure_mu_, opts_.mode != ConcurrencyMode::kNone);
+    if (mark_sorted) piece->sorted = true;  // before splits: halves inherit
+    for (const auto& [cv, cp] : local) PublishCrackLocked(cv, cp);
+  }
+  return target_pos;
+}
+
+CrackingIndex::BoundResult CrackingIndex::ResolveBound(Value v,
+                                                       QueryContext* ctx,
+                                                       Attempt attempt,
+                                                       bool refine_allowed) {
+  const size_t n = array_->size();
+  const bool latched_mode = opts_.mode != ConcurrencyMode::kNone;
+  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
+
+  for (;;) {
+    std::shared_ptr<Piece> piece;
+    size_t piece_size = 0;
+    {
+      MaybeSharedLock sl(&structure_mu_, latched_mode);
+      if (v <= domain_lo_) {
+        BoundResult r;
+        r.exact = true;
+        r.pos = 0;
+        return r;
+      }
+      if (v >= domain_hi_) {
+        BoundResult r;
+        r.exact = true;
+        r.pos = n;
+        return r;
+      }
+      Position p;
+      if (avl_.Find(v, &p)) {
+        BoundResult r;
+        r.exact = true;
+        r.pos = p;
+        return r;
+      }
+      piece = PieceForValueLocked(v);
+      piece_size = piece->end - piece->begin;
+      if (!refine_allowed) {
+        ctx->stats.refinement_skipped = true;
+        BoundResult r;
+        r.scan_begin = piece->begin;
+        r.scan_end = piece->end;
+        return r;
+      }
+    }
+
+    const RefinementDirective directive = policy_.OnCrack(piece_size);
+    const bool use_try = attempt != Attempt::kBlocking || directive.try_only;
+
+    if (opts_.mode == ConcurrencyMode::kPieceLatch) {
+      if (use_try) {
+        if (!piece->latch.TryWriteLock(lat)) {
+          policy_.OnConflict();
+          ++ctx->stats.conflicts;
+          if (attempt == Attempt::kTryThenFail) {
+            BoundResult r;
+            r.latch_busy = true;
+            return r;
+          }
+          // Conflict avoidance (Section 3.3): forgo the refinement and
+          // answer by scanning the piece extent as of now.
+          ctx->stats.refinement_skipped = true;
+          MaybeSharedLock sl(&structure_mu_, latched_mode);
+          BoundResult r;
+          r.scan_begin = piece->begin;
+          r.scan_end = piece->end;
+          return r;
+        }
+      } else {
+        piece->latch.WriteLock(v, lat);
+      }
+
+      // Revalidate after acquisition (Figure 10): while we waited, earlier
+      // queries may have cracked this piece; the crack we want may now
+      // exist, or our bound may have moved to a successor piece.
+      bool have_exact = false;
+      Position exact_pos = 0;
+      bool still_ours = true;
+      {
+        MaybeSharedLock sl(&structure_mu_, latched_mode);
+        Position p;
+        if (avl_.Find(v, &p)) {
+          have_exact = true;
+          exact_pos = p;
+        } else if (PieceForValueLocked(v).get() != piece.get()) {
+          still_ours = false;
+        }
+      }
+      if (have_exact) {
+        piece->latch.WriteUnlock();
+        BoundResult r;
+        r.exact = true;
+        r.pos = exact_pos;
+        return r;
+      }
+      if (!still_ours) {
+        piece->latch.WriteUnlock();
+        continue;  // walk to the piece now containing v and retry
+      }
+      const Position pos = CrackPieceLocked(piece, v, directive, ctx);
+      piece->latch.WriteUnlock();
+      policy_.OnSuccess();
+      BoundResult r;
+      r.exact = true;
+      r.pos = pos;
+      return r;
+    }
+
+    // Column-latch / no-CC modes: the caller serializes writers (column
+    // write latch or single-threaded execution), so crack directly.
+    const Position pos = CrackPieceLocked(piece, v, directive, ctx);
+    BoundResult r;
+    r.exact = true;
+    r.pos = pos;
+    return r;
+  }
+}
+
+bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
+                                    BoundResult* lo, BoundResult* hi) {
+  const bool latched_mode = opts_.mode != ConcurrencyMode::kNone;
+  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
+
+  std::shared_ptr<Piece> piece;
+  size_t piece_size = 0;
+  {
+    MaybeSharedLock sl(&structure_mu_, latched_mode);
+    if (range.lo <= domain_lo_ || range.hi >= domain_hi_) return false;
+    Position p;
+    if (avl_.Find(range.lo, &p) || avl_.Find(range.hi, &p)) return false;
+    auto pl = PieceForValueLocked(range.lo);
+    auto ph = PieceForValueLocked(range.hi);
+    if (pl.get() != ph.get()) return false;
+    piece = pl;
+    piece_size = piece->end - piece->begin;
+  }
+  const RefinementDirective directive = policy_.OnCrack(piece_size);
+  if (directive.try_only || directive.sort_piece) {
+    return false;  // lazy/active handling goes through per-bound resolution
+  }
+
+  if (opts_.mode == ConcurrencyMode::kPieceLatch) {
+    piece->latch.WriteLock(range.lo, lat);
+  }
+
+  PieceSnapshot snap;
+  bool valid = true;
+  {
+    MaybeSharedLock sl(&structure_mu_, latched_mode);
+    Position p;
+    if (avl_.Find(range.lo, &p) || avl_.Find(range.hi, &p) ||
+        PieceForValueLocked(range.lo).get() != piece.get() ||
+        PieceForValueLocked(range.hi).get() != piece.get()) {
+      valid = false;
+    } else {
+      snap.begin = piece->begin;
+      snap.end = piece->end;
+      snap.sorted = piece->sorted;
+    }
+  }
+  if (!valid) {
+    if (opts_.mode == ConcurrencyMode::kPieceLatch) piece->latch.WriteUnlock();
+    return false;
+  }
+
+  Position p1;
+  Position p2;
+  if (snap.sorted) {
+    p1 = array_->LowerBoundInSorted(snap.begin, snap.end, range.lo);
+    p2 = array_->LowerBoundInSorted(snap.begin, snap.end, range.hi);
+  } else {
+    ScopedTimer t(&ctx->stats.crack_ns);
+    std::tie(p1, p2) =
+        array_->CrackThree(snap.begin, snap.end, range.lo, range.hi);
+    ctx->stats.cracks += 2;
+  }
+  {
+    MaybeUniqueLock xl(&structure_mu_, latched_mode);
+    PublishCrackLocked(range.lo, p1);
+    PublishCrackLocked(range.hi, p2);
+  }
+  if (opts_.mode == ConcurrencyMode::kPieceLatch) piece->latch.WriteUnlock();
+  policy_.OnSuccess();
+
+  lo->exact = true;
+  lo->pos = p1;
+  hi->exact = true;
+  hi->pos = p2;
+  return true;
+}
+
+void CrackingIndex::ResolveBounds(const ValueRange& range, QueryContext* ctx,
+                                  bool refine_allowed, BoundResult* lo,
+                                  BoundResult* hi) {
+  if (!refine_allowed) {
+    *lo = ResolveBound(range.lo, ctx, Attempt::kBlocking, false);
+    *hi = ResolveBound(range.hi, ctx, Attempt::kBlocking, false);
+    return;
+  }
+  if (opts_.use_crack_in_three && TryCrackInThree(range, ctx, lo, hi)) {
+    return;
+  }
+  if (opts_.mode == ConcurrencyMode::kPieceLatch &&
+      opts_.swap_bound_on_conflict) {
+    // Section 5.3 optimization: if the first bound's piece is busy, proceed
+    // with the second bound first, then come back.
+    BoundResult first =
+        ResolveBound(range.lo, ctx, Attempt::kTryThenFail, true);
+    if (first.latch_busy) {
+      *hi = ResolveBound(range.hi, ctx, Attempt::kBlocking, true);
+      *lo = ResolveBound(range.lo, ctx, Attempt::kBlocking, true);
+    } else {
+      *lo = first;
+      *hi = ResolveBound(range.hi, ctx, Attempt::kBlocking, true);
+    }
+    return;
+  }
+  *lo = ResolveBound(range.lo, ctx, Attempt::kBlocking, true);
+  *hi = ResolveBound(range.hi, ctx, Attempt::kBlocking, true);
+}
+
+template <typename Aggregator>
+void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
+                                  const ValueRange& filter, bool needs_latch,
+                                  QueryContext* ctx, Aggregator* agg) {
+  if (b >= e) return;
+  if (!needs_latch) {
+    ScopedTimer t(&ctx->stats.read_ns);
+    if (filtered) {
+      agg->Filtered(*array_, b, e, filter);
+    } else {
+      agg->Positional(*array_, b, e);
+    }
+    ++ctx->stats.pieces_touched;
+    return;
+  }
+  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
+  Position pos = b;
+  while (pos < e) {
+    std::shared_ptr<Piece> piece;
+    {
+      MaybeSharedLock sl(&structure_mu_, true);
+      piece = pieces_->FindByPosition(pos);
+    }
+    piece->latch.ReadLock(lat);
+    const Position piece_end = piece->end;  // stable under the read latch
+    if (pos >= piece_end) {
+      // The piece split between lookup and latch; look up again.
+      piece->latch.ReadUnlock();
+      continue;
+    }
+    const Position upto = std::min(piece_end, e);
+    {
+      ScopedTimer t(&ctx->stats.read_ns);
+      if (filtered) {
+        agg->Filtered(*array_, pos, upto, filter);
+      } else {
+        agg->Positional(*array_, pos, upto);
+      }
+    }
+    piece->latch.ReadUnlock();
+    ++ctx->stats.pieces_touched;
+    pos = upto;
+  }
+}
+
+template <typename Aggregator>
+Status CrackingIndex::Execute(const ValueRange& range, QueryContext* ctx,
+                              Aggregator* agg) {
+  if (range.Empty()) return Status::OK();
+  EnsureInitialized(ctx);
+  const bool refine_allowed = !UserLockConflict(ctx);
+  if (!refine_allowed) ctx->stats.refinement_skipped = true;
+  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
+
+  BoundResult lo;
+  BoundResult hi;
+  if (opts_.mode == ConcurrencyMode::kColumnLatch) {
+    bool do_refine = refine_allowed;
+    if (do_refine) {
+      const RefinementDirective d = policy_.OnCrack(array_->size());
+      if (d.try_only) {
+        if (!column_latch_.TryWriteLock(lat)) {
+          policy_.OnConflict();
+          ++ctx->stats.conflicts;
+          ctx->stats.refinement_skipped = true;
+          do_refine = false;
+        }
+      } else {
+        column_latch_.WriteLock(range.lo, lat);
+      }
+    }
+    if (do_refine) {
+      ResolveBounds(range, ctx, true, &lo, &hi);
+      column_latch_.WriteUnlock();
+      policy_.OnSuccess();
+    } else {
+      ResolveBounds(range, ctx, false, &lo, &hi);
+    }
+  } else {
+    ResolveBounds(range, ctx, refine_allowed, &lo, &hi);
+  }
+
+  // Assemble up to three disjoint position regions in ascending order; a
+  // running cursor prevents overlap when boundary-piece extents captured at
+  // different moments intersect.
+  Region regions[3];
+  int num_regions = 0;
+  Position cursor = 0;
+  auto push = [&](Position rb, Position re, bool f) {
+    rb = std::max(rb, cursor);
+    if (rb >= re) return;
+    regions[num_regions++] = Region{rb, re, f};
+    cursor = re;
+  };
+  if (lo.exact && hi.exact) {
+    push(lo.pos, hi.pos, false);
+  } else if (!lo.exact && !hi.exact && lo.scan_begin == hi.scan_begin) {
+    push(lo.scan_begin, std::max(lo.scan_end, hi.scan_end), true);
+  } else {
+    if (!lo.exact) push(lo.scan_begin, lo.scan_end, true);
+    const Position core_b = lo.exact ? lo.pos : lo.scan_end;
+    const Position core_e = hi.exact ? hi.pos : hi.scan_begin;
+    push(core_b, core_e, false);
+    if (!hi.exact) push(hi.scan_begin, hi.scan_end, true);
+  }
+
+  bool any_filtered = false;
+  for (int i = 0; i < num_regions; ++i) any_filtered |= regions[i].filtered;
+
+  if (opts_.mode == ConcurrencyMode::kColumnLatch) {
+    const bool need_latch = Aggregator::kNeedsRead || any_filtered;
+    if (need_latch) column_latch_.ReadLock(lat);
+    for (int i = 0; i < num_regions; ++i) {
+      ScopedTimer t(&ctx->stats.read_ns);
+      if (regions[i].filtered) {
+        agg->Filtered(*array_, regions[i].begin, regions[i].end, range);
+      } else {
+        agg->Positional(*array_, regions[i].begin, regions[i].end);
+      }
+      ++ctx->stats.pieces_touched;
+    }
+    if (need_latch) column_latch_.ReadUnlock();
+    return Status::OK();
+  }
+
+  for (int i = 0; i < num_regions; ++i) {
+    const bool needs_latch = opts_.mode == ConcurrencyMode::kPieceLatch &&
+                             (Aggregator::kNeedsRead || regions[i].filtered);
+    ProcessRegion(regions[i].begin, regions[i].end, regions[i].filtered,
+                  range, needs_latch, ctx, agg);
+  }
+  return Status::OK();
+}
+
+Status CrackingIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
+                                 uint64_t* count) {
+  CountAggregator agg;
+  Status s = Execute(range, ctx, &agg);
+  *count = agg.result;
+  return s;
+}
+
+Status CrackingIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
+                               int64_t* sum) {
+  SumAggregator agg;
+  Status s = Execute(range, ctx, &agg);
+  *sum = agg.result;
+  return s;
+}
+
+Status CrackingIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                                  std::vector<RowId>* row_ids) {
+  row_ids->clear();
+  RowIdAggregator agg{row_ids};
+  return Execute(range, ctx, &agg);
+}
+
+size_t CrackingIndex::NumPieces() const {
+  if (!initialized_.load(std::memory_order_acquire)) return 0;
+  std::shared_lock<std::shared_mutex> sl(structure_mu_);
+  return pieces_->num_pieces();
+}
+
+size_t CrackingIndex::NumCracks() const {
+  if (!initialized_.load(std::memory_order_acquire)) return 0;
+  std::shared_lock<std::shared_mutex> sl(structure_mu_);
+  return avl_.size();
+}
+
+std::vector<size_t> CrackingIndex::PieceSizes() const {
+  std::vector<size_t> sizes;
+  if (!initialized_.load(std::memory_order_acquire)) return sizes;
+  std::shared_lock<std::shared_mutex> sl(structure_mu_);
+  pieces_->ForEach([&sizes](const Piece& p) { sizes.push_back(p.size()); });
+  return sizes;
+}
+
+bool CrackingIndex::ValidateStructure() const {
+  if (!initialized_.load(std::memory_order_acquire)) return true;
+  std::shared_lock<std::shared_mutex> sl(structure_mu_);
+  if (!avl_.Validate()) return false;
+  if (!pieces_->Validate()) return false;
+  // Every crack position must delimit correctly: elements before < value,
+  // elements at/after >= value. Verified via piece content bounds.
+  bool ok = true;
+  pieces_->ForEach([&](const Piece& p) {
+    Value prev = p.lo_value;
+    for (Position i = p.begin; i < p.end && ok; ++i) {
+      const Value v = array_->ValueAt(i);
+      if (v < p.lo_value || v >= p.hi_value) ok = false;
+      if (p.sorted) {
+        if (v < prev) ok = false;
+        prev = v;
+      }
+    }
+  });
+  if (!ok) return false;
+  // AVL entries must agree with piece boundaries.
+  std::vector<AvlTree::Entry> cracks;
+  avl_.InOrder(&cracks);
+  for (const auto& c : cracks) {
+    for (Position i = 0; i < c.pos; ++i) {
+      if (array_->ValueAt(i) >= c.value) return false;
+    }
+    for (Position i = c.pos; i < array_->size(); ++i) {
+      if (array_->ValueAt(i) < c.value) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace adaptidx

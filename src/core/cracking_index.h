@@ -1,0 +1,216 @@
+#ifndef ADAPTIDX_CORE_CRACKING_INDEX_H_
+#define ADAPTIDX_CORE_CRACKING_INDEX_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "core/strategies.h"
+#include "cracking/avl_tree.h"
+#include "cracking/cracker_array.h"
+#include "cracking/piece_map.h"
+#include "latch/wait_queue_latch.h"
+#include "storage/column.h"
+
+namespace adaptidx {
+
+class LockManager;
+
+/// \brief Concurrency control mode for the cracking index (Section 5.3).
+enum class ConcurrencyMode {
+  /// No latching at all — only valid for single-threaded execution; used to
+  /// measure the administrative overhead of concurrency control (Figure 13).
+  kNone,
+  /// One read-write latch covering the whole cracker index ("Column
+  /// latches"): crack selects are serialized, aggregations share.
+  kColumnLatch,
+  /// A read-write latch per piece ("Piece-wise latches"): queries crack
+  /// different pieces concurrently and aggregate within pieces concurrently.
+  kPieceLatch,
+};
+
+std::string ToString(ConcurrencyMode mode);
+
+/// \brief Tunables of the cracking index; defaults reproduce the paper's
+/// best configuration (piece latches, middle-out scheduling, pair-of-arrays
+/// layout, crack-in-three).
+struct CrackingOptions {
+  ConcurrencyMode mode = ConcurrencyMode::kPieceLatch;
+  SchedulingPolicy scheduling = SchedulingPolicy::kMiddleOut;
+  ArrayLayout layout = ArrayLayout::kPairOfArrays;
+
+  /// Crack both bounds of a range in a single pass when they fall into the
+  /// same piece.
+  bool use_crack_in_three = true;
+
+  /// Section 5.3 "Optimizations": when the piece of the first bound is
+  /// busy, proceed with the second bound first ("even if there is a conflict
+  /// for one of them the query actually proceeds with the second bound").
+  bool swap_bound_on_conflict = true;
+
+  /// Section 7 "Dynamic Algorithms": while holding a piece's write latch,
+  /// additionally crack on the bounds of queries queued behind it
+  /// ("algorithms that in one step refine the index for multiple query
+  /// requests"), up to `group_crack_max` extra cracks.
+  bool group_crack = false;
+  size_t group_crack_max = 3;
+
+  /// Refinement strategy (Section 7): standard / lazy / active / dynamic.
+  RefinementStrategy strategy = RefinementStrategy::kStandard;
+  /// Pieces at or below this size are fully sorted by the active strategy.
+  size_t sort_piece_threshold = 128;
+
+  /// Stochastic cracking extension [16]: on large pieces, add one
+  /// data-driven random crack before the bound crack to keep convergence
+  /// robust against adversarial query sequences.
+  bool stochastic = false;
+  size_t stochastic_min_piece = 1u << 16;
+
+  /// When set, refinement first verifies that no user transaction holds a
+  /// conflicting lock (Section 3.3, "Conflict Avoidance") on
+  /// `lock_resource`; on conflict the query answers by scanning and skips
+  /// refinement.
+  LockManager* lock_manager = nullptr;
+  std::string lock_resource;
+
+  /// Display name used in benchmark output.
+  std::string name = "crack";
+};
+
+/// \brief Database cracking with concurrency control — the paper's primary
+/// experimental subject (Sections 5 and 6).
+///
+/// Structure:
+///  - a CrackerArray (auxiliary copy of the column, lazily created by the
+///    first query),
+///  - an AvlTree mapping crack values to positions (table of contents),
+///  - a PieceMap carrying one WaitQueueLatch per piece.
+///
+/// The AVL tree and the piece map change together under `structure_mu_`
+/// (shared for lookups, exclusive for crack publication); array
+/// reorganization happens under piece write latches (or the column latch).
+/// Latch ordering: piece latches are never requested while holding
+/// `structure_mu_`, and multi-piece acquisitions proceed in ascending
+/// position order, so the latch graph is acyclic.
+class CrackingIndex : public AdaptiveIndex {
+ public:
+  explicit CrackingIndex(const Column* column, CrackingOptions opts = {});
+
+  std::string Name() const override { return opts_.name; }
+
+  Status RangeCount(const ValueRange& range, QueryContext* ctx,
+                    uint64_t* count) override;
+  Status RangeSum(const ValueRange& range, QueryContext* ctx,
+                  int64_t* sum) override;
+  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                     std::vector<RowId>* row_ids) override;
+
+  size_t NumPieces() const override;
+
+  /// \brief Number of cracks currently in the table of contents.
+  size_t NumCracks() const;
+
+  /// \brief True once the first query has materialized the cracker array.
+  bool initialized() const {
+    return initialized_.load(std::memory_order_acquire);
+  }
+
+  const CrackingOptions& options() const { return opts_; }
+
+  /// \brief Piece sizes in position order (diagnostics/benchmarks).
+  std::vector<size_t> PieceSizes() const;
+
+  /// \brief Exhaustively checks structural invariants: AVL validity, piece
+  /// tiling, and that every piece's values lie within its bounds (sorted
+  /// pieces actually sorted). Requires a quiesced index; O(n).
+  bool ValidateStructure() const;
+
+ private:
+  /// How a bound resolution may acquire the piece write latch.
+  enum class Attempt {
+    kBlocking,     ///< wait for the latch
+    kTryThenScan,  ///< try once; on failure return an inexact result
+    kTryThenFail,  ///< try once; on failure report failure to the caller
+  };
+
+  /// Result of resolving one bound value to a crack position.
+  struct BoundResult {
+    bool exact = false;
+    bool latch_busy = false;  ///< only under Attempt::kTryThenFail
+    Position pos = 0;         ///< valid when exact
+    /// When inexact: scan [scan_begin, scan_end) with the query's value
+    /// filter. The region is delimited by cracks present at resolution time
+    /// and therefore contains a fixed set of values forever after.
+    Position scan_begin = 0;
+    Position scan_end = 0;
+  };
+
+  /// Lazily builds the cracker array, value domain, and piece map.
+  void EnsureInitialized(QueryContext* ctx);
+
+  /// Piece whose value interval contains `v`. structure_mu_ held (shared).
+  std::shared_ptr<Piece> PieceForValueLocked(Value v) const;
+
+  /// Inserts a crack into the AVL tree and splits the piece map.
+  /// structure_mu_ held exclusively.
+  void PublishCrackLocked(Value v, Position pos);
+
+  /// Resolves `v` to a position, cracking as a side effect; the full
+  /// protocol of Section 5.3 including revalidation after wake-up
+  /// (Figure 10). `refine_allowed=false` forces the scan fallback.
+  BoundResult ResolveBound(Value v, QueryContext* ctx, Attempt attempt,
+                           bool refine_allowed);
+
+  /// Resolves both bounds, applying crack-in-three and bound swapping.
+  void ResolveBounds(const ValueRange& range, QueryContext* ctx,
+                     bool refine_allowed, BoundResult* lo, BoundResult* hi);
+
+  /// Attempts a combined crack-in-three when both bounds fall into one
+  /// piece; returns false when the precondition evaporated (caller falls
+  /// back to per-bound resolution).
+  bool TryCrackInThree(const ValueRange& range, QueryContext* ctx,
+                       BoundResult* lo, BoundResult* hi);
+
+  /// Cracks `piece` (already write-latched by the caller unless mode is
+  /// kNone/kColumnLatch) on `v` over its current extent and publishes.
+  /// Returns the crack position.
+  Position CrackPieceLocked(const std::shared_ptr<Piece>& piece, Value v,
+                            const RefinementDirective& directive,
+                            QueryContext* ctx);
+
+  /// True when a user transaction holds a lock conflicting with structural
+  /// refinement (Section 3.3's verification step).
+  bool UserLockConflict(QueryContext* ctx) const;
+
+  /// Streams the positional region [b, e) into `agg` piece by piece under
+  /// read latches (`needs_latch`), retrying on pieces that split under us.
+  template <typename Aggregator>
+  void ProcessRegion(Position b, Position e, bool filtered,
+                     const ValueRange& filter, bool needs_latch,
+                     QueryContext* ctx, Aggregator* agg);
+
+  /// Shared driver for count/sum/rowids.
+  template <typename Aggregator>
+  Status Execute(const ValueRange& range, QueryContext* ctx, Aggregator* agg);
+
+  const Column* column_;
+  CrackingOptions opts_;
+  RefinementPolicy policy_;
+
+  mutable std::shared_mutex structure_mu_;
+  std::atomic<bool> initialized_{false};
+  std::unique_ptr<CrackerArray> array_;
+  AvlTree avl_;
+  std::unique_ptr<PieceMap> pieces_;
+  Value domain_lo_ = 0;  ///< min value in the column
+  Value domain_hi_ = 0;  ///< max value + 1
+
+  WaitQueueLatch column_latch_{SchedulingPolicy::kFifo};
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_CRACKING_INDEX_H_

@@ -1,0 +1,45 @@
+#include "core/index_factory.h"
+
+#include "core/scan_index.h"
+#include "core/sort_index.h"
+
+namespace adaptidx {
+
+std::string ToString(IndexMethod method) {
+  switch (method) {
+    case IndexMethod::kScan:
+      return "scan";
+    case IndexMethod::kSort:
+      return "sort";
+    case IndexMethod::kCrack:
+      return "crack";
+    case IndexMethod::kAdaptiveMerge:
+      return "merge";
+    case IndexMethod::kHybrid:
+      return "hybrid";
+    case IndexMethod::kBTreeMerge:
+      return "btree-merge";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,
+                                         const IndexConfig& config) {
+  switch (config.method) {
+    case IndexMethod::kScan:
+      return std::make_unique<ScanIndex>(column);
+    case IndexMethod::kSort:
+      return std::make_unique<SortIndex>(column);
+    case IndexMethod::kCrack:
+      return std::make_unique<CrackingIndex>(column, config.cracking);
+    case IndexMethod::kAdaptiveMerge:
+      return std::make_unique<AdaptiveMergeIndex>(column, config.merge);
+    case IndexMethod::kHybrid:
+      return std::make_unique<HybridCrackSortIndex>(column, config.hybrid);
+    case IndexMethod::kBTreeMerge:
+      return std::make_unique<BTreeMergeIndex>(column, config.btree);
+  }
+  return nullptr;
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,46 @@
+#ifndef ADAPTIDX_CORE_INDEX_FACTORY_H_
+#define ADAPTIDX_CORE_INDEX_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "btree/btree_index.h"
+#include "core/adaptive_index.h"
+#include "core/cracking_index.h"
+#include "hybrid/crack_sort.h"
+#include "merging/adaptive_merge.h"
+
+namespace adaptidx {
+
+/// \brief All access methods evaluated in the paper: the two baselines of
+/// Section 6.1, database cracking (Section 5), adaptive merging (in-memory
+/// runs, Figure 3; and its partitioned-B-tree realization, Section 4), and
+/// hybrid crack-sort (Figure 4).
+enum class IndexMethod {
+  kScan,
+  kSort,
+  kCrack,
+  kAdaptiveMerge,
+  kHybrid,
+  kBTreeMerge,
+};
+
+std::string ToString(IndexMethod method);
+
+/// \brief Aggregate configuration; only the block matching `method` is
+/// consulted.
+struct IndexConfig {
+  IndexMethod method = IndexMethod::kCrack;
+  CrackingOptions cracking;
+  MergeOptions merge;
+  HybridOptions hybrid;
+  BTreeMergeOptions btree;
+};
+
+/// \brief Instantiates the access method for a base column.
+std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,
+                                         const IndexConfig& config);
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_INDEX_FACTORY_H_

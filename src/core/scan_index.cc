@@ -1,0 +1,50 @@
+#include "core/scan_index.h"
+
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+Status ScanIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
+                             uint64_t* count) {
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const Value* data = column_->data();
+  const size_t n = column_->size();
+  uint64_t c = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = data[i];
+    c += (v >= range.lo && v < range.hi) ? 1 : 0;
+  }
+  *count = c;
+  return Status::OK();
+}
+
+Status ScanIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
+                           int64_t* sum) {
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const Value* data = column_->data();
+  const size_t n = column_->size();
+  int64_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = data[i];
+    if (v >= range.lo && v < range.hi) s += v;
+  }
+  *sum = s;
+  return Status::OK();
+}
+
+Status ScanIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                              std::vector<RowId>* row_ids) {
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const Value* data = column_->data();
+  const size_t n = column_->size();
+  row_ids->clear();
+  for (size_t i = 0; i < n; ++i) {
+    const Value v = data[i];
+    if (v >= range.lo && v < range.hi) {
+      row_ids->push_back(static_cast<RowId>(i));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace adaptidx

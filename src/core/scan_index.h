@@ -1,0 +1,37 @@
+#ifndef ADAPTIDX_CORE_SCAN_INDEX_H_
+#define ADAPTIDX_CORE_SCAN_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "storage/column.h"
+
+namespace adaptidx {
+
+/// \brief Baseline access method: every query performs a full column scan
+/// ("the system accesses the data using plain scans, with no indexing
+/// mechanism present", Section 6.1).
+///
+/// Purely read-only, so it needs no concurrency control of its own — the
+/// property the paper contrasts adaptive indexing against.
+class ScanIndex : public AdaptiveIndex {
+ public:
+  explicit ScanIndex(const Column* column) : column_(column) {}
+
+  std::string Name() const override { return "scan"; }
+
+  Status RangeCount(const ValueRange& range, QueryContext* ctx,
+                    uint64_t* count) override;
+  Status RangeSum(const ValueRange& range, QueryContext* ctx,
+                  int64_t* sum) override;
+  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                     std::vector<RowId>* row_ids) override;
+
+ private:
+  const Column* column_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_SCAN_INDEX_H_

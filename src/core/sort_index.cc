@@ -1,0 +1,69 @@
+#include "core/sort_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+void SortIndex::EnsureBuilt(QueryContext* ctx) {
+  if (built_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> guard(build_mu_);
+  if (built_.load(std::memory_order_relaxed)) return;
+  ScopedTimer init_timer(&ctx->stats.init_ns);
+  const size_t n = column_->size();
+  std::vector<RowId> perm(n);
+  std::iota(perm.begin(), perm.end(), static_cast<RowId>(0));
+  const Value* data = column_->data();
+  std::sort(perm.begin(), perm.end(),
+            [data](RowId a, RowId b) { return data[a] < data[b]; });
+  sorted_values_.resize(n);
+  sorted_row_ids_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    sorted_row_ids_[i] = perm[i];
+    sorted_values_[i] = data[perm[i]];
+  }
+  built_.store(true, std::memory_order_release);
+}
+
+size_t SortIndex::LowerBound(Value v) const {
+  return static_cast<size_t>(
+      std::lower_bound(sorted_values_.begin(), sorted_values_.end(), v) -
+      sorted_values_.begin());
+}
+
+Status SortIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
+                             uint64_t* count) {
+  EnsureBuilt(ctx);
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const size_t lo = LowerBound(range.lo);
+  const size_t hi = LowerBound(range.hi);
+  *count = hi - lo;
+  return Status::OK();
+}
+
+Status SortIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
+                           int64_t* sum) {
+  EnsureBuilt(ctx);
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const size_t lo = LowerBound(range.lo);
+  const size_t hi = LowerBound(range.hi);
+  int64_t s = 0;
+  for (size_t i = lo; i < hi; ++i) s += sorted_values_[i];
+  *sum = s;
+  return Status::OK();
+}
+
+Status SortIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                              std::vector<RowId>* row_ids) {
+  EnsureBuilt(ctx);
+  ScopedTimer read_timer(&ctx->stats.read_ns);
+  const size_t lo = LowerBound(range.lo);
+  const size_t hi = LowerBound(range.hi);
+  row_ids->assign(sorted_row_ids_.begin() + static_cast<long>(lo),
+                  sorted_row_ids_.begin() + static_cast<long>(hi));
+  return Status::OK();
+}
+
+}  // namespace adaptidx

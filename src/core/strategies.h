@@ -1,0 +1,79 @@
+#ifndef ADAPTIDX_CORE_STRATEGIES_H_
+#define ADAPTIDX_CORE_STRATEGIES_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace adaptidx {
+
+/// \brief Refinement strategies from Section 7 ("Future Work"), implemented
+/// here as configurable policies of the cracking index.
+enum class RefinementStrategy {
+  /// Standard cracking: every query cracks, blocking on write latches.
+  kStandard,
+  /// "Lazy": queries refrain from side effects under contention — refinement
+  /// uses try-latches only and is skipped whenever the latch is busy,
+  /// reducing write contention at the cost of slower refinement.
+  kLazy,
+  /// "Active": aggressively refine — pieces at or below a threshold are
+  /// fully sorted instead of cracked, reaching the optimal state sooner and
+  /// thereby removing future conflict opportunities.
+  kActive,
+  /// "Dynamic": switch between lazy and active based on the observed
+  /// conflict rate — high contention behaves lazily, low contention behaves
+  /// actively.
+  kDynamic,
+};
+
+std::string ToString(RefinementStrategy s);
+
+/// \brief Per-crack directive produced by the policy.
+struct RefinementDirective {
+  bool try_only = false;    ///< use TryWriteLock; skip refinement when busy
+  bool sort_piece = false;  ///< sort the piece instead of cracking it
+};
+
+/// \brief Runtime policy object consulted before each refinement action.
+///
+/// For kDynamic it keeps an exponentially decayed conflict score fed by
+/// `OnConflict`/`OnSuccess`: above `kHighContention` the policy behaves like
+/// kLazy; below `kLowContention` like kActive; in between like kStandard.
+class RefinementPolicy {
+ public:
+  RefinementPolicy(RefinementStrategy strategy, size_t sort_piece_threshold);
+
+  /// \brief Decides how to refine a piece of `piece_size` elements.
+  RefinementDirective OnCrack(size_t piece_size) const;
+
+  /// \brief Feeds a blocked/failed latch acquisition into the contention
+  /// estimate (dynamic strategy).
+  void OnConflict();
+
+  /// \brief Feeds an uncontended acquisition into the contention estimate.
+  void OnSuccess();
+
+  RefinementStrategy strategy() const { return strategy_; }
+  size_t sort_piece_threshold() const { return sort_piece_threshold_; }
+
+  /// \brief Current contention score in [0, 1]; ~fraction of recent
+  /// refinements that hit contention.
+  double ContentionScore() const;
+
+ private:
+  static constexpr double kHighContention = 0.25;
+  static constexpr double kLowContention = 0.05;
+  /// Decay denominator: each observation moves the score by 1/kWindow of
+  /// the distance to the observed outcome.
+  static constexpr double kWindow = 64.0;
+
+  const RefinementStrategy strategy_;
+  const size_t sort_piece_threshold_;
+  /// Fixed-point (x 1e6) decayed conflict score, updated with CAS.
+  mutable std::atomic<int64_t> score_micros_{0};
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_STRATEGIES_H_

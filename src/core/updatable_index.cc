@@ -1,0 +1,189 @@
+#include "core/updatable_index.h"
+
+#include <algorithm>
+
+namespace adaptidx {
+
+UpdatableIndex::UpdatableIndex(Column base, IndexConfig config,
+                               LockManager* lock_manager,
+                               std::string lock_resource)
+    : config_(std::move(config)),
+      lock_manager_(lock_manager),
+      lock_resource_(std::move(lock_resource)),
+      base_(std::make_unique<Column>(std::move(base))),
+      next_row_id_(static_cast<RowId>(base_->size())) {
+  RebuildIndexLocked();
+}
+
+void UpdatableIndex::RebuildIndexLocked() {
+  if (config_.method == IndexMethod::kCrack && lock_manager_ != nullptr) {
+    config_.cracking.lock_manager = lock_manager_;
+    config_.cracking.lock_resource = lock_resource_;
+  }
+  index_ = MakeIndex(base_.get(), config_);
+}
+
+std::string UpdatableIndex::Name() const {
+  return "updatable(" + index_->Name() + ")";
+}
+
+void UpdatableIndex::DiffCountSumLocked(const ValueRange& range,
+                                        uint64_t* ins_count, int64_t* ins_sum,
+                                        uint64_t* del_count,
+                                        int64_t* del_sum) const {
+  *ins_count = 0;
+  *ins_sum = 0;
+  *del_count = 0;
+  *del_sum = 0;
+  for (auto it = inserts_.lower_bound(range.lo);
+       it != inserts_.end() && it->first < range.hi; ++it) {
+    ++*ins_count;
+    *ins_sum += it->first;
+  }
+  for (auto it = anti_matter_.lower_bound({range.lo, 0});
+       it != anti_matter_.end() && it->first < range.hi; ++it) {
+    ++*del_count;
+    *del_sum += it->first;
+  }
+}
+
+Status UpdatableIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
+                                  uint64_t* count) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  uint64_t base_count = 0;
+  Status s = index_->RangeCount(range, ctx, &base_count);
+  if (!s.ok()) return s;
+  uint64_t ins_c;
+  int64_t ins_s;
+  uint64_t del_c;
+  int64_t del_s;
+  DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
+  *count = base_count + ins_c - del_c;
+  return Status::OK();
+}
+
+Status UpdatableIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
+                                int64_t* sum) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  int64_t base_sum = 0;
+  Status s = index_->RangeSum(range, ctx, &base_sum);
+  if (!s.ok()) return s;
+  uint64_t ins_c;
+  int64_t ins_s;
+  uint64_t del_c;
+  int64_t del_s;
+  DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
+  *sum = base_sum + ins_s - del_s;
+  return Status::OK();
+}
+
+Status UpdatableIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                                   std::vector<RowId>* row_ids) {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  Status s = index_->RangeRowIds(range, ctx, row_ids);
+  if (!s.ok()) return s;
+  if (!anti_matter_.empty()) {
+    // Filter out rows hidden by anti-matter; values come from the base
+    // column (row ids of base rows are positions).
+    auto hidden = [this](RowId id) {
+      return anti_matter_.count({(*base_)[id], id}) > 0;
+    };
+    row_ids->erase(std::remove_if(row_ids->begin(), row_ids->end(), hidden),
+                   row_ids->end());
+  }
+  for (auto it = inserts_.lower_bound(range.lo);
+       it != inserts_.end() && it->first < range.hi; ++it) {
+    row_ids->push_back(it->second);
+  }
+  return Status::OK();
+}
+
+Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {
+  // User transaction: exclusive key lock under the column resource.
+  const bool locking = lock_manager_ != nullptr && !lock_resource_.empty();
+  if (locking) {
+    Status s = lock_manager_->Acquire(
+        ctx->txn_id, lock_resource_ + "/key:" + std::to_string(v),
+        LockMode::kX);
+    if (!s.ok()) return s;
+  }
+  RowId assigned;
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    assigned = next_row_id_++;
+    inserts_.emplace(v, assigned);
+  }
+  if (locking) lock_manager_->ReleaseAll(ctx->txn_id);  // auto-commit
+  if (row_id != nullptr) *row_id = assigned;
+  return Status::OK();
+}
+
+Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
+  const bool locking = lock_manager_ != nullptr && !lock_resource_.empty();
+  if (locking) {
+    Status s = lock_manager_->Acquire(
+        ctx->txn_id, lock_resource_ + "/key:" + std::to_string(v),
+        LockMode::kX);
+    if (!s.ok()) return s;
+  }
+  Status result = Status::OK();
+  {
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    // A pending insertion is cancelled directly.
+    bool cancelled = false;
+    for (auto it = inserts_.lower_bound(v);
+         it != inserts_.end() && it->first == v; ++it) {
+      if (it->second == row_id) {
+        inserts_.erase(it);
+        cancelled = true;
+        break;
+      }
+    }
+    if (!cancelled) {
+      const bool in_base = row_id < base_->size() && (*base_)[row_id] == v;
+      if (!in_base || anti_matter_.count({v, row_id}) > 0) {
+        result = Status::NotFound("no live tuple (" + std::to_string(v) +
+                                  ", " + std::to_string(row_id) + ")");
+      } else {
+        anti_matter_.emplace(v, row_id);
+      }
+    }
+  }
+  if (locking) lock_manager_->ReleaseAll(ctx->txn_id);
+  return result;
+}
+
+Status UpdatableIndex::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  std::vector<Value> values;
+  values.reserve(base_->size() + inserts_.size() - anti_matter_.size());
+  for (size_t i = 0; i < base_->size(); ++i) {
+    const Value v = (*base_)[i];
+    if (anti_matter_.count({v, static_cast<RowId>(i)}) > 0) continue;
+    values.push_back(v);
+  }
+  for (const auto& [v, id] : inserts_) values.push_back(v);
+  base_ = std::make_unique<Column>(base_->name(), std::move(values));
+  inserts_.clear();
+  anti_matter_.clear();
+  next_row_id_ = static_cast<RowId>(base_->size());
+  RebuildIndexLocked();
+  return Status::OK();
+}
+
+size_t UpdatableIndex::num_rows() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return base_->size() + inserts_.size() - anti_matter_.size();
+}
+
+size_t UpdatableIndex::pending_inserts() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return inserts_.size();
+}
+
+size_t UpdatableIndex::pending_deletes() const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return anti_matter_.size();
+}
+
+}  // namespace adaptidx

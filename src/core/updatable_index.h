@@ -1,0 +1,112 @@
+#ifndef ADAPTIDX_CORE_UPDATABLE_INDEX_H_
+#define ADAPTIDX_CORE_UPDATABLE_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "lock/lock_manager.h"
+
+namespace adaptidx {
+
+/// \brief Read-write layer over an adaptive index, built on differential
+/// files (Section 4.2): "adaptive merging relies on a form of differential
+/// files for high update rates ... updates and deletions may be applied
+/// immediately in place or they may be deferred by insertion of
+/// 'anti-matter' (deletion markers)".
+///
+/// Design:
+///  - The base column stays immutable, so the wrapped adaptive index keeps
+///    refining it with latch-only system transactions, untouched by updates.
+///  - Insertions accumulate in a value-ordered side store; deletions become
+///    anti-matter markers (deleting a still-pending insertion cancels it
+///    directly).
+///  - Queries combine the base index's answer with the differentials under
+///    a short shared latch.
+///  - `Checkpoint()` is a maintenance system transaction that folds the
+///    differentials into a fresh base column, rebuilds the adaptive index
+///    from scratch (re-entering state 4 of Figure 5), and re-assigns row
+///    ids — the rebuild "can exploit knowledge gained during earlier query
+///    execution" only in the sense that queries will re-crack it adaptively.
+///
+/// Transactional interplay (Section 3.3): when a LockManager is configured,
+/// every update runs as a *user transaction* taking an exclusive key lock
+/// under the column resource. While such locks are held, the wrapped
+/// cracking index's refinement probe sees the conflict and forgoes
+/// optimization; queries still answer correctly by scanning.
+class UpdatableIndex : public AdaptiveIndex {
+ public:
+  /// \brief Takes ownership of the base data. `config` selects and
+  /// configures the wrapped adaptive method. When `lock_manager` is given,
+  /// it is wired into both the update path (user transactions) and, for
+  /// cracking, the refinement conflict probe on `lock_resource`.
+  UpdatableIndex(Column base, IndexConfig config,
+                 LockManager* lock_manager = nullptr,
+                 std::string lock_resource = "");
+
+  std::string Name() const override;
+
+  Status RangeCount(const ValueRange& range, QueryContext* ctx,
+                    uint64_t* count) override;
+  Status RangeSum(const ValueRange& range, QueryContext* ctx,
+                  int64_t* sum) override;
+  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                     std::vector<RowId>* row_ids) override;
+
+  /// \brief Inserts a new tuple with value `v` as user transaction
+  /// `ctx->txn_id`; a fresh row id is assigned and returned via `*row_id`
+  /// (optional).
+  Status Insert(Value v, QueryContext* ctx, RowId* row_id = nullptr);
+
+  /// \brief Deletes the tuple (`v`, `row_id`) by planting anti-matter (or
+  /// cancelling a pending insertion). NotFound when no such live tuple
+  /// exists.
+  Status Delete(Value v, RowId row_id, QueryContext* ctx);
+
+  /// \brief Folds differentials into a fresh base column and rebuilds the
+  /// adaptive index; row ids are re-assigned (a rebuild, as in dropping and
+  /// re-creating an optional index, Section 4.2).
+  Status Checkpoint();
+
+  /// \brief Logical row count (base − anti-matter + pending inserts).
+  size_t num_rows() const;
+  size_t pending_inserts() const;
+  size_t pending_deletes() const;
+
+  /// \brief The wrapped adaptive index (for inspection in tests/benchmarks).
+  AdaptiveIndex* base_index() { return index_.get(); }
+
+  size_t NumPieces() const override { return index_->NumPieces(); }
+
+ private:
+  /// Re-wires config/lock settings and builds the wrapped index. Requires
+  /// mu_ held exclusively (or construction).
+  void RebuildIndexLocked();
+
+  /// Differential corrections for [lo, hi): count/sum of pending inserts
+  /// and anti-matter. mu_ held (shared suffices).
+  void DiffCountSumLocked(const ValueRange& range, uint64_t* ins_count,
+                          int64_t* ins_sum, uint64_t* del_count,
+                          int64_t* del_sum) const;
+
+  IndexConfig config_;
+  LockManager* lock_manager_;
+  std::string lock_resource_;
+
+  mutable std::shared_mutex mu_;
+  std::unique_ptr<Column> base_;
+  std::unique_ptr<AdaptiveIndex> index_;
+  /// Pending insertions, value-ordered: value -> row id.
+  std::multimap<Value, RowId> inserts_;
+  /// Anti-matter markers against base rows, ordered by (value, row id).
+  std::set<std::pair<Value, RowId>> anti_matter_;
+  RowId next_row_id_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_UPDATABLE_INDEX_H_

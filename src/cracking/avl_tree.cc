@@ -1,0 +1,202 @@
+#include "cracking/avl_tree.h"
+
+#include <algorithm>
+
+namespace adaptidx {
+
+AvlTree::~AvlTree() { Clear(); }
+
+void AvlTree::Clear() {
+  DestroyRec(root_);
+  root_ = nullptr;
+  size_ = 0;
+}
+
+void AvlTree::DestroyRec(Node* n) {
+  if (n == nullptr) return;
+  DestroyRec(n->left);
+  DestroyRec(n->right);
+  delete n;
+}
+
+void AvlTree::UpdateHeight(Node* n) {
+  n->height = 1 + std::max(NodeHeight(n->left), NodeHeight(n->right));
+}
+
+int AvlTree::BalanceFactor(const Node* n) {
+  return NodeHeight(n->left) - NodeHeight(n->right);
+}
+
+AvlTree::Node* AvlTree::RotateLeft(Node* n) {
+  Node* r = n->right;
+  n->right = r->left;
+  r->left = n;
+  UpdateHeight(n);
+  UpdateHeight(r);
+  return r;
+}
+
+AvlTree::Node* AvlTree::RotateRight(Node* n) {
+  Node* l = n->left;
+  n->left = l->right;
+  l->right = n;
+  UpdateHeight(n);
+  UpdateHeight(l);
+  return l;
+}
+
+AvlTree::Node* AvlTree::Rebalance(Node* n) {
+  UpdateHeight(n);
+  const int bf = BalanceFactor(n);
+  if (bf > 1) {
+    if (BalanceFactor(n->left) < 0) n->left = RotateLeft(n->left);
+    return RotateRight(n);
+  }
+  if (bf < -1) {
+    if (BalanceFactor(n->right) > 0) n->right = RotateRight(n->right);
+    return RotateLeft(n);
+  }
+  return n;
+}
+
+AvlTree::Node* AvlTree::InsertRec(Node* n, Value value, Position pos,
+                                  bool* inserted) {
+  if (n == nullptr) {
+    *inserted = true;
+    Node* fresh = new Node;
+    fresh->value = value;
+    fresh->pos = pos;
+    return fresh;
+  }
+  if (value < n->value) {
+    n->left = InsertRec(n->left, value, pos, inserted);
+  } else if (value > n->value) {
+    n->right = InsertRec(n->right, value, pos, inserted);
+  } else {
+    *inserted = false;  // crack already present; positions are immutable
+    return n;
+  }
+  return Rebalance(n);
+}
+
+bool AvlTree::Insert(Value value, Position pos) {
+  bool inserted = false;
+  root_ = InsertRec(root_, value, pos, &inserted);
+  if (inserted) ++size_;
+  return inserted;
+}
+
+bool AvlTree::Find(Value value, Position* pos) const {
+  const Node* n = root_;
+  while (n != nullptr) {
+    if (value < n->value) {
+      n = n->left;
+    } else if (value > n->value) {
+      n = n->right;
+    } else {
+      if (pos != nullptr) *pos = n->pos;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AvlTree::Floor(Value value, Entry* out) const {
+  const Node* n = root_;
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (n->value <= value) {
+      best = n;
+      n = n->right;
+    } else {
+      n = n->left;
+    }
+  }
+  if (best == nullptr) return false;
+  if (out != nullptr) *out = Entry{best->value, best->pos};
+  return true;
+}
+
+bool AvlTree::Ceiling(Value value, Entry* out) const {
+  const Node* n = root_;
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (n->value > value) {
+      best = n;
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  if (best == nullptr) return false;
+  if (out != nullptr) *out = Entry{best->value, best->pos};
+  return true;
+}
+
+bool AvlTree::NextByPosition(Position pos, Entry* out) const {
+  // Crack positions are strictly increasing in crack value (a crack on a
+  // larger value can never sit at an earlier position), so the successor by
+  // position is the successor by value among cracks with pos' > pos.
+  const Node* n = root_;
+  const Node* best = nullptr;
+  while (n != nullptr) {
+    if (n->pos > pos) {
+      best = n;
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  if (best == nullptr) return false;
+  if (out != nullptr) *out = Entry{best->value, best->pos};
+  return true;
+}
+
+int AvlTree::Height() const { return NodeHeight(root_); }
+
+void AvlTree::InOrder(std::vector<Entry>* out) const {
+  out->clear();
+  out->reserve(size_);
+  InOrderRec(root_, out);
+}
+
+void AvlTree::InOrderRec(const Node* n, std::vector<Entry>* out) {
+  if (n == nullptr) return;
+  InOrderRec(n->left, out);
+  out->push_back(Entry{n->value, n->pos});
+  InOrderRec(n->right, out);
+}
+
+bool AvlTree::ValidateRec(const Node* n, const Value* min, const Value* max,
+                          int* height) {
+  if (n == nullptr) {
+    *height = 0;
+    return true;
+  }
+  if (min != nullptr && n->value <= *min) return false;
+  if (max != nullptr && n->value >= *max) return false;
+  int hl = 0;
+  int hr = 0;
+  if (!ValidateRec(n->left, min, &n->value, &hl)) return false;
+  if (!ValidateRec(n->right, &n->value, max, &hr)) return false;
+  if (std::abs(hl - hr) > 1) return false;
+  *height = 1 + std::max(hl, hr);
+  if (*height != n->height) return false;
+  return true;
+}
+
+bool AvlTree::Validate() const {
+  int h = 0;
+  if (!ValidateRec(root_, nullptr, nullptr, &h)) return false;
+  // Positions must be non-decreasing in value order (strictly increasing for
+  // distinct cracks of a permutation; duplicates in the base data can yield
+  // equal positions for different crack values).
+  std::vector<Entry> entries;
+  InOrder(&entries);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].pos < entries[i - 1].pos) return false;
+  }
+  return true;
+}
+
+}  // namespace adaptidx

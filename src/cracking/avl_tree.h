@@ -1,0 +1,99 @@
+#ifndef ADAPTIDX_CRACKING_AVL_TREE_H_
+#define ADAPTIDX_CRACKING_AVL_TREE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief AVL tree mapping crack values to array positions — the cracker
+/// index's "table of contents" (Section 5.2: "a memory resident AVL tree
+/// ... keeps track of the key ranges that have been requested so far").
+///
+/// Each entry records that a crack on `value` exists at `pos`: every element
+/// before `pos` in the cracker array is < `value`, every element at or after
+/// it is >= `value`. The tree answers "which piece holds value v" via
+/// Floor/Ceiling and therefore "the shortest possible qualifying range for
+/// further cracking".
+///
+/// Not internally synchronized: the owning index guards it with its
+/// structure latch (reads shared, inserts exclusive).
+class AvlTree {
+ public:
+  struct Entry {
+    Value value;
+    Position pos;
+  };
+
+  AvlTree() = default;
+  ~AvlTree();
+
+  AvlTree(const AvlTree&) = delete;
+  AvlTree& operator=(const AvlTree&) = delete;
+
+  /// \brief Inserts a crack. Returns false (no change) when a crack on
+  /// `value` already exists.
+  bool Insert(Value value, Position pos);
+
+  /// \brief Exact lookup. Returns true and fills `*pos` when a crack on
+  /// `value` exists.
+  bool Find(Value value, Position* pos) const;
+
+  /// \brief Greatest crack with crack value <= `value`; false when none
+  /// (value lies before the first crack).
+  bool Floor(Value value, Entry* out) const;
+
+  /// \brief Least crack with crack value strictly greater than `value`;
+  /// false when none (value lies in the last piece).
+  bool Ceiling(Value value, Entry* out) const;
+
+  /// \brief Least crack with position strictly greater than `pos`; false
+  /// when none. Crack positions are strictly increasing in crack value, so
+  /// this walks pieces in position order (the Figure 10 walk).
+  bool NextByPosition(Position pos, Entry* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// \brief Height of the tree (0 for empty); O(1) via root node.
+  int Height() const;
+
+  /// \brief All cracks in ascending value order.
+  void InOrder(std::vector<Entry>* out) const;
+
+  /// \brief Checks AVL balance and BST order invariants plus monotonicity of
+  /// positions in value order; used by tests.
+  bool Validate() const;
+
+  void Clear();
+
+ private:
+  struct Node {
+    Value value;
+    Position pos;
+    Node* left = nullptr;
+    Node* right = nullptr;
+    int height = 1;
+  };
+
+  static int NodeHeight(const Node* n) { return n == nullptr ? 0 : n->height; }
+  static void UpdateHeight(Node* n);
+  static int BalanceFactor(const Node* n);
+  static Node* RotateLeft(Node* n);
+  static Node* RotateRight(Node* n);
+  static Node* Rebalance(Node* n);
+  Node* InsertRec(Node* n, Value value, Position pos, bool* inserted);
+  static void DestroyRec(Node* n);
+  static void InOrderRec(const Node* n, std::vector<Entry>* out);
+  static bool ValidateRec(const Node* n, const Value* min, const Value* max,
+                          int* height);
+
+  Node* root_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CRACKING_AVL_TREE_H_

@@ -1,0 +1,143 @@
+#include "cracking/cracker_array.h"
+
+#include <algorithm>
+
+#include "cracking/crack_kernels.h"
+
+namespace adaptidx {
+
+CrackerArray::CrackerArray(const Column& column, ArrayLayout layout)
+    : layout_(layout), size_(column.size()) {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    pairs_.resize(size_);
+    for (Position i = 0; i < size_; ++i) {
+      pairs_[i] = CrackerEntry{static_cast<RowId>(i), column[i]};
+    }
+  } else {
+    values_.assign(column.values().begin(), column.values().end());
+    row_ids_.resize(size_);
+    for (Position i = 0; i < size_; ++i) {
+      row_ids_[i] = static_cast<RowId>(i);
+    }
+  }
+}
+
+CrackerArray::CrackerArray(std::vector<CrackerEntry> entries,
+                           ArrayLayout layout)
+    : layout_(layout), size_(entries.size()) {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    pairs_ = std::move(entries);
+  } else {
+    values_.reserve(size_);
+    row_ids_.reserve(size_);
+    for (const auto& e : entries) {
+      values_.push_back(e.value);
+      row_ids_.push_back(e.row_id);
+    }
+  }
+}
+
+Position CrackerArray::CrackTwo(Position begin, Position end, Value pivot) {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    PairAccessor a(pairs_.data());
+    return CrackInTwo(a, begin, end, pivot);
+  }
+  SplitAccessor a(values_.data(), row_ids_.data());
+  return CrackInTwo(a, begin, end, pivot);
+}
+
+std::pair<Position, Position> CrackerArray::CrackThree(Position begin,
+                                                       Position end, Value lo,
+                                                       Value hi) {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    PairAccessor a(pairs_.data());
+    return CrackInThree(a, begin, end, lo, hi);
+  }
+  SplitAccessor a(values_.data(), row_ids_.data());
+  return CrackInThree(a, begin, end, lo, hi);
+}
+
+void CrackerArray::SortRange(Position begin, Position end) {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    std::sort(pairs_.begin() + static_cast<long>(begin),
+              pairs_.begin() + static_cast<long>(end),
+              [](const CrackerEntry& a, const CrackerEntry& b) {
+                return a.value < b.value;
+              });
+    return;
+  }
+  // Pair-of-arrays layout: sort an index permutation, then apply it to both
+  // arrays. Sorting happens rarely (active strategy, small pieces), so the
+  // extra permutation buffer is acceptable.
+  const size_t n = end - begin;
+  std::vector<Position> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = begin + i;
+  std::sort(perm.begin(), perm.end(), [this](Position a, Position b) {
+    return values_[a] < values_[b];
+  });
+  std::vector<Value> tmp_v(n);
+  std::vector<RowId> tmp_r(n);
+  for (size_t i = 0; i < n; ++i) {
+    tmp_v[i] = values_[perm[i]];
+    tmp_r[i] = row_ids_[perm[i]];
+  }
+  std::copy(tmp_v.begin(), tmp_v.end(),
+            values_.begin() + static_cast<long>(begin));
+  std::copy(tmp_r.begin(), tmp_r.end(),
+            row_ids_.begin() + static_cast<long>(begin));
+}
+
+uint64_t CrackerArray::ScanCountRange(Position begin, Position end, Value lo,
+                                      Value hi) const {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
+    return ScanCount(a, begin, end, lo, hi);
+  }
+  SplitAccessor a(const_cast<Value*>(values_.data()),
+                  const_cast<RowId*>(row_ids_.data()));
+  return ScanCount(a, begin, end, lo, hi);
+}
+
+int64_t CrackerArray::ScanSumRange(Position begin, Position end, Value lo,
+                                   Value hi) const {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
+    return ScanSum(a, begin, end, lo, hi);
+  }
+  SplitAccessor a(const_cast<Value*>(values_.data()),
+                  const_cast<RowId*>(row_ids_.data()));
+  return ScanSum(a, begin, end, lo, hi);
+}
+
+int64_t CrackerArray::PositionalSumRange(Position begin, Position end) const {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
+    return PositionalSum(a, begin, end);
+  }
+  SplitAccessor a(const_cast<Value*>(values_.data()),
+                  const_cast<RowId*>(row_ids_.data()));
+  return PositionalSum(a, begin, end);
+}
+
+void CrackerArray::CollectRowIds(Position begin, Position end,
+                                 std::vector<RowId>* out) const {
+  out->reserve(out->size() + (end - begin));
+  for (Position i = begin; i < end; ++i) out->push_back(RowIdAt(i));
+}
+
+Position CrackerArray::LowerBoundInSorted(Position begin, Position end,
+                                          Value v) const {
+  Position lo = begin;
+  Position hi = end;
+  while (lo < hi) {
+    Position mid = lo + (hi - lo) / 2;
+    if (ValueAt(mid) < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace adaptidx

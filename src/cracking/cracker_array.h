@@ -1,0 +1,137 @@
+#ifndef ADAPTIDX_CRACKING_CRACKER_ARRAY_H_
+#define ADAPTIDX_CRACKING_CRACKER_ARRAY_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief Physical layout of the cracker array (Section 5.2, Figure 7).
+enum class ArrayLayout {
+  /// One densely populated array of (rowID, value) pairs — the original
+  /// database cracking design.
+  kRowIdValuePairs,
+  /// A pair of arrays: a values array and a rowIDs array — the layout used
+  /// by the latest cracking release; gives better cache locality for
+  /// operators that touch only one of the two.
+  kPairOfArrays,
+};
+
+/// \brief A (rowID, value) entry of the pair layout.
+struct CrackerEntry {
+  RowId row_id;
+  Value value;
+};
+
+/// \brief Accessor for the rowID-value-pairs layout; swaps move 12-byte
+/// entries.
+class PairAccessor {
+ public:
+  explicit PairAccessor(CrackerEntry* data) : data_(data) {}
+  Value ValueAt(Position i) const { return data_[i].value; }
+  RowId RowIdAt(Position i) const { return data_[i].row_id; }
+  void Swap(Position i, Position j) { std::swap(data_[i], data_[j]); }
+
+ private:
+  CrackerEntry* data_;
+};
+
+/// \brief Accessor for the pair-of-arrays layout; swaps touch both arrays
+/// but value-only scans stream a dense Value array.
+class SplitAccessor {
+ public:
+  SplitAccessor(Value* values, RowId* row_ids)
+      : values_(values), row_ids_(row_ids) {}
+  Value ValueAt(Position i) const { return values_[i]; }
+  RowId RowIdAt(Position i) const { return row_ids_[i]; }
+  void Swap(Position i, Position j) {
+    std::swap(values_[i], values_[j]);
+    std::swap(row_ids_[i], row_ids_[j]);
+  }
+
+ private:
+  Value* values_;
+  RowId* row_ids_;
+};
+
+/// \brief The cracker array: an auxiliary copy of the indexed column that is
+/// continuously physically reorganized (incrementally sorted) as a side
+/// effect of query processing (Section 5.2).
+///
+/// The base column is never modified; the cracker array pairs each value
+/// with its original rowID so qualifying tuples can be reconstructed
+/// positionally from other columns of the table.
+///
+/// Not internally synchronized — callers serialize access with the column or
+/// piece latches, which is the entire subject of the paper.
+class CrackerArray {
+ public:
+  /// \brief Copies `column` into a fresh cracker array with rowIDs 0..n-1 in
+  /// the requested layout. This is the "first touch" cost of cracking.
+  CrackerArray(const Column& column, ArrayLayout layout);
+
+  /// \brief Builds from explicit entries (used by hybrid initial partitions
+  /// and tests).
+  CrackerArray(std::vector<CrackerEntry> entries, ArrayLayout layout);
+
+  size_t size() const { return size_; }
+  ArrayLayout layout() const { return layout_; }
+
+  Value ValueAt(Position i) const {
+    return layout_ == ArrayLayout::kRowIdValuePairs ? pairs_[i].value
+                                                    : values_[i];
+  }
+  RowId RowIdAt(Position i) const {
+    return layout_ == ArrayLayout::kRowIdValuePairs ? pairs_[i].row_id
+                                                    : row_ids_[i];
+  }
+
+  /// \brief Two-way crack over [begin, end); see CrackInTwo in
+  /// crack_kernels.h. Dispatches once on layout, then runs the tight
+  /// template kernel.
+  Position CrackTwo(Position begin, Position end, Value pivot);
+
+  /// \brief Three-way crack over [begin, end); see CrackInThree.
+  std::pair<Position, Position> CrackThree(Position begin, Position end,
+                                           Value lo, Value hi);
+
+  /// \brief Fully sorts [begin, end) by value (used by the active strategy
+  /// and hybrid final partitions).
+  void SortRange(Position begin, Position end);
+
+  /// \brief Counts values in [lo, hi) within [begin, end) without
+  /// reorganizing.
+  uint64_t ScanCountRange(Position begin, Position end, Value lo,
+                          Value hi) const;
+
+  /// \brief Sums values in [lo, hi) within [begin, end) without
+  /// reorganizing.
+  int64_t ScanSumRange(Position begin, Position end, Value lo, Value hi) const;
+
+  /// \brief Sums every value in [begin, end) positionally.
+  int64_t PositionalSumRange(Position begin, Position end) const;
+
+  /// \brief Appends rowIDs of [begin, end) to `out` (positional fetch).
+  void CollectRowIds(Position begin, Position end,
+                     std::vector<RowId>* out) const;
+
+  /// \brief In a sorted range, the offset of the first value >= v (binary
+  /// search). Precondition: [begin, end) sorted.
+  Position LowerBoundInSorted(Position begin, Position end, Value v) const;
+
+ private:
+  ArrayLayout layout_;
+  size_t size_;
+  // Exactly one representation is populated, chosen by layout_.
+  std::vector<CrackerEntry> pairs_;
+  std::vector<Value> values_;
+  std::vector<RowId> row_ids_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CRACKING_CRACKER_ARRAY_H_

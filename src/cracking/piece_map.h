@@ -1,0 +1,106 @@
+#ifndef ADAPTIDX_CRACKING_PIECE_MAP_H_
+#define ADAPTIDX_CRACKING_PIECE_MAP_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "latch/wait_queue_latch.h"
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief A piece (segment) of the cracker array between two cracks
+/// (Section 5.3). Pieces are the unit of piece-grained latching: "each
+/// distinct column piece can be accessed by one query at a time for
+/// cracking, while it can be accessed by multiple queries concurrently for
+/// aggregation".
+///
+/// Field protection protocol:
+///  - `begin` is immutable: splits always cut the tail off a piece.
+///  - `end`, `hi_value`, `lo_value`, `sorted` change only while holding both
+///    the owning index's structure latch (exclusive) and this piece's write
+///    latch; readers see them stably while holding either the structure
+///    latch (shared) or this piece's read latch.
+///  - The piece object outlives map removal via shared_ptr, so a waiter
+///    blocked on `latch` can safely wake after the piece has been split.
+struct Piece {
+  Piece(Position begin_pos, Position end_pos, Value lo, Value hi,
+        SchedulingPolicy policy)
+      : begin(begin_pos),
+        end(end_pos),
+        lo_value(lo),
+        hi_value(hi),
+        latch(policy) {}
+
+  const Position begin;  ///< first position of the piece (immutable)
+  Position end;          ///< one past the last position; shrinks on split
+  Value lo_value;        ///< inclusive lower bound on values in the piece
+  Value hi_value;        ///< exclusive upper bound on values in the piece
+  bool sorted = false;   ///< piece known fully sorted (active strategy)
+  WaitQueueLatch latch;  ///< piece latch
+
+  size_t size() const { return end - begin; }
+};
+
+/// \brief Bookkeeping for the pieces of one cracker array: a position-keyed
+/// map of Piece objects that tile [0, n).
+///
+/// Not internally synchronized: the owning index guards the map and all
+/// piece boundary fields with its structure latch so that the AVL table of
+/// contents and the piece map always change together atomically.
+class PieceMap {
+ public:
+  /// \brief Starts with a single piece covering [0, array_size) and the
+  /// whole value domain [domain_lo, domain_hi).
+  PieceMap(size_t array_size, Value domain_lo, Value domain_hi,
+           SchedulingPolicy policy);
+
+  /// \brief The piece containing position `pos`; never null for
+  /// pos < array_size.
+  std::shared_ptr<Piece> FindByPosition(Position pos) const;
+
+  /// \brief The piece starting exactly at `begin`; null when none does.
+  std::shared_ptr<Piece> FindByBegin(Position begin) const;
+
+  /// \brief The piece immediately after `p` in position order (the Figure 10
+  /// walk); null when `p` is the last piece.
+  std::shared_ptr<Piece> NextPiece(const Piece& p) const;
+
+  /// \brief Splits `p` at `split_pos` where a crack on `pivot` was just
+  /// placed. Caller holds the structure latch exclusively and `p`'s write
+  /// latch.
+  ///
+  ///  - Interior split: `p` keeps [begin, split_pos) with hi_value=pivot; a
+  ///    new piece [split_pos, old_end) with lo_value=pivot is inserted and
+  ///    returned.
+  ///  - `split_pos == p.begin` (no element < pivot): no new piece; `p`'s
+  ///    lo_value is raised to pivot and `p` itself is returned.
+  ///  - `split_pos == p.end` (all elements < pivot): no new piece; `p`'s
+  ///    hi_value is lowered to pivot and the successor piece (or null at the
+  ///    array end) is returned.
+  ///
+  /// The returned piece is always the one whose values are >= pivot.
+  std::shared_ptr<Piece> Split(const std::shared_ptr<Piece>& p,
+                               Position split_pos, Value pivot);
+
+  size_t num_pieces() const { return by_begin_.size(); }
+  size_t array_size() const { return array_size_; }
+  SchedulingPolicy policy() const { return policy_; }
+
+  /// \brief Visits pieces in position order.
+  void ForEach(const std::function<void(const Piece&)>& fn) const;
+
+  /// \brief Checks tiling invariants (pieces cover [0, n) without gaps or
+  /// overlaps; value bounds are monotone); used by tests.
+  bool Validate() const;
+
+ private:
+  const size_t array_size_;
+  const SchedulingPolicy policy_;
+  std::map<Position, std::shared_ptr<Piece>> by_begin_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CRACKING_PIECE_MAP_H_

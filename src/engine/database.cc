@@ -1,0 +1,93 @@
+#include "engine/database.h"
+
+namespace adaptidx {
+
+Status Database::CreateTable(const std::string& name,
+                             std::vector<Column> columns) {
+  auto table = std::make_unique<Table>(name);
+  for (auto& col : columns) {
+    Status s = table->AddColumn(std::move(col));
+    if (!s.ok()) return s;
+  }
+  return catalog_.AddTable(std::move(table));
+}
+
+std::string Database::IndexKey(const std::string& table,
+                               const std::string& column,
+                               const IndexConfig& config) {
+  return table + "/" + column + "#" + ToString(config.method);
+}
+
+std::shared_ptr<AdaptiveIndex> Database::GetOrCreateIndex(
+    const std::string& table, const std::string& column,
+    const IndexConfig& config) {
+  Table* t = catalog_.GetTable(table);
+  if (t == nullptr) return nullptr;
+  const Column* col = t->GetColumn(column);
+  if (col == nullptr) return nullptr;
+  auto entry = catalog_.GetOrCreateIndexEntry(
+      IndexKey(table, column, config),
+      [col, &config]() -> std::shared_ptr<void> {
+        return std::shared_ptr<void>(MakeIndex(col, config).release(),
+                                     [](void* p) {
+                                       delete static_cast<AdaptiveIndex*>(p);
+                                     });
+      });
+  return std::shared_ptr<AdaptiveIndex>(
+      entry, static_cast<AdaptiveIndex*>(entry.get()));
+}
+
+bool Database::DropIndex(const std::string& table, const std::string& column,
+                         const IndexConfig& config) {
+  return catalog_.DropIndexEntry(IndexKey(table, column, config));
+}
+
+Status Database::Count(const std::string& table, const std::string& column,
+                       Value lo, Value hi, const IndexConfig& config,
+                       uint64_t* out, QueryStats* stats) {
+  auto index = GetOrCreateIndex(table, column, config);
+  if (index == nullptr) {
+    return Status::NotFound("no such table/column: " + table + "." + column);
+  }
+  QueryContext ctx;
+  Status s = index->RangeCount(ValueRange{lo, hi}, &ctx, out);
+  if (stats != nullptr) *stats = ctx.stats;
+  return s;
+}
+
+Status Database::Sum(const std::string& table, const std::string& column,
+                     Value lo, Value hi, const IndexConfig& config,
+                     int64_t* out, QueryStats* stats) {
+  auto index = GetOrCreateIndex(table, column, config);
+  if (index == nullptr) {
+    return Status::NotFound("no such table/column: " + table + "." + column);
+  }
+  QueryContext ctx;
+  Status s = index->RangeSum(ValueRange{lo, hi}, &ctx, out);
+  if (stats != nullptr) *stats = ctx.stats;
+  return s;
+}
+
+Status Database::SumOther(const std::string& table,
+                          const std::string& sel_column,
+                          const std::string& agg_column, Value lo, Value hi,
+                          const IndexConfig& config, int64_t* out,
+                          QueryStats* stats) {
+  Table* t = catalog_.GetTable(table);
+  if (t == nullptr) return Status::NotFound("no such table: " + table);
+  const Column* b = t->GetColumn(agg_column);
+  if (b == nullptr) {
+    return Status::NotFound("no such column: " + agg_column);
+  }
+  auto index = GetOrCreateIndex(table, sel_column, config);
+  if (index == nullptr) {
+    return Status::NotFound("no such column: " + sel_column);
+  }
+  QueryContext ctx;
+  RangeQuery q{lo, hi, QueryType::kSum};
+  Status s = FetchSum(index.get(), *b, q, &ctx, out);
+  if (stats != nullptr) *stats = ctx.stats;
+  return s;
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,77 @@
+#ifndef ADAPTIDX_ENGINE_DATABASE_H_
+#define ADAPTIDX_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "engine/operators.h"
+#include "lock/lock_manager.h"
+#include "storage/catalog.h"
+
+namespace adaptidx {
+
+/// \brief Small embedded-database facade tying the catalog, adaptive
+/// indexes, and the lock manager together; this is the public entry point
+/// the examples use.
+///
+/// Index life cycle follows Section 5.3: query execution latches the catalog
+/// (the global structure) only to locate or register the index for a column,
+/// then all further coordination happens on the index's own latches.
+class Database {
+ public:
+  Database() = default;
+
+  /// \brief Creates a table from a set of aligned columns.
+  Status CreateTable(const std::string& name, std::vector<Column> columns);
+
+  Table* GetTable(const std::string& name) {
+    return catalog_.GetTable(name);
+  }
+
+  /// \brief Returns the shared adaptive index for `table`.`column` under
+  /// `config`, creating it on first use. Distinct methods on the same
+  /// column coexist (distinct catalog entries), which is how benchmarks
+  /// compare methods on identical data.
+  std::shared_ptr<AdaptiveIndex> GetOrCreateIndex(const std::string& table,
+                                                  const std::string& column,
+                                                  const IndexConfig& config);
+
+  /// \brief Drops the index entry; adaptive indexes "can be dropped at any
+  /// time" (Section 4.2).
+  bool DropIndex(const std::string& table, const std::string& column,
+                 const IndexConfig& config);
+
+  /// \brief `select count(*) from table where lo <= column < hi`.
+  Status Count(const std::string& table, const std::string& column, Value lo,
+               Value hi, const IndexConfig& config, uint64_t* out,
+               QueryStats* stats = nullptr);
+
+  /// \brief `select sum(column) from table where lo <= column < hi`.
+  Status Sum(const std::string& table, const std::string& column, Value lo,
+             Value hi, const IndexConfig& config, int64_t* out,
+             QueryStats* stats = nullptr);
+
+  /// \brief `select sum(agg_column) from table where lo <= sel_column < hi`
+  /// — the two-column plan of Figure 6.
+  Status SumOther(const std::string& table, const std::string& sel_column,
+                  const std::string& agg_column, Value lo, Value hi,
+                  const IndexConfig& config, int64_t* out,
+                  QueryStats* stats = nullptr);
+
+  Catalog* catalog() { return &catalog_; }
+  LockManager* lock_manager() { return &lock_manager_; }
+
+ private:
+  static std::string IndexKey(const std::string& table,
+                              const std::string& column,
+                              const IndexConfig& config);
+
+  Catalog catalog_;
+  LockManager lock_manager_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_ENGINE_DATABASE_H_

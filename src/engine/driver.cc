@@ -1,0 +1,126 @@
+#include "engine/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+namespace {
+
+/// Start barrier: all client threads begin issuing queries at once.
+class StartBarrier {
+ public:
+  explicit StartBarrier(size_t parties) : remaining_(parties) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--remaining_ == 0) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+}  // namespace
+
+RunResult Driver::Run(AdaptiveIndex* index,
+                      const std::vector<RangeQuery>& queries,
+                      const DriverOptions& opts) {
+  RunResult result;
+  result.num_queries = queries.size();
+  result.num_clients = std::max<size_t>(1, opts.num_clients);
+  if (queries.empty()) return result;
+
+  const size_t num_clients = std::min(result.num_clients, queries.size());
+  result.num_clients = num_clients;
+
+  // Contiguous partitioning of the sequence across clients, paper-style.
+  std::vector<std::pair<size_t, size_t>> slices;
+  const size_t per = queries.size() / num_clients;
+  const size_t extra = queries.size() % num_clients;
+  size_t cursor = 0;
+  for (size_t c = 0; c < num_clients; ++c) {
+    const size_t len = per + (c < extra ? 1 : 0);
+    slices.emplace_back(cursor, cursor + len);
+    cursor += len;
+  }
+
+  std::vector<std::vector<PerQueryRecord>> client_records(num_clients);
+  std::atomic<bool> failed{false};
+  StartBarrier barrier(num_clients + 1);
+
+  std::vector<std::thread> clients;
+  clients.reserve(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& records = client_records[c];
+      records.reserve(slices[c].second - slices[c].first);
+      barrier.ArriveAndWait();
+      for (size_t i = slices[c].first; i < slices[c].second; ++i) {
+        PerQueryRecord rec;
+        rec.query = queries[i];
+        rec.client_id = static_cast<uint32_t>(c);
+        rec.client_seq = i - slices[c].first;
+        QueryContext ctx;
+        ctx.client_id = static_cast<uint32_t>(c);
+        ctx.stats.start_ns = NowNanos();
+        Status s = ExecuteQuery(index, queries[i], &ctx, &rec.result);
+        ctx.stats.finish_ns = NowNanos();
+        ctx.stats.response_ns = ctx.stats.finish_ns - ctx.stats.start_ns;
+        if (!s.ok()) {
+          failed.store(true, std::memory_order_relaxed);
+          return;
+        }
+        rec.stats = ctx.stats;
+        records.push_back(rec);
+      }
+    });
+  }
+
+  StopWatch wall;
+  barrier.ArriveAndWait();
+  wall.Reset();
+  for (auto& t : clients) t.join();
+  result.total_seconds = wall.ElapsedSeconds();
+  result.throughput_qps =
+      result.total_seconds > 0
+          ? static_cast<double>(queries.size()) / result.total_seconds
+          : 0;
+  if (failed.load()) {
+    result.status = Status::Aborted("a client query failed");
+    return result;
+  }
+
+  for (auto& records : client_records) {
+    for (auto& rec : records) {
+      result.response_hist.Add(rec.stats.response_ns);
+      result.total_conflicts += rec.stats.conflicts;
+      result.total_wait_ns += rec.stats.wait_ns;
+      result.total_crack_ns += rec.stats.crack_ns;
+      result.total_init_ns += rec.stats.init_ns;
+      result.total_cracks += rec.stats.cracks;
+      result.refinements_skipped += rec.stats.refinement_skipped ? 1 : 0;
+      if (opts.record_per_query) result.records.push_back(std::move(rec));
+    }
+  }
+  if (opts.record_per_query) {
+    std::sort(result.records.begin(), result.records.end(),
+              [](const PerQueryRecord& a, const PerQueryRecord& b) {
+                return a.stats.finish_ns < b.stats.finish_ns;
+              });
+  }
+  return result;
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,63 @@
+#ifndef ADAPTIDX_ENGINE_DRIVER_H_
+#define ADAPTIDX_ENGINE_DRIVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/adaptive_index.h"
+#include "engine/operators.h"
+#include "util/histogram.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+
+/// \brief One completed query with its instrumentation, as recorded by the
+/// driver.
+struct PerQueryRecord {
+  RangeQuery query;
+  QueryResult result;
+  QueryStats stats;
+  uint32_t client_id = 0;
+  size_t client_seq = 0;  ///< index within the client's own stream
+};
+
+/// \brief Outcome of a multi-client run.
+struct RunResult {
+  Status status;
+  double total_seconds = 0;    ///< wall time until the last client finished
+  double throughput_qps = 0;   ///< queries / total_seconds
+  size_t num_queries = 0;
+  size_t num_clients = 0;
+  Histogram response_hist;     ///< per-query response times (ns)
+  uint64_t total_conflicts = 0;
+  int64_t total_wait_ns = 0;
+  int64_t total_crack_ns = 0;
+  int64_t total_init_ns = 0;
+  uint64_t total_cracks = 0;
+  uint64_t refinements_skipped = 0;
+  /// Per-query records sorted by completion time (the "query sequence" axis
+  /// of Figures 11 and 15). Empty unless record_per_query.
+  std::vector<PerQueryRecord> records;
+};
+
+/// \brief Options of a driver run.
+struct DriverOptions {
+  size_t num_clients = 1;
+  bool record_per_query = true;
+};
+
+/// \brief Multi-client query driver reproducing the paper's experimental
+/// set-up (Section 6.2): the query sequence is split into `num_clients`
+/// contiguous streams ("we use 2 clients ... each one fires 512 queries"),
+/// all clients start together on a barrier, and the reported total time is
+/// "the time perceived by the last client to receive all answers".
+class Driver {
+ public:
+  static RunResult Run(AdaptiveIndex* index,
+                       const std::vector<RangeQuery>& queries,
+                       const DriverOptions& opts);
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_ENGINE_DRIVER_H_

@@ -1,0 +1,58 @@
+#include "engine/operators.h"
+
+#include <vector>
+
+namespace adaptidx {
+
+Status ExecuteQuery(AdaptiveIndex* index, const RangeQuery& query,
+                    QueryContext* ctx, QueryResult* result) {
+  result->type = query.type;
+  const ValueRange range{query.lo, query.hi};
+  if (query.type == QueryType::kCount) {
+    return index->RangeCount(range, ctx, &result->count);
+  }
+  return index->RangeSum(range, ctx, &result->sum);
+}
+
+QueryResult OracleExecute(const Column& column, const RangeQuery& query) {
+  QueryResult r;
+  r.type = query.type;
+  for (size_t i = 0; i < column.size(); ++i) {
+    const Value v = column[i];
+    if (v >= query.lo && v < query.hi) {
+      ++r.count;
+      r.sum += v;
+    }
+  }
+  if (query.type == QueryType::kCount) r.sum = 0;
+  if (query.type == QueryType::kSum) r.count = 0;
+  return r;
+}
+
+Status FetchSum(AdaptiveIndex* a_index, const Column& b_column,
+                const RangeQuery& query, QueryContext* ctx, int64_t* sum) {
+  // Select: qualifying positions as rowIDs, through the adaptive index.
+  std::vector<RowId> ids;
+  Status s = a_index->RangeRowIds(ValueRange{query.lo, query.hi}, ctx, &ids);
+  if (!s.ok()) return s;
+  // Fetch + aggregate: positional access into the aligned column B; the
+  // base columns are immutable, so this phase needs no latches — the
+  // column-store property that lets adaptive indexing hold latches only
+  // for the brief select phase (Section 5.1).
+  int64_t total = 0;
+  for (const RowId id : ids) total += b_column[id];
+  *sum = total;
+  return Status::OK();
+}
+
+int64_t OracleFetchSum(const Column& a_column, const Column& b_column,
+                       const RangeQuery& query) {
+  int64_t total = 0;
+  for (size_t i = 0; i < a_column.size(); ++i) {
+    const Value v = a_column[i];
+    if (v >= query.lo && v < query.hi) total += b_column[i];
+  }
+  return total;
+}
+
+}  // namespace adaptidx

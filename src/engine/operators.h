@@ -1,0 +1,45 @@
+#ifndef ADAPTIDX_ENGINE_OPERATORS_H_
+#define ADAPTIDX_ENGINE_OPERATORS_H_
+
+#include <cstdint>
+
+#include "core/adaptive_index.h"
+#include "storage/column.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+
+/// \brief Result of one range query.
+struct QueryResult {
+  QueryType type = QueryType::kCount;
+  uint64_t count = 0;
+  int64_t sum = 0;
+
+  friend bool operator==(const QueryResult& a, const QueryResult& b) {
+    return a.type == b.type && a.count == b.count && a.sum == b.sum;
+  }
+};
+
+/// \brief Bulk select-(project)-aggregate execution of one query over an
+/// index (Figure 6's operator-at-a-time plan collapsed into the index's
+/// count/sum entry points).
+Status ExecuteQuery(AdaptiveIndex* index, const RangeQuery& query,
+                    QueryContext* ctx, QueryResult* result);
+
+/// \brief Index-free oracle used to verify results in tests and examples.
+QueryResult OracleExecute(const Column& column, const RangeQuery& query);
+
+/// \brief The two-column plan of Figure 6: `select sum(B) from R where
+/// lo <= A < hi`. The index on A materializes qualifying rowIDs (select
+/// operator); the aggregation fetches B positionally (fetch + sum
+/// operators). B must be aligned with A's base column.
+Status FetchSum(AdaptiveIndex* a_index, const Column& b_column,
+                const RangeQuery& query, QueryContext* ctx, int64_t* sum);
+
+/// \brief Oracle for FetchSum.
+int64_t OracleFetchSum(const Column& a_column, const Column& b_column,
+                       const RangeQuery& query);
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_ENGINE_OPERATORS_H_

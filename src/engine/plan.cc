@@ -1,0 +1,109 @@
+#include "engine/plan.h"
+
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+PlanBuilder::PlanBuilder(Database* db, std::string table)
+    : db_(db), table_(std::move(table)) {}
+
+PlanBuilder& PlanBuilder::SelectRange(const std::string& column, Value lo,
+                                      Value hi, const IndexConfig& config) {
+  if (has_select_) {
+    deferred_error_ =
+        Status::InvalidArgument("SelectRange may only start a plan once");
+    return *this;
+  }
+  has_select_ = true;
+  select_column_ = column;
+  select_lo_ = lo;
+  select_hi_ = hi;
+  select_config_ = config;
+  return *this;
+}
+
+PlanBuilder& PlanBuilder::FilterRange(const std::string& column, Value lo,
+                                      Value hi) {
+  filters_.push_back(FilterStep{column, lo, hi});
+  return *this;
+}
+
+Status PlanBuilder::Execute(QueryContext* ctx) {
+  if (!deferred_error_.ok()) return deferred_error_;
+  if (executed_) return Status::InvalidArgument("plan already executed");
+  if (!has_select_) {
+    return Status::InvalidArgument("plan needs a SelectRange operator");
+  }
+  executed_ = true;
+
+  Table* table = db_->GetTable(table_);
+  if (table == nullptr) return Status::NotFound("no such table: " + table_);
+
+  // Select operator: the only one that touches the adaptive index (and its
+  // latches); it finishes before any other operator starts, operator-at-a-
+  // time style.
+  auto index = db_->GetOrCreateIndex(table_, select_column_, select_config_);
+  if (index == nullptr) {
+    return Status::NotFound("no such column: " + select_column_);
+  }
+  Status s =
+      index->RangeRowIds(ValueRange{select_lo_, select_hi_}, ctx, &ids_);
+  if (!s.ok()) return s;
+
+  // Filter operators: bulk positional refinement over immutable base
+  // columns; latch-free by construction.
+  for (const FilterStep& f : filters_) {
+    const Column* col = table->GetColumn(f.column);
+    if (col == nullptr) return Status::NotFound("no such column: " + f.column);
+    ScopedTimer t(&ctx->stats.read_ns);
+    size_t kept = 0;
+    for (const RowId id : ids_) {
+      const Value v = (*col)[id];
+      if (v >= f.lo && v < f.hi) ids_[kept++] = id;
+    }
+    ids_.resize(kept);
+  }
+  return Status::OK();
+}
+
+Status PlanBuilder::Count(QueryContext* ctx, uint64_t* count) {
+  Status s = Execute(ctx);
+  if (!s.ok()) return s;
+  *count = ids_.size();
+  return Status::OK();
+}
+
+Status PlanBuilder::Sum(const std::string& column, QueryContext* ctx,
+                        int64_t* sum) {
+  Status s = Execute(ctx);
+  if (!s.ok()) return s;
+  const Column* col = db_->GetTable(table_)->GetColumn(column);
+  if (col == nullptr) return Status::NotFound("no such column: " + column);
+  ScopedTimer t(&ctx->stats.read_ns);
+  int64_t total = 0;
+  for (const RowId id : ids_) total += (*col)[id];
+  *sum = total;
+  return Status::OK();
+}
+
+Status PlanBuilder::Collect(const std::string& column, QueryContext* ctx,
+                            std::vector<Value>* values) {
+  Status s = Execute(ctx);
+  if (!s.ok()) return s;
+  const Column* col = db_->GetTable(table_)->GetColumn(column);
+  if (col == nullptr) return Status::NotFound("no such column: " + column);
+  ScopedTimer t(&ctx->stats.read_ns);
+  values->clear();
+  values->reserve(ids_.size());
+  for (const RowId id : ids_) values->push_back((*col)[id]);
+  return Status::OK();
+}
+
+Status PlanBuilder::RowIds(QueryContext* ctx, std::vector<RowId>* row_ids) {
+  Status s = Execute(ctx);
+  if (!s.ok()) return s;
+  *row_ids = ids_;
+  return Status::OK();
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,88 @@
+#ifndef ADAPTIDX_ENGINE_PLAN_H_
+#define ADAPTIDX_ENGINE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+
+namespace adaptidx {
+
+/// \brief Operator-at-a-time plan execution in the MonetDB style of
+/// Figure 6: "the system accesses one column at a time in a bulk processing
+/// mode. It first evaluates the complete selection over one column. Then,
+/// given a set of qualifying IDs (positions), it fetches only the required
+/// values from another column before computing the complete aggregation in
+/// one go."
+///
+/// The first range predicate runs through the adaptive index of its column
+/// (cracking it as a side effect and holding latches only for the duration
+/// of that one operator — the column-store property Section 5.1 leans on);
+/// every further predicate is a bulk positional filter over the candidate
+/// ID list; aggregations positionally fetch their column.
+///
+/// Example — `select sum(C) from R where 10 <= A < 90 and 5 <= B < 50`:
+///
+/// ```cpp
+/// int64_t sum = 0;
+/// Status s = PlanBuilder(&db, "R")
+///                .SelectRange("A", 10, 90, config)   // adaptive index
+///                .FilterRange("B", 5, 50)            // positional filter
+///                .Sum("C", &ctx, &sum);
+/// ```
+///
+/// A builder is single-use and not thread-safe; concurrency happens across
+/// plans (each holding only short per-operator latches), not within one.
+class PlanBuilder {
+ public:
+  /// \brief Starts a plan over `table`; errors surface at execution time.
+  PlanBuilder(Database* db, std::string table);
+
+  /// \brief The selection operator: qualifying rowIDs of
+  /// `lo <= column < hi` via the (adaptive) index configured by `config`.
+  /// Must be the first operator of the plan.
+  PlanBuilder& SelectRange(const std::string& column, Value lo, Value hi,
+                           const IndexConfig& config);
+
+  /// \brief Bulk positional refinement: keeps candidates whose `column`
+  /// value lies in [lo, hi). May be chained arbitrarily.
+  PlanBuilder& FilterRange(const std::string& column, Value lo, Value hi);
+
+  /// \brief Terminal operators (each consumes the candidate list).
+  Status Count(QueryContext* ctx, uint64_t* count);
+  Status Sum(const std::string& column, QueryContext* ctx, int64_t* sum);
+  /// \brief Materializes the values of `column` for all candidates, in
+  /// candidate order.
+  Status Collect(const std::string& column, QueryContext* ctx,
+                 std::vector<Value>* values);
+  /// \brief Returns the qualifying rowIDs themselves.
+  Status RowIds(QueryContext* ctx, std::vector<RowId>* row_ids);
+
+ private:
+  struct FilterStep {
+    std::string column;
+    Value lo;
+    Value hi;
+  };
+
+  /// Runs select + filters, leaving candidates in `ids_`. Idempotent per
+  /// builder (terminals may only be called once).
+  Status Execute(QueryContext* ctx);
+
+  Database* db_;
+  std::string table_;
+  bool has_select_ = false;
+  std::string select_column_;
+  Value select_lo_ = 0;
+  Value select_hi_ = 0;
+  IndexConfig select_config_;
+  std::vector<FilterStep> filters_;
+  Status deferred_error_;
+  std::vector<RowId> ids_;
+  bool executed_ = false;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_ENGINE_PLAN_H_

@@ -1,0 +1,23 @@
+#include "latch/latch_stats.h"
+
+#include <cstdio>
+
+namespace adaptidx {
+
+std::string LatchStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "reads=%llu (blocked %llu, %.3f ms) writes=%llu (blocked %llu, "
+      "%.3f ms) try_failures=%llu",
+      static_cast<unsigned long long>(read_acquires()),
+      static_cast<unsigned long long>(read_conflicts()),
+      static_cast<double>(read_wait_ns()) / 1e6,
+      static_cast<unsigned long long>(write_acquires()),
+      static_cast<unsigned long long>(write_conflicts()),
+      static_cast<double>(write_wait_ns()) / 1e6,
+      static_cast<unsigned long long>(try_failures()));
+  return std::string(buf);
+}
+
+}  // namespace adaptidx

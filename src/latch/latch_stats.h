@@ -1,0 +1,87 @@
+#ifndef ADAPTIDX_LATCH_LATCH_STATS_H_
+#define ADAPTIDX_LATCH_LATCH_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace adaptidx {
+
+/// \brief Global (per-index) latch statistics, updated with relaxed atomics.
+///
+/// A "conflict" is an acquisition that had to block because the latch was
+/// held in an incompatible mode — the quantity plotted on the right of the
+/// paper's Figure 1 and measured in Figure 15 (wait time).
+class LatchStats {
+ public:
+  LatchStats() { Reset(); }
+
+  void RecordRead(int64_t wait_ns, bool blocked) {
+    read_acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (blocked) {
+      read_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      read_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordWrite(int64_t wait_ns, bool blocked) {
+    write_acquires_.fetch_add(1, std::memory_order_relaxed);
+    if (blocked) {
+      write_conflicts_.fetch_add(1, std::memory_order_relaxed);
+      write_wait_ns_.fetch_add(wait_ns, std::memory_order_relaxed);
+    }
+  }
+
+  void RecordTryFailure() {
+    try_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t read_acquires() const { return read_acquires_.load(); }
+  uint64_t write_acquires() const { return write_acquires_.load(); }
+  uint64_t read_conflicts() const { return read_conflicts_.load(); }
+  uint64_t write_conflicts() const { return write_conflicts_.load(); }
+  uint64_t try_failures() const { return try_failures_.load(); }
+  int64_t read_wait_ns() const { return read_wait_ns_.load(); }
+  int64_t write_wait_ns() const { return write_wait_ns_.load(); }
+
+  uint64_t total_conflicts() const {
+    return read_conflicts() + write_conflicts();
+  }
+  int64_t total_wait_ns() const { return read_wait_ns() + write_wait_ns(); }
+
+  void Reset() {
+    read_acquires_ = 0;
+    write_acquires_ = 0;
+    read_conflicts_ = 0;
+    write_conflicts_ = 0;
+    try_failures_ = 0;
+    read_wait_ns_ = 0;
+    write_wait_ns_ = 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::atomic<uint64_t> read_acquires_;
+  std::atomic<uint64_t> write_acquires_;
+  std::atomic<uint64_t> read_conflicts_;
+  std::atomic<uint64_t> write_conflicts_;
+  std::atomic<uint64_t> try_failures_;
+  std::atomic<int64_t> read_wait_ns_;
+  std::atomic<int64_t> write_wait_ns_;
+};
+
+/// \brief Per-acquisition sinks threaded from the query context down into
+/// latch acquisitions so wait time and conflicts can be attributed to
+/// individual queries (Figure 15's per-query breakdown).
+///
+/// All pointers may be null; null sinks are skipped.
+struct LatchAcquireContext {
+  LatchStats* global = nullptr;   ///< index-wide aggregate
+  int64_t* wait_ns = nullptr;     ///< per-query accumulated wait time
+  uint64_t* conflicts = nullptr;  ///< per-query blocked-acquisition count
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_LATCH_LATCH_STATS_H_

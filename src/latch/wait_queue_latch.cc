@@ -1,0 +1,147 @@
+#include "latch/wait_queue_latch.h"
+
+#include <algorithm>
+
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+
+namespace {
+
+void RecordRead(const LatchAcquireContext& ctx, int64_t wait_ns,
+                bool blocked) {
+  if (ctx.global != nullptr) ctx.global->RecordRead(wait_ns, blocked);
+  if (blocked) {
+    if (ctx.wait_ns != nullptr) *ctx.wait_ns += wait_ns;
+    if (ctx.conflicts != nullptr) ++*ctx.conflicts;
+  }
+}
+
+void RecordWrite(const LatchAcquireContext& ctx, int64_t wait_ns,
+                 bool blocked) {
+  if (ctx.global != nullptr) ctx.global->RecordWrite(wait_ns, blocked);
+  if (blocked) {
+    if (ctx.wait_ns != nullptr) *ctx.wait_ns += wait_ns;
+    if (ctx.conflicts != nullptr) ++*ctx.conflicts;
+  }
+}
+
+}  // namespace
+
+WaitQueueLatch::WaitQueueLatch(SchedulingPolicy policy) : policy_(policy) {}
+
+void WaitQueueLatch::ReadLock(const LatchAcquireContext& ctx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!active_writer_) {
+    ++active_readers_;
+    RecordRead(ctx, 0, /*blocked=*/false);
+    return;
+  }
+  const int64_t start = NowNanos();
+  ++waiting_readers_;
+  cv_.wait(lk, [this] { return !active_writer_; });
+  --waiting_readers_;
+  ++active_readers_;
+  RecordRead(ctx, NowNanos() - start, /*blocked=*/true);
+}
+
+bool WaitQueueLatch::TryReadLock(const LatchAcquireContext& ctx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_writer_) {
+    if (ctx.global != nullptr) ctx.global->RecordTryFailure();
+    return false;
+  }
+  ++active_readers_;
+  RecordRead(ctx, 0, /*blocked=*/false);
+  return true;
+}
+
+void WaitQueueLatch::ReadUnlock() {
+  std::lock_guard<std::mutex> lk(mu_);
+  --active_readers_;
+  if (active_readers_ == 0) GrantLocked();
+}
+
+void WaitQueueLatch::WriteLock(Value bound, const LatchAcquireContext& ctx) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (!active_writer_ && active_readers_ == 0) {
+    // Latch free implies nobody queued (grants always drain the queue when
+    // the latch frees up), so barging is impossible here.
+    active_writer_ = true;
+    RecordWrite(ctx, 0, /*blocked=*/false);
+    return;
+  }
+  const int64_t start = NowNanos();
+  WriterWaiter self{bound, next_ticket_++};
+  if (policy_ == SchedulingPolicy::kMiddleOut) {
+    // Insertion sort by bound (Section 5.3: "insert in the queue the queries
+    // with an insertion sort on their bounds").
+    auto it = std::upper_bound(
+        writer_queue_.begin(), writer_queue_.end(), bound,
+        [](Value b, const WriterWaiter* w) { return b < w->bound; });
+    writer_queue_.insert(it, &self);
+  } else {
+    writer_queue_.push_back(&self);
+  }
+  cv_.wait(lk, [&self] { return self.granted; });
+  RecordWrite(ctx, NowNanos() - start, /*blocked=*/true);
+}
+
+bool WaitQueueLatch::TryWriteLock(const LatchAcquireContext& ctx) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (active_writer_ || active_readers_ > 0) {
+    if (ctx.global != nullptr) ctx.global->RecordTryFailure();
+    return false;
+  }
+  active_writer_ = true;
+  RecordWrite(ctx, 0, /*blocked=*/false);
+  return true;
+}
+
+void WaitQueueLatch::WriteUnlock() {
+  std::lock_guard<std::mutex> lk(mu_);
+  active_writer_ = false;
+  GrantLocked();
+}
+
+void WaitQueueLatch::GrantLocked() {
+  if (active_writer_ || active_readers_ > 0) return;
+  if (waiting_readers_ > 0) {
+    // Reader batch: all waiting readers proceed together; writers keep
+    // waiting (Figure 8: Q1 and Q2 aggregate in parallel while Q3 waits).
+    cv_.notify_all();
+    return;
+  }
+  if (!writer_queue_.empty()) {
+    const size_t idx = PickWriterLocked();
+    WriterWaiter* w = writer_queue_[idx];
+    writer_queue_.erase(writer_queue_.begin() + static_cast<long>(idx));
+    w->granted = true;
+    active_writer_ = true;
+    cv_.notify_all();
+  }
+}
+
+size_t WaitQueueLatch::PickWriterLocked() const {
+  if (policy_ == SchedulingPolicy::kMiddleOut) {
+    // Median waiter: splitting the piece near its middle lets the remaining
+    // waiters proceed in parallel on the two halves.
+    return writer_queue_.size() / 2;
+  }
+  return 0;
+}
+
+std::vector<Value> WaitQueueLatch::PendingWriterBounds() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<Value> bounds;
+  bounds.reserve(writer_queue_.size());
+  for (const WriterWaiter* w : writer_queue_) bounds.push_back(w->bound);
+  return bounds;
+}
+
+bool WaitQueueLatch::HasWaiters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return waiting_readers_ > 0 || !writer_queue_.empty();
+}
+
+}  // namespace adaptidx

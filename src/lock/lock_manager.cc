@@ -1,0 +1,360 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+
+namespace adaptidx {
+
+const char* ToString(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+      return "IS";
+    case LockMode::kIX:
+      return "IX";
+    case LockMode::kS:
+      return "S";
+    case LockMode::kSIX:
+      return "SIX";
+    case LockMode::kX:
+      return "X";
+  }
+  return "?";
+}
+
+bool LockModesCompatible(LockMode held, LockMode requested) {
+  // Rows: held; columns: requested.            IS     IX     S      SIX    X
+  static constexpr bool kMatrix[5][5] = {
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kMatrix[static_cast<int>(held)][static_cast<int>(requested)];
+}
+
+LockMode IntentionFor(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+    case LockMode::kS:
+      return LockMode::kIS;
+    case LockMode::kIX:
+    case LockMode::kSIX:
+    case LockMode::kX:
+      return LockMode::kIX;
+  }
+  return LockMode::kIS;
+}
+
+namespace {
+
+/// Strength order used for upgrade decisions: IS < IX < S < SIX < X is not a
+/// total order in general (IX vs S are incomparable), but the supremum table
+/// below gives the conventional combined mode.
+LockMode Supremum(LockMode a, LockMode b) {
+  if (a == b) return a;
+  auto is = [](LockMode m, LockMode x) { return m == x; };
+  if (is(a, LockMode::kX) || is(b, LockMode::kX)) return LockMode::kX;
+  if ((is(a, LockMode::kS) && is(b, LockMode::kIX)) ||
+      (is(a, LockMode::kIX) && is(b, LockMode::kS))) {
+    return LockMode::kSIX;
+  }
+  if (is(a, LockMode::kSIX) || is(b, LockMode::kSIX)) return LockMode::kSIX;
+  if (is(a, LockMode::kS) || is(b, LockMode::kS)) return LockMode::kS;
+  if (is(a, LockMode::kIX) || is(b, LockMode::kIX)) return LockMode::kIX;
+  return LockMode::kIS;
+}
+
+bool IsPrefixPath(const std::string& ancestor, const std::string& path) {
+  return path.size() > ancestor.size() &&
+         path.compare(0, ancestor.size(), ancestor) == 0 &&
+         path[ancestor.size()] == '/';
+}
+
+}  // namespace
+
+std::vector<std::string> LockManager::Ancestors(const std::string& resource) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while ((pos = resource.find('/', pos)) != std::string::npos) {
+    out.push_back(resource.substr(0, pos));
+    ++pos;
+  }
+  return out;
+}
+
+bool LockManager::GrantableLocked(const ResourceState& rs, uint64_t txn_id,
+                                  LockMode mode) const {
+  for (const Holder& h : rs.holders) {
+    if (h.txn_id == txn_id) continue;  // self-compatibility via upgrade path
+    if (!LockModesCompatible(h.mode, mode)) return false;
+  }
+  return true;
+}
+
+Status LockManager::AcquireOneLocked(std::unique_lock<std::mutex>* lk,
+                                     uint64_t txn_id,
+                                     const std::string& resource,
+                                     LockMode mode, bool blocking) {
+  ResourceState& rs = resources_[resource];
+
+  // Re-acquisition / upgrade handling.
+  for (Holder& h : rs.holders) {
+    if (h.txn_id != txn_id) continue;
+    const LockMode target = Supremum(h.mode, mode);
+    if (target == h.mode) return Status::OK();  // equal or weaker: no-op
+    if (GrantableLocked(rs, txn_id, target)) {
+      h.mode = target;
+      return Status::OK();
+    }
+    if (!blocking) return Status::Busy("upgrade conflict on " + resource);
+    // Blocking upgrades park like fresh waiters below, requesting the
+    // combined mode; the holder entry stays so nobody else sneaks to X.
+    mode = target;
+    break;
+  }
+
+  const bool already_holds =
+      std::any_of(rs.holders.begin(), rs.holders.end(),
+                  [txn_id](const Holder& h) { return h.txn_id == txn_id; });
+
+  // Fairness: block behind earlier waiters unless we already hold the
+  // resource (upgrades may overtake to avoid trivial self-deadlock).
+  if ((rs.waiters.empty() || already_holds) &&
+      GrantableLocked(rs, txn_id, mode)) {
+    if (already_holds) {
+      for (Holder& h : rs.holders) {
+        if (h.txn_id == txn_id) h.mode = Supremum(h.mode, mode);
+      }
+    } else {
+      rs.holders.push_back(Holder{txn_id, mode});
+      txn_locks_[txn_id].push_back(resource);
+    }
+    return Status::OK();
+  }
+
+  if (!blocking) return Status::Busy("lock conflict on " + resource);
+
+  // Deadlock detection before waiting. We will wait behind the current
+  // holders and every waiter already queued (FIFO), so the wait edges point
+  // at both; abort if any of them (transitively) waits for us.
+  std::unordered_set<uint64_t> blockers;
+  for (const Holder& h : rs.holders) {
+    if (h.txn_id != txn_id) blockers.insert(h.txn_id);
+  }
+  for (const Waiter* w : rs.waiters) {
+    if (w->txn_id != txn_id) blockers.insert(w->txn_id);
+  }
+  for (uint64_t b : blockers) {
+    std::unordered_set<uint64_t> visited;
+    if (PathExistsLocked(b, txn_id, &visited)) {
+      ++deadlocks_;
+      return Status::Aborted("deadlock: txn " + std::to_string(txn_id) +
+                             " waiting on " + resource);
+    }
+  }
+
+  Waiter self{txn_id, mode};
+  rs.waiters.push_back(&self);
+  waits_for_[txn_id] = blockers;
+  cv_.wait(*lk, [&self] { return self.granted || self.aborted; });
+  waits_for_.erase(txn_id);
+  if (self.aborted) {
+    ++deadlocks_;
+    return Status::Aborted("deadlock victim: txn " + std::to_string(txn_id));
+  }
+  // Granter added us to holders; record ownership (skip if upgrade).
+  if (!already_holds) txn_locks_[txn_id].push_back(resource);
+  return Status::OK();
+}
+
+Status LockManager::Acquire(uint64_t txn_id, const std::string& resource,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (const std::string& anc : Ancestors(resource)) {
+    Status s = AcquireOneLocked(&lk, txn_id, anc, IntentionFor(mode),
+                                /*blocking=*/true);
+    if (!s.ok()) return s;
+  }
+  return AcquireOneLocked(&lk, txn_id, resource, mode, /*blocking=*/true);
+}
+
+Status LockManager::TryAcquire(uint64_t txn_id, const std::string& resource,
+                               LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+  // Probe the full path first so a failed leaf doesn't leave stray
+  // intention locks behind.
+  std::vector<std::pair<std::string, LockMode>> plan;
+  for (const std::string& anc : Ancestors(resource)) {
+    plan.emplace_back(anc, IntentionFor(mode));
+  }
+  plan.emplace_back(resource, mode);
+  for (const auto& [res, m] : plan) {
+    auto it = resources_.find(res);
+    if (it == resources_.end()) continue;
+    bool held = std::any_of(
+        it->second.holders.begin(), it->second.holders.end(),
+        [txn_id](const Holder& h) { return h.txn_id == txn_id; });
+    LockMode probe = m;
+    if (held) {
+      for (const Holder& h : it->second.holders) {
+        if (h.txn_id == txn_id) probe = Supremum(h.mode, m);
+      }
+    }
+    if (!GrantableLocked(it->second, txn_id, probe)) {
+      return Status::Busy("lock conflict on " + res);
+    }
+    if (!held && !it->second.waiters.empty()) {
+      return Status::Busy("waiters queued on " + res);
+    }
+  }
+  for (const auto& [res, m] : plan) {
+    Status s = AcquireOneLocked(&lk, txn_id, res, m, /*blocking=*/false);
+    if (!s.ok()) return s;  // unreachable given the probe above
+  }
+  return Status::OK();
+}
+
+void LockManager::Release(uint64_t txn_id, const std::string& resource) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) return;
+  auto& holders = it->second.holders;
+  holders.erase(std::remove_if(holders.begin(), holders.end(),
+                               [txn_id](const Holder& h) {
+                                 return h.txn_id == txn_id;
+                               }),
+                holders.end());
+  auto tl = txn_locks_.find(txn_id);
+  if (tl != txn_locks_.end()) {
+    auto& v = tl->second;
+    v.erase(std::remove(v.begin(), v.end(), resource), v.end());
+  }
+  GrantWaitersLocked(resource);
+  if (it->second.holders.empty() && it->second.waiters.empty()) {
+    resources_.erase(it);
+  }
+}
+
+void LockManager::ReleaseAll(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto tl = txn_locks_.find(txn_id);
+  if (tl == txn_locks_.end()) return;
+  // Leaf-to-root: reverse acquisition order.
+  std::vector<std::string> owned = tl->second;
+  txn_locks_.erase(tl);
+  for (auto rit = owned.rbegin(); rit != owned.rend(); ++rit) {
+    auto it = resources_.find(*rit);
+    if (it == resources_.end()) continue;
+    auto& holders = it->second.holders;
+    holders.erase(std::remove_if(holders.begin(), holders.end(),
+                                 [txn_id](const Holder& h) {
+                                   return h.txn_id == txn_id;
+                                 }),
+                  holders.end());
+    GrantWaitersLocked(*rit);
+    if (it->second.holders.empty() && it->second.waiters.empty()) {
+      resources_.erase(it);
+    }
+  }
+}
+
+void LockManager::GrantWaitersLocked(const std::string& resource) {
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) return;
+  ResourceState& rs = it->second;
+  bool granted_any = false;
+  // FIFO scan: grant the longest compatible prefix of waiters.
+  while (!rs.waiters.empty()) {
+    Waiter* w = rs.waiters.front();
+    bool held = std::any_of(
+        rs.holders.begin(), rs.holders.end(),
+        [w](const Holder& h) { return h.txn_id == w->txn_id; });
+    LockMode target = w->mode;
+    if (held) {
+      for (const Holder& h : rs.holders) {
+        if (h.txn_id == w->txn_id) target = Supremum(h.mode, w->mode);
+      }
+    }
+    if (!GrantableLocked(rs, w->txn_id, target)) break;
+    if (held) {
+      for (Holder& h : rs.holders) {
+        if (h.txn_id == w->txn_id) h.mode = target;
+      }
+    } else {
+      rs.holders.push_back(Holder{w->txn_id, w->mode});
+    }
+    w->granted = true;
+    rs.waiters.erase(rs.waiters.begin());
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+bool LockManager::PathExistsLocked(uint64_t from, uint64_t to,
+                                   std::unordered_set<uint64_t>* visited) const {
+  if (from == to) return true;
+  if (!visited->insert(from).second) return false;
+  auto it = waits_for_.find(from);
+  if (it == waits_for_.end()) return false;
+  for (uint64_t next : it->second) {
+    if (PathExistsLocked(next, to, visited)) return true;
+  }
+  return false;
+}
+
+bool LockManager::HasConflicting(const std::string& resource, LockMode mode,
+                                 uint64_t self_txn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  // 1) The resource itself.
+  auto it = resources_.find(resource);
+  if (it != resources_.end()) {
+    for (const Holder& h : it->second.holders) {
+      if (h.txn_id != self_txn && !LockModesCompatible(h.mode, mode)) {
+        return true;
+      }
+    }
+  }
+  // 2) Covering (non-intention) locks on ancestors: an S/SIX/X on the column
+  // covers every piece below it.
+  for (const std::string& anc : Ancestors(resource)) {
+    auto ait = resources_.find(anc);
+    if (ait == resources_.end()) continue;
+    for (const Holder& h : ait->second.holders) {
+      if (h.txn_id == self_txn) continue;
+      if (h.mode == LockMode::kIS || h.mode == LockMode::kIX) continue;
+      if (!LockModesCompatible(h.mode, mode)) return true;
+    }
+  }
+  // 3) Locks on descendants: X on a piece conflicts with any lock inside it.
+  for (auto dit = resources_.upper_bound(resource);
+       dit != resources_.end() && IsPrefixPath(resource, dit->first); ++dit) {
+    for (const Holder& h : dit->second.holders) {
+      if (h.txn_id == self_txn) continue;
+      // The requested mode's coverage of the subtree behaves like the mode
+      // itself at each descendant.
+      if (!LockModesCompatible(h.mode, mode)) return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::HeldMode(uint64_t txn_id, const std::string& resource,
+                           LockMode* mode) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = resources_.find(resource);
+  if (it == resources_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn_id == txn_id) {
+      if (mode != nullptr) *mode = h.mode;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t LockManager::num_locked_resources() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resources_.size();
+}
+
+}  // namespace adaptidx

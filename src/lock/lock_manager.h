@@ -1,0 +1,147 @@
+#ifndef ADAPTIDX_LOCK_LOCK_MANAGER_H_
+#define ADAPTIDX_LOCK_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \brief Transactional lock modes (Table 1: "Shared, exclusive, update,
+/// intention, ..."). Intention modes implement hierarchical locking
+/// (Section 3.2): a transaction locking a piece first takes intention locks
+/// on the column and table above it.
+enum class LockMode : unsigned char {
+  kIS = 0,  ///< intention shared
+  kIX = 1,  ///< intention exclusive
+  kS = 2,   ///< shared
+  kSIX = 3, ///< shared + intention exclusive
+  kX = 4,   ///< exclusive
+};
+
+const char* ToString(LockMode mode);
+
+/// \brief Standard multi-granularity compatibility matrix.
+bool LockModesCompatible(LockMode held, LockMode requested);
+
+/// \brief The intention mode required on ancestors of a resource locked in
+/// `mode` (kS -> kIS, kX/kSIX -> kIX, intentions map to themselves).
+LockMode IntentionFor(LockMode mode);
+
+/// \brief Transactional lock manager separating *user transactions*
+/// (which lock logical contents) from the latch-only system transactions of
+/// adaptive indexing (Sections 3.1-3.3, Table 1).
+///
+/// Resources are hierarchical slash-separated paths, mirroring the
+/// containment hierarchy of incremental locking:
+///
+///     "R"                 the table
+///     "R/A"               a column / index
+///     "R/A/piece:17"      a cracker-array piece (the *incrementally* finer
+///                         lockable sub-object created by refinement)
+///     "R/A/key:100-200"   a key range
+///
+/// `Acquire` automatically takes intention locks root-to-leaf on all
+/// ancestors (hierarchical locking, [7]). Deadlocks among blocking user
+/// transactions are detected on the waits-for graph at wait time; the
+/// requester whose wait would close a cycle is aborted (Status::Aborted).
+///
+/// System transactions performing index refinement never call `Acquire`;
+/// they call `HasConflicting` ("it is required to verify that no concurrent
+/// user transaction holds conflicting locks", Section 3.3) and forgo the
+/// refinement when it returns true.
+class LockManager {
+ public:
+  LockManager() = default;
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// \brief Blocking acquisition with hierarchical intention locks.
+  /// Re-acquiring a held resource with an equal or weaker mode is a no-op;
+  /// a stronger mode attempts an in-place upgrade.
+  /// \return OK, or Aborted when granting would create a deadlock.
+  Status Acquire(uint64_t txn_id, const std::string& resource, LockMode mode);
+
+  /// \brief Non-blocking acquisition; Busy when any conflict exists.
+  Status TryAcquire(uint64_t txn_id, const std::string& resource,
+                    LockMode mode);
+
+  /// \brief Releases one resource (and nothing else; intention ancestors
+  /// stay until ReleaseAll, the common transactional pattern).
+  void Release(uint64_t txn_id, const std::string& resource);
+
+  /// \brief Releases every lock of the transaction (commit/abort).
+  void ReleaseAll(uint64_t txn_id);
+
+  /// \brief Conflict probe for system transactions: would `mode` on
+  /// `resource` conflict with any lock held by another transaction? Checks
+  /// the resource itself, covering locks on ancestors, and any lock on
+  /// descendants. Never blocks, never acquires.
+  bool HasConflicting(const std::string& resource, LockMode mode,
+                      uint64_t self_txn = 0) const;
+
+  /// \brief Mode held by `txn_id` on `resource`, if any.
+  bool HeldMode(uint64_t txn_id, const std::string& resource,
+                LockMode* mode) const;
+
+  size_t num_locked_resources() const;
+  uint64_t deadlocks_detected() const { return deadlocks_; }
+
+ private:
+  struct Holder {
+    uint64_t txn_id;
+    LockMode mode;
+  };
+  struct Waiter {
+    uint64_t txn_id;
+    LockMode mode;
+    bool granted = false;
+    bool aborted = false;
+  };
+  struct ResourceState {
+    std::vector<Holder> holders;
+    std::vector<Waiter*> waiters;  // FIFO
+  };
+
+  /// All ancestor paths of `resource`, root first (excluding the resource).
+  static std::vector<std::string> Ancestors(const std::string& resource);
+
+  /// Acquires a single resource without hierarchy handling. mu_ held.
+  Status AcquireOneLocked(std::unique_lock<std::mutex>* lk, uint64_t txn_id,
+                          const std::string& resource, LockMode mode,
+                          bool blocking);
+
+  /// True when `txn_id` may be granted `mode` on `rs` right now. mu_ held.
+  bool GrantableLocked(const ResourceState& rs, uint64_t txn_id,
+                       LockMode mode) const;
+
+  /// Grants eligible waiters of `resource` after a release. mu_ held.
+  void GrantWaitersLocked(const std::string& resource);
+
+  /// True when txn `from` transitively waits for `to`. mu_ held.
+  bool PathExistsLocked(uint64_t from, uint64_t to,
+                        std::unordered_set<uint64_t>* visited) const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // Ordered so descendant probes can prefix-scan.
+  std::map<std::string, ResourceState> resources_;
+  // txn -> resources it holds (leaf-to-root release order preserved by
+  // recording acquisition order).
+  std::unordered_map<uint64_t, std::vector<std::string>> txn_locks_;
+  // waits-for edges: waiting txn -> holders it waits on.
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> waits_for_;
+  uint64_t deadlocks_ = 0;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_LOCK_LOCK_MANAGER_H_

@@ -1,0 +1,79 @@
+#ifndef ADAPTIDX_MERGING_SEGMENT_STORE_H_
+#define ADAPTIDX_MERGING_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cracking/cracker_array.h"
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief The "final partition" of adaptive merging and hybrid crack-sort
+/// (Figures 3 and 4): a collection of sorted, non-overlapping value segments.
+///
+/// A segment covering [lo, hi) asserts that *every* base-table value in that
+/// range lives in the segment, fully sorted — the result of a completed
+/// merge step. Query ranges are answered from covered parts by binary
+/// search; uncovered gaps are either merged now (creating new segments) or
+/// answered from the initial runs/partitions read-only.
+///
+/// Not internally synchronized; the owning index guards it with its latch.
+class SegmentStore {
+ public:
+  struct Segment {
+    Value lo;   ///< inclusive value coverage start
+    Value hi;   ///< exclusive value coverage end
+    std::vector<CrackerEntry> entries;  ///< sorted by value
+  };
+
+  /// \brief Decomposition of a queried range into covered parts and gaps.
+  struct CoveredPart {
+    const Segment* segment;
+    Value lo;  ///< sub-range of the query inside this segment
+    Value hi;
+  };
+
+  SegmentStore() = default;
+
+  /// \brief Inserts a merged segment. `entries` must be sorted by value and
+  /// the coverage [lo, hi) must not overlap existing segments. Adjacent
+  /// segments are coalesced to keep lookup shallow.
+  void Insert(Value lo, Value hi, std::vector<CrackerEntry> entries);
+
+  /// \brief Splits [lo, hi) into covered parts (in value order) and
+  /// uncovered gaps.
+  void Decompose(Value lo, Value hi, std::vector<CoveredPart>* covered,
+                 std::vector<ValueRange>* gaps) const;
+
+  /// \brief True when [lo, hi) is fully covered by segments.
+  bool Covers(Value lo, Value hi) const;
+
+  /// \brief Count of entries with value in [part.lo, part.hi) inside the
+  /// part's segment (binary search).
+  static uint64_t CountIn(const CoveredPart& part);
+
+  /// \brief Sum of entries with value in [part.lo, part.hi).
+  static int64_t SumIn(const CoveredPart& part);
+
+  /// \brief Appends rowIDs of entries with value in [part.lo, part.hi).
+  static void CollectRowIds(const CoveredPart& part, std::vector<RowId>* out);
+
+  size_t num_segments() const { return segments_.size(); }
+  size_t num_entries() const;
+
+  /// \brief Checks ordering/coverage invariants; used by tests.
+  bool Validate() const;
+
+ private:
+  /// First entry index in `seg` with value >= v.
+  static size_t LowerBound(const Segment& seg, Value v);
+
+  // Keyed by segment lo; non-overlapping, coalesced when adjacent.
+  std::map<Value, Segment> segments_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_MERGING_SEGMENT_STORE_H_

@@ -1,0 +1,55 @@
+#include "storage/catalog.h"
+
+#include <functional>
+
+namespace adaptidx {
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  std::lock_guard<std::mutex> guard(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate table: " + name);
+  }
+  tables_.emplace(name, std::move(table));
+  return Status::OK();
+}
+
+Table* Catalog::GetTable(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<void> Catalog::GetOrCreateIndexEntry(
+    const std::string& key,
+    const std::function<std::shared_ptr<void>()>& factory) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = indexes_.find(key);
+  if (it != indexes_.end()) return it->second;
+  auto entry = factory();
+  indexes_.emplace(key, entry);
+  return entry;
+}
+
+std::shared_ptr<void> Catalog::GetIndexEntry(const std::string& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  auto it = indexes_.find(key);
+  return it == indexes_.end() ? nullptr : it->second;
+}
+
+bool Catalog::DropIndexEntry(const std::string& key) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return indexes_.erase(key) > 0;
+}
+
+size_t Catalog::num_tables() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return tables_.size();
+}
+
+size_t Catalog::num_indexes() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return indexes_.size();
+}
+
+}  // namespace adaptidx

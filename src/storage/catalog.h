@@ -1,0 +1,64 @@
+#ifndef ADAPTIDX_STORAGE_CATALOG_H_
+#define ADAPTIDX_STORAGE_CATALOG_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \brief The catalog owns tables and acts as the "global data structure
+/// that keeps track of which cracker indexes do exist" (Section 5.3).
+///
+/// A select operator first latches the catalog to look up (or register) the
+/// adaptive index for a column, then releases the catalog latch as soon as
+/// the index-local latches are acquired. The catalog latch is therefore a
+/// plain short-duration mutex; it is never held across query processing.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// \brief Registers a table; fails on duplicate name.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// \brief Looks up a table; nullptr when absent. Thread-safe.
+  Table* GetTable(const std::string& name);
+
+  /// \brief Registers an opaque index object under `(table.column)` key,
+  /// returning the already-registered one if a concurrent caller won the
+  /// race. `factory` is only invoked when no entry exists (double-checked
+  /// under the catalog latch).
+  ///
+  /// The catalog does not know index types; `core/` stores AdaptiveIndex
+  /// instances here via shared_ptr<void>.
+  std::shared_ptr<void> GetOrCreateIndexEntry(
+      const std::string& key,
+      const std::function<std::shared_ptr<void>()>& factory);
+
+  /// \brief Looks up an index entry; nullptr when absent.
+  std::shared_ptr<void> GetIndexEntry(const std::string& key);
+
+  /// \brief Drops an index entry (adaptive indexes are optional and "can be
+  /// dropped at any time", Section 4.2). Returns true when present.
+  bool DropIndexEntry(const std::string& key);
+
+  size_t num_tables() const;
+  size_t num_indexes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::shared_ptr<void>> indexes_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_STORAGE_CATALOG_H_

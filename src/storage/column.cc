@@ -1,0 +1,32 @@
+#include "storage/column.h"
+
+#include <numeric>
+
+namespace adaptidx {
+
+Column Column::UniqueRandom(std::string name, size_t n, uint64_t seed) {
+  std::vector<Value> values(n);
+  std::iota(values.begin(), values.end(), static_cast<Value>(0));
+  Rng rng(seed);
+  rng.Shuffle(&values);
+  return Column(std::move(name), std::move(values));
+}
+
+Column Column::UniformRandom(std::string name, size_t n, Value lo, Value hi,
+                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(rng.UniformRange(lo, hi));
+  }
+  return Column(std::move(name), std::move(values));
+}
+
+Column Column::Sequential(std::string name, size_t n) {
+  std::vector<Value> values(n);
+  std::iota(values.begin(), values.end(), static_cast<Value>(0));
+  return Column(std::move(name), std::move(values));
+}
+
+}  // namespace adaptidx

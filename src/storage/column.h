@@ -1,0 +1,64 @@
+#ifndef ADAPTIDX_STORAGE_COLUMN_H_
+#define ADAPTIDX_STORAGE_COLUMN_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+
+/// \brief A single attribute stored as a dense in-memory array
+/// (Section 5.1: "every attribute of a table is stored separately as a dense
+/// array", identical representation in memory and on disk).
+///
+/// The column itself is immutable once loaded in the read-only-query setting
+/// of the paper; adaptive indexes keep their own auxiliary copy of the values
+/// (the cracker array) and never mutate the base column.
+class Column {
+ public:
+  Column() = default;
+  explicit Column(std::string name) : name_(std::move(name)) {}
+  Column(std::string name, std::vector<Value> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// \brief Positional access; positions are the tuple order shared by all
+  /// columns of a table.
+  Value operator[](Position pos) const { return values_[pos]; }
+
+  const std::vector<Value>& values() const { return values_; }
+  const Value* data() const { return values_.data(); }
+
+  /// \brief Appends a value during load; not thread-safe (loads are
+  /// single-threaded, queries start afterwards).
+  void Append(Value v) { values_.push_back(v); }
+
+  void Reserve(size_t n) { values_.reserve(n); }
+
+  /// \brief Builds a column of `n` unique values 0..n-1 in random order —
+  /// the paper's data set ("populated with unique randomly distributed
+  /// integers").
+  static Column UniqueRandom(std::string name, size_t n, uint64_t seed);
+
+  /// \brief Builds a column of `n` uniformly random (possibly duplicated)
+  /// values in [lo, hi).
+  static Column UniformRandom(std::string name, size_t n, Value lo, Value hi,
+                              uint64_t seed);
+
+  /// \brief Builds a column of `n` sequential values 0..n-1 (fully sorted);
+  /// useful for tests and adversarial benchmarks.
+  static Column Sequential(std::string name, size_t n);
+
+ private:
+  std::string name_;
+  std::vector<Value> values_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_STORAGE_COLUMN_H_

@@ -1,0 +1,48 @@
+#ifndef ADAPTIDX_STORAGE_FILE_IO_H_
+#define ADAPTIDX_STORAGE_FILE_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/table.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \file
+/// Binary persistence for columns and tables. Section 5.1: "data is stored
+/// one column at a time ... This representation is the same both in memory
+/// and on disk" — a column file is a small header followed by the raw dense
+/// value array, so loading is a single sequential read into the in-memory
+/// representation.
+///
+/// Column file format (little-endian):
+///   bytes 0-7   magic "ADIXCOL1"
+///   bytes 8-15  uint64 value count
+///   bytes 16-   count * int64 values
+///
+/// A table is a directory with one `<column>.col` file per column and a
+/// `manifest.txt` listing column names in positional order. Adaptive index
+/// state is deliberately *not* persisted: indexes are optional side-effect
+/// structures that queries re-create on demand (Section 4.2: such an index
+/// "can be dropped at any time").
+
+/// \brief Writes one column; overwrites an existing file.
+Status WriteColumn(const Column& column, const std::string& path);
+
+/// \brief Reads a column file written by WriteColumn; `name` becomes the
+/// in-memory column name.
+Status ReadColumn(const std::string& path, const std::string& name,
+                  Column* out);
+
+/// \brief Writes all columns of `table` into directory `dir` (created if
+/// missing) plus a manifest.
+Status WriteTable(const Table& table, const std::string& dir);
+
+/// \brief Loads a table written by WriteTable.
+Status ReadTable(const std::string& dir, const std::string& table_name,
+                 std::unique_ptr<Table>* out);
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_STORAGE_FILE_IO_H_

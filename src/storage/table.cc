@@ -1,0 +1,31 @@
+#include "storage/table.h"
+
+namespace adaptidx {
+
+Status Table::AddColumn(Column column) {
+  if (by_name_.count(column.name()) > 0) {
+    return Status::InvalidArgument("duplicate column name: " + column.name());
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "column length mismatch; columns of a table must be aligned");
+  }
+  by_name_[column.name()] = columns_.size();
+  columns_.push_back(std::make_unique<Column>(std::move(column)));
+  return Status::OK();
+}
+
+const Column* Table::GetColumn(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return columns_[it->second].get();
+}
+
+std::vector<std::string> Table::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c->name());
+  return names;
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,50 @@
+#ifndef ADAPTIDX_STORAGE_TABLE_H_
+#define ADAPTIDX_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \brief A table is a set of aligned columns: all attribute values of tuple
+/// i appear at position i of their respective columns (Section 5.1, Fig. 6).
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// \brief Number of tuples; 0 for a table with no columns.
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front()->size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// \brief Adds a column. All columns must have the same length
+  /// (positional alignment); a mismatched length is rejected.
+  Status AddColumn(Column column);
+
+  /// \brief Looks up a column by name; nullptr when absent.
+  const Column* GetColumn(const std::string& name) const;
+
+  /// \brief Column by ordinal position (order of AddColumn calls).
+  const Column* GetColumnAt(size_t idx) const {
+    return idx < columns_.size() ? columns_[idx].get() : nullptr;
+  }
+
+  std::vector<std::string> ColumnNames() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_STORAGE_TABLE_H_

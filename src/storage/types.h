@@ -1,0 +1,38 @@
+#ifndef ADAPTIDX_STORAGE_TYPES_H_
+#define ADAPTIDX_STORAGE_TYPES_H_
+
+#include <cstdint>
+
+namespace adaptidx {
+
+/// \brief Key/attribute value type. The paper's experiments use unique
+/// randomly distributed integers; 64-bit signed integers cover that and any
+/// dictionary-encoded attribute.
+using Value = int64_t;
+
+/// \brief Row identifier (MonetDB-style oid). 32 bits bound the addressable
+/// table size at ~4.29 billion rows, which matches the paper's in-memory
+/// column-store setting and halves cracker-array footprint versus 64-bit
+/// ids.
+using RowId = uint32_t;
+
+/// \brief Position inside a column or cracker array.
+using Position = uint64_t;
+
+/// \brief Inclusive/exclusive bound handling for crack pivots.
+///
+/// Every crack in this library is normalized to the semantics "the crack at
+/// value v sits at the first position whose value is >= v". Query predicates
+/// of the paper's form `v1 < A < v2` are translated by the operator layer to
+/// the half-open integer range [v1+1, v2).
+struct ValueRange {
+  Value lo;  ///< inclusive lower bound
+  Value hi;  ///< exclusive upper bound
+
+  bool Contains(Value v) const { return v >= lo && v < hi; }
+  bool Empty() const { return lo >= hi; }
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_STORAGE_TYPES_H_

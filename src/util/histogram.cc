@@ -1,0 +1,107 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace adaptidx {
+
+Histogram::Histogram()
+    : count_(0),
+      min_(std::numeric_limits<int64_t>::max()),
+      max_(0),
+      sum_(0.0),
+      buckets_(kNumBuckets, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value <= 0) return 0;
+  // Two buckets per power of two: bucket = 2*log2(v) + (second half? 1 : 0).
+  int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));
+  size_t b = static_cast<size_t>(2 * msb);
+  if (msb > 0 && (static_cast<uint64_t>(value) & (1ULL << (msb - 1)))) {
+    b += 1;
+  }
+  return std::min(b, kNumBuckets - 1);
+}
+
+int64_t Histogram::BucketLimit(size_t b) {
+  // Inverse of BucketFor: limit of bucket 2k is 2^k * 1.5, of 2k+1 is 2^(k+1).
+  size_t k = b / 2;
+  if (k >= 62) return std::numeric_limits<int64_t>::max();
+  int64_t base = static_cast<int64_t>(1) << k;
+  if (b % 2 == 0) return base + base / 2;
+  return base * 2;
+}
+
+void Histogram::Add(int64_t value) {
+  if (value < 0) value = 0;
+  ++count_;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+  sum_ += static_cast<double>(value);
+  ++buckets_[BucketFor(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  if (other.count_ > 0) {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  sum_ += other.sum_;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+}
+
+void Histogram::Clear() {
+  count_ = 0;
+  min_ = std::numeric_limits<int64_t>::max();
+  max_ = 0;
+  sum_ = 0.0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double Histogram::Mean() const {
+  if (count_ == 0) return 0.0;
+  return sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double threshold = static_cast<double>(count_) * (p / 100.0);
+  double seen = 0.0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= threshold) {
+      // Interpolate within the bucket.
+      int64_t left = b == 0 ? 0 : BucketLimit(b - 1);
+      int64_t right = BucketLimit(b);
+      double frac =
+          buckets_[b] == 0 ? 0.0 : (threshold - seen) / buckets_[b];
+      double v = static_cast<double>(left) +
+                 frac * static_cast<double>(right - left);
+      return std::clamp(v, static_cast<double>(min()),
+                        static_cast<double>(max_));
+    }
+    seen = next;
+  }
+  return static_cast<double>(max_);
+}
+
+std::string Histogram::ToString(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f%s p50=%.1f%s p95=%.1f%s p99=%.1f%s "
+                "max=%lld%s",
+                static_cast<unsigned long long>(count_), Mean(), unit.c_str(),
+                Percentile(50), unit.c_str(), Percentile(95), unit.c_str(),
+                Percentile(99), unit.c_str(),
+                static_cast<long long>(max_), unit.c_str());
+  return std::string(buf);
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,61 @@
+#ifndef ADAPTIDX_UTIL_HISTOGRAM_H_
+#define ADAPTIDX_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adaptidx {
+
+/// \brief Log-bucketed latency histogram (RocksDB-style).
+///
+/// Values (typically nanoseconds) are recorded into exponentially sized
+/// buckets; percentiles are interpolated within buckets. Not thread-safe;
+/// either use one per thread and `Merge`, or guard externally.
+class Histogram {
+ public:
+  Histogram();
+
+  /// \brief Records a single non-negative value.
+  void Add(int64_t value);
+
+  /// \brief Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  /// \brief Removes all recorded values.
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// \brief Arithmetic mean of recorded values; 0 when empty.
+  double Mean() const;
+
+  /// \brief Interpolated percentile, `p` in [0, 100].
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+
+  /// \brief One-line summary: count, mean, p50/p95/p99, max.
+  std::string ToString(const std::string& unit = "ns") const;
+
+ private:
+  static constexpr size_t kNumBuckets = 128;
+
+  /// Bucket index for a value: ~2 buckets per power of two.
+  static size_t BucketFor(int64_t value);
+  /// Upper bound (exclusive) of bucket `b`.
+  static int64_t BucketLimit(size_t b);
+
+  uint64_t count_;
+  int64_t min_;
+  int64_t max_;
+  double sum_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_HISTOGRAM_H_

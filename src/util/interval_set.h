@@ -1,0 +1,89 @@
+#ifndef ADAPTIDX_UTIL_INTERVAL_SET_H_
+#define ADAPTIDX_UTIL_INTERVAL_SET_H_
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief Disjoint, coalesced set of half-open value intervals. Tracks which
+/// key ranges have been merged into a final partition (the table-of-contents
+/// role of Section 4.2's partitioned B-tree, value-domain flavor).
+///
+/// Not internally synchronized.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// \brief Adds [lo, hi), merging with overlapping/adjacent intervals.
+  void Add(Value lo, Value hi) {
+    if (lo >= hi) return;
+    // Absorb any interval that overlaps or touches [lo, hi).
+    auto it = ivals_.upper_bound(lo);
+    if (it != ivals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= lo) it = prev;
+    }
+    while (it != ivals_.end() && it->first <= hi) {
+      lo = std::min(lo, it->first);
+      hi = std::max(hi, it->second);
+      it = ivals_.erase(it);
+    }
+    ivals_.emplace(lo, hi);
+  }
+
+  /// \brief Splits [lo, hi) into covered sub-ranges and uncovered gaps, both
+  /// in ascending order.
+  void Decompose(Value lo, Value hi, std::vector<ValueRange>* covered,
+                 std::vector<ValueRange>* gaps) const {
+    if (covered != nullptr) covered->clear();
+    if (gaps != nullptr) gaps->clear();
+    if (lo >= hi) return;
+    Value cursor = lo;
+    auto it = ivals_.upper_bound(lo);
+    if (it != ivals_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > lo) it = prev;
+    }
+    for (; it != ivals_.end() && it->first < hi; ++it) {
+      if (it->second <= cursor) continue;
+      if (it->first > cursor) {
+        if (gaps != nullptr) {
+          gaps->push_back(ValueRange{cursor, std::min(it->first, hi)});
+        }
+        cursor = std::min(it->first, hi);
+        if (cursor >= hi) break;
+      }
+      const Value part_hi = std::min(hi, it->second);
+      if (cursor < part_hi) {
+        if (covered != nullptr) covered->push_back(ValueRange{cursor, part_hi});
+        cursor = part_hi;
+      }
+      if (cursor >= hi) break;
+    }
+    if (cursor < hi && gaps != nullptr) {
+      gaps->push_back(ValueRange{cursor, hi});
+    }
+  }
+
+  /// \brief True when [lo, hi) is fully covered.
+  bool Covers(Value lo, Value hi) const {
+    std::vector<ValueRange> gaps;
+    Decompose(lo, hi, nullptr, &gaps);
+    return gaps.empty();
+  }
+
+  size_t size() const { return ivals_.size(); }
+  bool empty() const { return ivals_.empty(); }
+  void Clear() { ivals_.clear(); }
+
+ private:
+  std::map<Value, Value> ivals_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_INTERVAL_SET_H_

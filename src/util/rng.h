@@ -1,0 +1,86 @@
+#ifndef ADAPTIDX_UTIL_RNG_H_
+#define ADAPTIDX_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adaptidx {
+
+/// \brief Deterministic, fast 64-bit PRNG (xoshiro256** seeded by
+/// SplitMix64). Used everywhere randomness is needed so that experiments are
+/// reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// \brief Re-seeds the generator deterministically.
+  void Seed(uint64_t seed) {
+    // SplitMix64 to fill the state; avoids the all-zero state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform value in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// \brief Uniform value in [lo, hi). Requires lo < hi.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo)));
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \brief Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = Uniform(i + 1);
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Zipf-like skewed sample in [0, n): repeatedly halves the domain
+  /// with probability `skew`, concentrating mass near 0. `skew` in [0, 1);
+  /// 0 yields uniform.
+  uint64_t Skewed(uint64_t n, double skew) {
+    uint64_t lo = 0;
+    uint64_t hi = n;
+    while (hi - lo > 1 && NextDouble() < skew) {
+      hi = lo + (hi - lo) / 2;
+    }
+    if (hi <= lo) return lo;
+    return lo + Uniform(hi - lo);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_RNG_H_

@@ -1,0 +1,67 @@
+#ifndef ADAPTIDX_UTIL_STOPWATCH_H_
+#define ADAPTIDX_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace adaptidx {
+
+/// \brief Returns a monotonic timestamp in nanoseconds.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// \brief Monotonic stopwatch used for all timing in benchmarks and
+/// per-query instrumentation.
+class StopWatch {
+ public:
+  StopWatch() : start_(NowNanos()) {}
+
+  /// \brief Resets the start point to now.
+  void Reset() { start_ = NowNanos(); }
+
+  /// \brief Nanoseconds elapsed since construction or the last Reset().
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+
+  /// \brief Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+
+  /// \brief Elapsed time in milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+
+  /// \brief Elapsed time in seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  int64_t start_;
+};
+
+/// \brief Accumulates elapsed nanoseconds into a target counter on scope
+/// exit. Used to attribute wait time and crack time to per-query stats
+/// without cluttering the control flow.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(int64_t* sink) : sink_(sink), start_(NowNanos()) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) *sink_ += NowNanos() - start_;
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  int64_t* sink_;
+  int64_t start_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_STOPWATCH_H_

@@ -1,0 +1,50 @@
+#ifndef ADAPTIDX_UTIL_THREAD_POOL_H_
+#define ADAPTIDX_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adaptidx {
+
+/// \brief Fixed-size thread pool used by the multi-client driver and by
+/// parallel merge helpers.
+///
+/// Tasks are `std::function<void()>`; `WaitIdle` blocks until every submitted
+/// task has finished. The pool is not work-stealing — experiments submit
+/// coarse tasks (one per client), so a simple mutex-protected deque suffices.
+class ThreadPool {
+ public:
+  /// \brief Starts `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// \brief Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_THREAD_POOL_H_

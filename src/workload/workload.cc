@@ -1,0 +1,66 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace adaptidx {
+
+std::string ToString(QueryType type) {
+  return type == QueryType::kCount ? "count" : "sum";
+}
+
+std::string ToString(QueryDistribution dist) {
+  switch (dist) {
+    case QueryDistribution::kUniform:
+      return "uniform";
+    case QueryDistribution::kSkewed:
+      return "skewed";
+    case QueryDistribution::kSequential:
+      return "sequential";
+  }
+  return "unknown";
+}
+
+std::vector<RangeQuery> WorkloadGenerator::Generate(
+    const WorkloadOptions& opts) const {
+  std::vector<RangeQuery> queries;
+  queries.reserve(opts.num_queries);
+  const int64_t domain = domain_hi_ - domain_lo_;
+  if (domain <= 0) return queries;
+  int64_t width = static_cast<int64_t>(
+      static_cast<double>(domain) * std::clamp(opts.selectivity, 0.0, 1.0));
+  width = std::clamp<int64_t>(width, 1, domain);
+  const int64_t slack = domain - width;  // room for the lower bound
+
+  Rng rng(opts.seed);
+  for (size_t i = 0; i < opts.num_queries; ++i) {
+    int64_t offset = 0;
+    switch (opts.distribution) {
+      case QueryDistribution::kUniform:
+        offset = slack == 0 ? 0 : rng.UniformRange(0, slack + 1);
+        break;
+      case QueryDistribution::kSkewed:
+        offset = slack == 0
+                     ? 0
+                     : static_cast<int64_t>(rng.Skewed(
+                           static_cast<uint64_t>(slack + 1), opts.skew));
+        break;
+      case QueryDistribution::kSequential: {
+        // Slide the window left to right, wrapping around.
+        if (slack == 0) {
+          offset = 0;
+        } else {
+          const int64_t steps = static_cast<int64_t>(opts.num_queries);
+          offset = static_cast<int64_t>(i) * slack / std::max<int64_t>(1, steps - 1);
+        }
+        break;
+      }
+    }
+    const Value lo = domain_lo_ + offset;
+    queries.push_back(RangeQuery{lo, lo + width, opts.type});
+  }
+  return queries;
+}
+
+}  // namespace adaptidx

@@ -1,0 +1,78 @@
+#ifndef ADAPTIDX_WORKLOAD_WORKLOAD_H_
+#define ADAPTIDX_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief The paper's two query templates (Section 6):
+///   Q1: select count(*) from R where v1 < A < v2
+///   Q2: select sum(A)   from R where v1 < A < v2
+enum class QueryType { kCount, kSum };
+
+std::string ToString(QueryType type);
+
+/// \brief A range query with the predicate normalized to the half-open
+/// integer range [lo, hi).
+struct RangeQuery {
+  Value lo;
+  Value hi;
+  QueryType type = QueryType::kCount;
+};
+
+/// \brief How query ranges are placed over the domain.
+enum class QueryDistribution {
+  /// Uniformly random placement — the paper's default ("random range
+  /// queries").
+  kUniform,
+  /// Skewed placement concentrating on the low end of the domain
+  /// (hotspot workloads).
+  kSkewed,
+  /// Left-to-right sliding window — adversarial for plain cracking and the
+  /// motivating case for stochastic cracking [16].
+  kSequential,
+};
+
+std::string ToString(QueryDistribution dist);
+
+/// \brief Parameters of a generated query sequence.
+struct WorkloadOptions {
+  size_t num_queries = 1024;
+  /// Fraction of the value domain covered by each query; the paper sweeps
+  /// {0.01%, 0.1%, 1%, 10%, 50%, 90%}.
+  double selectivity = 0.0001;
+  QueryType type = QueryType::kSum;
+  QueryDistribution distribution = QueryDistribution::kUniform;
+  /// Skew intensity in [0, 1) for kSkewed.
+  double skew = 0.8;
+  uint64_t seed = 7;
+};
+
+/// \brief Deterministic range-query generator over an integer value domain.
+class WorkloadGenerator {
+ public:
+  /// \brief Domain is the half-open value interval [domain_lo, domain_hi)
+  /// that queries draw bounds from (for the paper's data set of n unique
+  /// integers: [0, n)).
+  WorkloadGenerator(Value domain_lo, Value domain_hi)
+      : domain_lo_(domain_lo), domain_hi_(domain_hi) {}
+
+  /// \brief Generates `opts.num_queries` queries of width
+  /// `selectivity * |domain|` (at least 1), placed per the distribution.
+  std::vector<RangeQuery> Generate(const WorkloadOptions& opts) const;
+
+  Value domain_lo() const { return domain_lo_; }
+  Value domain_hi() const { return domain_hi_; }
+
+ private:
+  Value domain_lo_;
+  Value domain_hi_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_WORKLOAD_WORKLOAD_H_

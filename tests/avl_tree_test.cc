@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "cracking/avl_tree.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+TEST(AvlTreeTest, EmptyTree) {
+  AvlTree t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.Height(), 0);
+  Position pos;
+  EXPECT_FALSE(t.Find(5, &pos));
+  AvlTree::Entry e;
+  EXPECT_FALSE(t.Floor(5, &e));
+  EXPECT_FALSE(t.Ceiling(5, &e));
+  EXPECT_TRUE(t.Validate());
+}
+
+TEST(AvlTreeTest, SingleInsertAndFind) {
+  AvlTree t;
+  EXPECT_TRUE(t.Insert(10, 3));
+  EXPECT_EQ(t.size(), 1u);
+  Position pos;
+  ASSERT_TRUE(t.Find(10, &pos));
+  EXPECT_EQ(pos, 3u);
+  EXPECT_FALSE(t.Find(11, &pos));
+}
+
+TEST(AvlTreeTest, DuplicateInsertIgnored) {
+  AvlTree t;
+  EXPECT_TRUE(t.Insert(10, 3));
+  EXPECT_FALSE(t.Insert(10, 99));  // crack positions are immutable
+  Position pos;
+  ASSERT_TRUE(t.Find(10, &pos));
+  EXPECT_EQ(pos, 3u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(AvlTreeTest, FloorSemantics) {
+  AvlTree t;
+  t.Insert(10, 1);
+  t.Insert(20, 2);
+  t.Insert(30, 3);
+  AvlTree::Entry e;
+  EXPECT_FALSE(t.Floor(9, &e));
+  ASSERT_TRUE(t.Floor(10, &e));
+  EXPECT_EQ(e.value, 10);
+  ASSERT_TRUE(t.Floor(25, &e));
+  EXPECT_EQ(e.value, 20);
+  ASSERT_TRUE(t.Floor(1000, &e));
+  EXPECT_EQ(e.value, 30);
+}
+
+TEST(AvlTreeTest, CeilingIsStrictlyGreater) {
+  AvlTree t;
+  t.Insert(10, 1);
+  t.Insert(20, 2);
+  AvlTree::Entry e;
+  ASSERT_TRUE(t.Ceiling(5, &e));
+  EXPECT_EQ(e.value, 10);
+  ASSERT_TRUE(t.Ceiling(10, &e));
+  EXPECT_EQ(e.value, 20);  // strictly greater than 10
+  EXPECT_FALSE(t.Ceiling(20, &e));
+}
+
+TEST(AvlTreeTest, NextByPosition) {
+  AvlTree t;
+  t.Insert(10, 100);
+  t.Insert(20, 200);
+  t.Insert(30, 300);
+  AvlTree::Entry e;
+  ASSERT_TRUE(t.NextByPosition(0, &e));
+  EXPECT_EQ(e.pos, 100u);
+  ASSERT_TRUE(t.NextByPosition(100, &e));
+  EXPECT_EQ(e.pos, 200u);
+  ASSERT_TRUE(t.NextByPosition(250, &e));
+  EXPECT_EQ(e.pos, 300u);
+  EXPECT_FALSE(t.NextByPosition(300, &e));
+}
+
+TEST(AvlTreeTest, InOrderIsSortedByValue) {
+  AvlTree t;
+  for (Value v : {50, 20, 80, 10, 30, 70, 90}) {
+    t.Insert(v, static_cast<Position>(v));
+  }
+  std::vector<AvlTree::Entry> entries;
+  t.InOrder(&entries);
+  ASSERT_EQ(entries.size(), 7u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].value, entries[i].value);
+  }
+}
+
+TEST(AvlTreeTest, AscendingInsertStaysBalanced) {
+  AvlTree t;
+  for (Value v = 0; v < 1024; ++v) t.Insert(v, static_cast<Position>(v));
+  EXPECT_TRUE(t.Validate());
+  // AVL height bound: 1.44 * log2(n + 2).
+  EXPECT_LE(t.Height(), 15);
+}
+
+TEST(AvlTreeTest, DescendingInsertStaysBalanced) {
+  AvlTree t;
+  for (Value v = 1023; v >= 0; --v) t.Insert(v, static_cast<Position>(v));
+  EXPECT_TRUE(t.Validate());
+  EXPECT_LE(t.Height(), 15);
+}
+
+TEST(AvlTreeTest, ClearEmptiesTree) {
+  AvlTree t;
+  t.Insert(1, 1);
+  t.Insert(2, 2);
+  t.Clear();
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Validate());
+  EXPECT_TRUE(t.Insert(1, 5));
+}
+
+TEST(AvlTreeTest, RandomizedAgainstStdMap) {
+  Rng rng(77);
+  AvlTree t;
+  std::map<Value, Position> oracle;
+  for (int i = 0; i < 3000; ++i) {
+    const Value v = rng.UniformRange(0, 1000);
+    const Position pos = static_cast<Position>(v) * 7;
+    const bool inserted = t.Insert(v, pos);
+    const bool oracle_inserted = oracle.emplace(v, pos).second;
+    ASSERT_EQ(inserted, oracle_inserted);
+  }
+  ASSERT_EQ(t.size(), oracle.size());
+  ASSERT_TRUE(t.Validate());
+  // Spot-check lookups across the domain.
+  for (Value v = -5; v < 1005; ++v) {
+    Position pos;
+    const bool found = t.Find(v, &pos);
+    auto it = oracle.find(v);
+    ASSERT_EQ(found, it != oracle.end());
+    if (found) {
+      ASSERT_EQ(pos, it->second);
+    }
+
+    AvlTree::Entry e;
+    const bool has_floor = t.Floor(v, &e);
+    auto up = oracle.upper_bound(v);
+    if (up == oracle.begin()) {
+      ASSERT_FALSE(has_floor);
+    } else {
+      ASSERT_TRUE(has_floor);
+      ASSERT_EQ(e.value, std::prev(up)->first);
+    }
+
+    const bool has_ceil = t.Ceiling(v, &e);
+    if (up == oracle.end()) {
+      ASSERT_FALSE(has_ceil);
+    } else {
+      ASSERT_TRUE(has_ceil);
+      ASSERT_EQ(e.value, up->first);
+    }
+  }
+}
+
+class AvlHeightTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AvlHeightTest, HeightWithinAvlBound) {
+  const size_t n = GetParam();
+  AvlTree t;
+  Rng rng(n);
+  size_t inserted = 0;
+  while (inserted < n) {
+    // Positions proportional to values, as real cracks over a uniform
+    // permutation would be (Validate checks that monotonicity).
+    const Value v = rng.UniformRange(0, static_cast<Value>(n) * 4);
+    if (t.Insert(v, static_cast<Position>(v))) ++inserted;
+  }
+  EXPECT_TRUE(t.Validate());
+  const double bound = 1.4405 * std::log2(static_cast<double>(n) + 2) + 1;
+  EXPECT_LE(t.Height(), static_cast<int>(bound));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AvlHeightTest,
+                         ::testing::Values(1, 2, 3, 10, 100, 1000, 10000),
+                         [](const auto& info) {
+                           return "n" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace adaptidx

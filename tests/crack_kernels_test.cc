@@ -1,0 +1,327 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "cracking/crack_kernels.h"
+#include "cracking/cracker_array.h"
+#include "storage/column.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+std::vector<CrackerEntry> MakeEntries(const std::vector<Value>& values) {
+  std::vector<CrackerEntry> out;
+  out.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    out.push_back(CrackerEntry{static_cast<RowId>(i), values[i]});
+  }
+  return out;
+}
+
+std::multiset<Value> ValueSet(const CrackerArray& a, Position b, Position e) {
+  std::multiset<Value> s;
+  for (Position i = b; i < e; ++i) s.insert(a.ValueAt(i));
+  return s;
+}
+
+// ----------------------------------------------------- CrackInTwo basics
+
+TEST(CrackInTwoTest, SimplePartition) {
+  auto entries = MakeEntries({5, 1, 9, 3, 7});
+  PairAccessor acc(entries.data());
+  const Position split = CrackInTwo(acc, 0, 5, 5);
+  EXPECT_EQ(split, 2u);
+  EXPECT_TRUE(VerifyCrackInTwo(acc, 0, split, 5, 5));
+}
+
+TEST(CrackInTwoTest, AllBelowPivot) {
+  auto entries = MakeEntries({1, 2, 3});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(CrackInTwo(acc, 0, 3, 100), 3u);
+}
+
+TEST(CrackInTwoTest, AllAtOrAbovePivot) {
+  auto entries = MakeEntries({5, 6, 7});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(CrackInTwo(acc, 0, 3, 5), 0u);
+}
+
+TEST(CrackInTwoTest, EmptyRange) {
+  auto entries = MakeEntries({1, 2, 3});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(CrackInTwo(acc, 1, 1, 2), 1u);
+}
+
+TEST(CrackInTwoTest, SingleElementBelow) {
+  auto entries = MakeEntries({1});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(CrackInTwo(acc, 0, 1, 5), 1u);
+}
+
+TEST(CrackInTwoTest, SingleElementAtPivot) {
+  auto entries = MakeEntries({5});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(CrackInTwo(acc, 0, 1, 5), 0u);
+}
+
+TEST(CrackInTwoTest, DuplicateValuesAroundPivot) {
+  auto entries = MakeEntries({5, 5, 1, 5, 1});
+  PairAccessor acc(entries.data());
+  const Position split = CrackInTwo(acc, 0, 5, 5);
+  EXPECT_EQ(split, 2u);
+  EXPECT_TRUE(VerifyCrackInTwo(acc, 0, split, 5, 5));
+}
+
+TEST(CrackInTwoTest, SubrangeOnlyTouched) {
+  auto entries = MakeEntries({100, 4, 2, 9, 200});
+  PairAccessor acc(entries.data());
+  CrackInTwo(acc, 1, 4, 5);
+  // Positions outside [1, 4) are untouched.
+  EXPECT_EQ(entries[0].value, 100);
+  EXPECT_EQ(entries[4].value, 200);
+}
+
+TEST(CrackInTwoTest, PreservesRowIdPairing) {
+  Column col = Column::UniqueRandom("a", 100, 5);
+  CrackerArray arr(col, ArrayLayout::kRowIdValuePairs);
+  arr.CrackTwo(0, 100, 50);
+  for (Position i = 0; i < 100; ++i) {
+    // Each value must still travel with its original rowID.
+    EXPECT_EQ(col[arr.RowIdAt(i)], arr.ValueAt(i));
+  }
+}
+
+// --------------------------------------------------- CrackInThree basics
+
+TEST(CrackInThreeTest, SimpleThreeWay) {
+  auto entries = MakeEntries({5, 1, 9, 3, 7, 2, 8});
+  PairAccessor acc(entries.data());
+  auto [p1, p2] = CrackInThree(acc, 0, 7, 3, 8);
+  EXPECT_EQ(p1, 2u);  // {1, 2}
+  EXPECT_EQ(p2, 5u);  // {5, 3, 7}
+  for (Position i = 0; i < p1; ++i) EXPECT_LT(acc.ValueAt(i), 3);
+  for (Position i = p1; i < p2; ++i) {
+    EXPECT_GE(acc.ValueAt(i), 3);
+    EXPECT_LT(acc.ValueAt(i), 8);
+  }
+  for (Position i = p2; i < 7; ++i) EXPECT_GE(acc.ValueAt(i), 8);
+}
+
+TEST(CrackInThreeTest, EmptyMiddle) {
+  auto entries = MakeEntries({1, 10, 2, 20});
+  PairAccessor acc(entries.data());
+  auto [p1, p2] = CrackInThree(acc, 0, 4, 5, 6);
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1, 2u);
+}
+
+TEST(CrackInThreeTest, AllInMiddle) {
+  auto entries = MakeEntries({5, 6, 7});
+  PairAccessor acc(entries.data());
+  auto [p1, p2] = CrackInThree(acc, 0, 3, 5, 8);
+  EXPECT_EQ(p1, 0u);
+  EXPECT_EQ(p2, 3u);
+}
+
+TEST(CrackInThreeTest, EqualBounds) {
+  auto entries = MakeEntries({3, 1, 5});
+  PairAccessor acc(entries.data());
+  auto [p1, p2] = CrackInThree(acc, 0, 3, 3, 3);
+  EXPECT_EQ(p1, p2);
+  for (Position i = 0; i < p1; ++i) EXPECT_LT(acc.ValueAt(i), 3);
+}
+
+// -------------------------------------------------------- Scan kernels
+
+TEST(ScanKernelsTest, ScanCountAndSum) {
+  auto entries = MakeEntries({1, 5, 3, 8, 2});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(ScanCount(acc, 0, 5, 2, 6), 3u);  // {5, 3, 2}
+  EXPECT_EQ(ScanSum(acc, 0, 5, 2, 6), 10);
+}
+
+TEST(ScanKernelsTest, PositionalSum) {
+  auto entries = MakeEntries({1, 5, 3});
+  PairAccessor acc(entries.data());
+  EXPECT_EQ(PositionalSum(acc, 0, 3), 9);
+  EXPECT_EQ(PositionalSum(acc, 1, 2), 5);
+  EXPECT_EQ(PositionalSum(acc, 2, 2), 0);
+}
+
+// ------------------------------------------- CrackerArray layout parity
+
+class CrackerArrayLayoutTest : public ::testing::TestWithParam<ArrayLayout> {};
+
+TEST_P(CrackerArrayLayoutTest, BuildFromColumn) {
+  Column col("a", {30, 10, 20});
+  CrackerArray arr(col, GetParam());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_EQ(arr.ValueAt(0), 30);
+  EXPECT_EQ(arr.RowIdAt(0), 0u);
+  EXPECT_EQ(arr.ValueAt(2), 20);
+  EXPECT_EQ(arr.RowIdAt(2), 2u);
+}
+
+TEST_P(CrackerArrayLayoutTest, CrackTwoPartitions) {
+  Column col = Column::UniqueRandom("a", 512, 11);
+  CrackerArray arr(col, GetParam());
+  const Position split = arr.CrackTwo(0, 512, 256);
+  EXPECT_EQ(split, 256u);  // unique 0..511: exactly 256 below the pivot
+  for (Position i = 0; i < split; ++i) EXPECT_LT(arr.ValueAt(i), 256);
+  for (Position i = split; i < 512; ++i) EXPECT_GE(arr.ValueAt(i), 256);
+}
+
+TEST_P(CrackerArrayLayoutTest, CrackThreePartitions) {
+  Column col = Column::UniqueRandom("a", 512, 13);
+  CrackerArray arr(col, GetParam());
+  auto [p1, p2] = arr.CrackThree(0, 512, 100, 400);
+  EXPECT_EQ(p1, 100u);
+  EXPECT_EQ(p2, 400u);
+}
+
+TEST_P(CrackerArrayLayoutTest, CrackPreservesMultiset) {
+  Column col = Column::UniformRandom("a", 300, 0, 50, 17);
+  CrackerArray arr(col, GetParam());
+  auto before = ValueSet(arr, 0, 300);
+  arr.CrackTwo(0, 300, 25);
+  arr.CrackThree(0, 300, 10, 40);
+  EXPECT_EQ(ValueSet(arr, 0, 300), before);
+}
+
+TEST_P(CrackerArrayLayoutTest, SortRangeSortsAndKeepsPairs) {
+  Column col = Column::UniqueRandom("a", 200, 19);
+  CrackerArray arr(col, GetParam());
+  arr.SortRange(50, 150);
+  for (Position i = 51; i < 150; ++i) {
+    EXPECT_LE(arr.ValueAt(i - 1), arr.ValueAt(i));
+  }
+  for (Position i = 0; i < 200; ++i) {
+    EXPECT_EQ(col[arr.RowIdAt(i)], arr.ValueAt(i));
+  }
+}
+
+TEST_P(CrackerArrayLayoutTest, ScanRangesMatchKernel) {
+  Column col = Column::UniformRandom("a", 400, 0, 100, 23);
+  CrackerArray arr(col, GetParam());
+  uint64_t count = 0;
+  int64_t sum = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    if (col[i] >= 20 && col[i] < 60) {
+      ++count;
+      sum += col[i];
+    }
+  }
+  EXPECT_EQ(arr.ScanCountRange(0, 400, 20, 60), count);
+  EXPECT_EQ(arr.ScanSumRange(0, 400, 20, 60), sum);
+}
+
+TEST_P(CrackerArrayLayoutTest, PositionalSumWholeArray) {
+  Column col = Column::Sequential("a", 100);
+  CrackerArray arr(col, GetParam());
+  EXPECT_EQ(arr.PositionalSumRange(0, 100), 99 * 100 / 2);
+}
+
+TEST_P(CrackerArrayLayoutTest, CollectRowIds) {
+  Column col("a", {30, 10, 20});
+  CrackerArray arr(col, GetParam());
+  std::vector<RowId> ids;
+  arr.CollectRowIds(0, 3, &ids);
+  EXPECT_EQ(ids, (std::vector<RowId>{0, 1, 2}));
+}
+
+TEST_P(CrackerArrayLayoutTest, LowerBoundInSorted) {
+  Column col = Column::Sequential("a", 100);
+  CrackerArray arr(col, GetParam());
+  EXPECT_EQ(arr.LowerBoundInSorted(0, 100, 0), 0u);
+  EXPECT_EQ(arr.LowerBoundInSorted(0, 100, 50), 50u);
+  EXPECT_EQ(arr.LowerBoundInSorted(0, 100, 1000), 100u);
+  EXPECT_EQ(arr.LowerBoundInSorted(20, 80, 10), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, CrackerArrayLayoutTest,
+                         ::testing::Values(ArrayLayout::kRowIdValuePairs,
+                                           ArrayLayout::kPairOfArrays),
+                         [](const auto& info) {
+                           return info.param == ArrayLayout::kRowIdValuePairs
+                                      ? "Pairs"
+                                      : "SplitArrays";
+                         });
+
+// ------------------------------------- Property sweep: random pivots
+
+struct KernelPropertyParam {
+  size_t n;
+  uint64_t seed;
+  bool duplicates;
+};
+
+class KernelPropertyTest
+    : public ::testing::TestWithParam<KernelPropertyParam> {};
+
+TEST_P(KernelPropertyTest, CrackInTwoInvariantHolds) {
+  const auto p = GetParam();
+  Column col = p.duplicates
+                   ? Column::UniformRandom("a", p.n, 0,
+                                           static_cast<Value>(p.n / 4 + 1),
+                                           p.seed)
+                   : Column::UniqueRandom("a", p.n, p.seed);
+  CrackerArray arr(col, ArrayLayout::kPairOfArrays);
+  auto before = ValueSet(arr, 0, p.n);
+  Rng rng(p.seed ^ 0xabc);
+  for (int i = 0; i < 16; ++i) {
+    const Value pivot = rng.UniformRange(0, static_cast<Value>(p.n) + 1);
+    const Position split = arr.CrackTwo(0, p.n, pivot);
+    for (Position j = 0; j < split; ++j) ASSERT_LT(arr.ValueAt(j), pivot);
+    for (Position j = split; j < p.n; ++j) ASSERT_GE(arr.ValueAt(j), pivot);
+  }
+  EXPECT_EQ(ValueSet(arr, 0, p.n), before);
+}
+
+TEST_P(KernelPropertyTest, CrackInThreeEquivalentToTwoTwos) {
+  const auto p = GetParam();
+  Column col = p.duplicates
+                   ? Column::UniformRandom("a", p.n, 0,
+                                           static_cast<Value>(p.n / 4 + 1),
+                                           p.seed)
+                   : Column::UniqueRandom("a", p.n, p.seed);
+  Rng rng(p.seed ^ 0xdef);
+  Value lo = rng.UniformRange(0, static_cast<Value>(p.n));
+  Value hi = rng.UniformRange(0, static_cast<Value>(p.n));
+  if (lo > hi) std::swap(lo, hi);
+
+  CrackerArray three(col, ArrayLayout::kPairOfArrays);
+  auto [p1, p2] = three.CrackThree(0, p.n, lo, hi);
+
+  CrackerArray twos(col, ArrayLayout::kPairOfArrays);
+  const Position q1 = twos.CrackTwo(0, p.n, lo);
+  const Position q2 = twos.CrackTwo(q1, p.n, hi);
+
+  EXPECT_EQ(p1, q1);
+  EXPECT_EQ(p2, q2);
+  EXPECT_EQ(ValueSet(three, p1, p2), ValueSet(twos, q1, q2));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelPropertyTest,
+    ::testing::Values(KernelPropertyParam{1, 1, false},
+                      KernelPropertyParam{2, 2, false},
+                      KernelPropertyParam{17, 3, false},
+                      KernelPropertyParam{256, 4, false},
+                      KernelPropertyParam{1000, 5, false},
+                      KernelPropertyParam{4096, 6, false},
+                      KernelPropertyParam{17, 7, true},
+                      KernelPropertyParam{256, 8, true},
+                      KernelPropertyParam{1000, 9, true},
+                      KernelPropertyParam{4096, 10, true}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_seed" +
+             std::to_string(info.param.seed) +
+             (info.param.duplicates ? "_dup" : "_uniq");
+    });
+
+}  // namespace
+}  // namespace adaptidx

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/cracking_index.h"
+#include "engine/driver.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+namespace {
+
+constexpr size_t kRows = 20000;
+constexpr int kThreads = 6;
+constexpr int kQueriesPerThread = 150;
+
+/// Runs `kThreads` clients of mixed count/sum queries against `index`,
+/// checking every result against the oracle. Returns false on any mismatch.
+bool RunConcurrentQueries(CrackingIndex* index, const RangeOracle& oracle,
+                          uint64_t seed) {
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(seed + static_cast<uint64_t>(t) * 7919);
+      for (int i = 0; i < kQueriesPerThread && ok.load(); ++i) {
+        Value lo = rng.UniformRange(0, kRows);
+        Value hi = rng.UniformRange(0, kRows);
+        if (lo > hi) std::swap(lo, hi);
+        QueryContext ctx;
+        ctx.client_id = static_cast<uint32_t>(t);
+        if (i % 2 == 0) {
+          uint64_t count = 0;
+          if (!index->RangeCount(ValueRange{lo, hi}, &ctx, &count).ok() ||
+              count != oracle.Count(lo, hi)) {
+            ok.store(false);
+          }
+        } else {
+          int64_t sum = 0;
+          if (!index->RangeSum(ValueRange{lo, hi}, &ctx, &sum).ok() ||
+              sum != oracle.Sum(lo, hi)) {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return ok.load();
+}
+
+struct ConcurrentParam {
+  ConcurrencyMode mode;
+  SchedulingPolicy policy;
+  RefinementStrategy strategy;
+  bool group_crack;
+  bool stochastic;
+  const char* name;
+};
+
+class CrackingConcurrentTest
+    : public ::testing::TestWithParam<ConcurrentParam> {
+ protected:
+  void SetUp() override {
+    column_ = Column::UniqueRandom("A", kRows, 1234);
+    oracle_ = std::make_unique<RangeOracle>(column_);
+  }
+
+  CrackingOptions Options() const {
+    CrackingOptions opts;
+    opts.mode = GetParam().mode;
+    opts.scheduling = GetParam().policy;
+    opts.strategy = GetParam().strategy;
+    opts.group_crack = GetParam().group_crack;
+    opts.stochastic = GetParam().stochastic;
+    opts.stochastic_min_piece = 2048;
+    opts.sort_piece_threshold = 256;
+    return opts;
+  }
+
+  Column column_;
+  std::unique_ptr<RangeOracle> oracle_;
+};
+
+TEST_P(CrackingConcurrentTest, AllResultsMatchOracle) {
+  CrackingIndex index(&column_, Options());
+  EXPECT_TRUE(RunConcurrentQueries(&index, *oracle_, 555));
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_P(CrackingConcurrentTest, SecondWaveAfterRefinementStillCorrect) {
+  CrackingIndex index(&column_, Options());
+  ASSERT_TRUE(RunConcurrentQueries(&index, *oracle_, 111));
+  // The index is now heavily refined; run a second concurrent wave.
+  EXPECT_TRUE(RunConcurrentQueries(&index, *oracle_, 222));
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, CrackingConcurrentTest,
+    ::testing::Values(
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, false, false,
+                        "piece_middleout"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch, SchedulingPolicy::kFifo,
+                        RefinementStrategy::kStandard, false, false,
+                        "piece_fifo"},
+        ConcurrentParam{ConcurrencyMode::kColumnLatch,
+                        SchedulingPolicy::kFifo,
+                        RefinementStrategy::kStandard, false, false,
+                        "column_latch"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kLazy, false, false,
+                        "piece_lazy"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kActive, false, false,
+                        "piece_active"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kDynamic, false, false,
+                        "piece_dynamic"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, true, false,
+                        "piece_groupcrack"},
+        ConcurrentParam{ConcurrencyMode::kPieceLatch,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, false, true,
+                        "piece_stochastic"}),
+    [](const auto& info) { return info.param.name; });
+
+// ------------------------------------------------------- Specific races
+
+TEST(CrackingRaceTest, ManyThreadsSameQuery) {
+  // All threads crack the same bounds at once: exactly two cracks must
+  // result and everyone must read the same count.
+  Column col = Column::UniqueRandom("A", kRows, 77);
+  CrackingIndex index(&col);
+  const uint64_t expected = 5000;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      QueryContext ctx;
+      uint64_t count = 0;
+      if (!index.RangeCount(ValueRange{5000, 10000}, &ctx, &count).ok() ||
+          count != expected) {
+        wrong.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(index.NumCracks(), 2u);
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(CrackingRaceTest, OverlappingRangesConvergeToConsistentStructure) {
+  Column col = Column::UniqueRandom("A", kRows, 88);
+  RangeOracle oracle(col);
+  CrackingIndex index(&col);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      // Heavily overlapping sliding windows from different offsets.
+      for (int i = 0; i < 120 && ok.load(); ++i) {
+        const Value lo = ((t * 331 + i * 97) % (kRows - 500));
+        QueryContext ctx;
+        uint64_t count = 0;
+        if (!index.RangeCount(ValueRange{lo, lo + 500}, &ctx, &count).ok() ||
+            count != oracle.Count(lo, lo + 500)) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(CrackingRaceTest, MixedReadersAndCrackersOnSamePiece) {
+  // Half the threads aggregate over a fixed hot range (read latches) while
+  // the other half keep cracking inside it (write latches).
+  Column col = Column::UniqueRandom("A", kRows, 99);
+  RangeOracle oracle(col);
+  CrackingIndex index(&col);
+  // Pre-crack the hot range bounds so readers can aggregate positionally.
+  {
+    QueryContext ctx;
+    uint64_t count;
+    ASSERT_TRUE(index.RangeCount(ValueRange{2000, 18000}, &ctx, &count).ok());
+  }
+  const int64_t hot_sum = oracle.Sum(2000, 18000);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(900 + t);
+      for (int i = 0; i < 100 && ok.load(); ++i) {
+        QueryContext ctx;
+        if (t % 2 == 0) {
+          int64_t sum = 0;
+          if (!index.RangeSum(ValueRange{2000, 18000}, &ctx, &sum).ok() ||
+              sum != hot_sum) {
+            ok.store(false);
+          }
+        } else {
+          const Value lo = rng.UniformRange(2000, 17000);
+          uint64_t count = 0;
+          if (!index.RangeCount(ValueRange{lo, lo + 200}, &ctx, &count)
+                   .ok() ||
+              count != oracle.Count(lo, lo + 200)) {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(CrackingRaceTest, ConflictsDecreaseAsIndexRefines) {
+  // The paper's core claim (Figure 1 right, Figure 15): wait time in the
+  // second half of the workload is lower than in the first half.
+  Column col = Column::UniqueRandom("A", 200000, 101);
+  CrackingIndex index(&col);
+  WorkloadGenerator gen(0, 200000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 512;
+  wopts.selectivity = 0.01;
+  wopts.type = QueryType::kSum;
+  wopts.seed = 5;
+  auto queries = gen.Generate(wopts);
+
+  DriverOptions dopts;
+  dopts.num_clients = 8;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.records.size(), queries.size());
+
+  int64_t first_half_wait = 0;
+  int64_t second_half_wait = 0;
+  for (size_t i = 0; i < result.records.size(); ++i) {
+    if (i < result.records.size() / 2) {
+      first_half_wait += result.records[i].stats.wait_ns;
+    } else {
+      second_half_wait += result.records[i].stats.wait_ns;
+    }
+  }
+  EXPECT_GT(first_half_wait, second_half_wait);
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(CrackingRaceTest, DriverResultsMatchOracleAllClients) {
+  Column col = Column::UniqueRandom("A", kRows, 103);
+  RangeOracle oracle(col);
+  CrackingIndex index(&col);
+  WorkloadGenerator gen(0, kRows);
+  WorkloadOptions wopts;
+  wopts.num_queries = 256;
+  wopts.selectivity = 0.05;
+  wopts.type = QueryType::kCount;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 4;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.records.size(), queries.size());
+  for (const auto& rec : result.records) {
+    ASSERT_EQ(rec.result.count, oracle.Count(rec.query.lo, rec.query.hi));
+  }
+}
+
+TEST(CrackingRaceTest, LazyUnderContentionSkipsButStaysCorrect) {
+  Column col = Column::UniqueRandom("A", kRows, 105);
+  RangeOracle oracle(col);
+  CrackingOptions opts;
+  opts.strategy = RefinementStrategy::kLazy;
+  CrackingIndex index(&col, opts);
+  EXPECT_TRUE(RunConcurrentQueries(&index, oracle, 321));
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+}  // namespace
+}  // namespace adaptidx

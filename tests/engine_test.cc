@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "engine/database.h"
+#include "engine/driver.h"
+#include "engine/operators.h"
+#include "test_util.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+namespace {
+
+// ------------------------------------------------------------- Workload
+
+TEST(WorkloadTest, GeneratesRequestedCount) {
+  WorkloadGenerator gen(0, 10000);
+  WorkloadOptions opts;
+  opts.num_queries = 64;
+  auto queries = gen.Generate(opts);
+  EXPECT_EQ(queries.size(), 64u);
+}
+
+TEST(WorkloadTest, SelectivityControlsWidth) {
+  WorkloadGenerator gen(0, 10000);
+  WorkloadOptions opts;
+  opts.num_queries = 100;
+  opts.selectivity = 0.1;
+  for (const auto& q : gen.Generate(opts)) {
+    EXPECT_EQ(q.hi - q.lo, 1000);
+    EXPECT_GE(q.lo, 0);
+    EXPECT_LE(q.hi, 10000);
+  }
+}
+
+TEST(WorkloadTest, TinySelectivityYieldsWidthOne) {
+  WorkloadGenerator gen(0, 1000);
+  WorkloadOptions opts;
+  opts.selectivity = 0.0000001;
+  opts.num_queries = 10;
+  for (const auto& q : gen.Generate(opts)) EXPECT_EQ(q.hi - q.lo, 1);
+}
+
+TEST(WorkloadTest, FullSelectivityCoversDomain) {
+  WorkloadGenerator gen(0, 1000);
+  WorkloadOptions opts;
+  opts.selectivity = 1.0;
+  opts.num_queries = 5;
+  for (const auto& q : gen.Generate(opts)) {
+    EXPECT_EQ(q.lo, 0);
+    EXPECT_EQ(q.hi, 1000);
+  }
+}
+
+TEST(WorkloadTest, DeterministicBySeed) {
+  WorkloadGenerator gen(0, 10000);
+  WorkloadOptions opts;
+  opts.num_queries = 50;
+  opts.seed = 9;
+  auto a = gen.Generate(opts);
+  auto b = gen.Generate(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].lo, b[i].lo);
+    EXPECT_EQ(a[i].hi, b[i].hi);
+  }
+  opts.seed = 10;
+  auto c = gen.Generate(opts);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) any_diff |= a[i].lo != c[i].lo;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, SequentialSlidesLeftToRight) {
+  WorkloadGenerator gen(0, 10000);
+  WorkloadOptions opts;
+  opts.num_queries = 20;
+  opts.distribution = QueryDistribution::kSequential;
+  opts.selectivity = 0.01;
+  auto queries = gen.Generate(opts);
+  for (size_t i = 1; i < queries.size(); ++i) {
+    EXPECT_GE(queries[i].lo, queries[i - 1].lo);
+  }
+  EXPECT_EQ(queries.front().lo, 0);
+  EXPECT_EQ(queries.back().hi, 10000);
+}
+
+TEST(WorkloadTest, SkewedConcentratesLow) {
+  WorkloadGenerator gen(0, 100000);
+  WorkloadOptions opts;
+  opts.num_queries = 2000;
+  opts.distribution = QueryDistribution::kSkewed;
+  opts.skew = 0.9;
+  opts.selectivity = 0.001;
+  auto queries = gen.Generate(opts);
+  size_t low = 0;
+  for (const auto& q : queries) low += (q.lo < 10000);
+  EXPECT_GT(low, queries.size() / 4);
+}
+
+TEST(WorkloadTest, TypePropagates) {
+  WorkloadGenerator gen(0, 100);
+  WorkloadOptions opts;
+  opts.type = QueryType::kSum;
+  opts.num_queries = 3;
+  for (const auto& q : gen.Generate(opts)) {
+    EXPECT_EQ(q.type, QueryType::kSum);
+  }
+}
+
+TEST(WorkloadTest, ToStringNames) {
+  EXPECT_EQ(ToString(QueryType::kCount), "count");
+  EXPECT_EQ(ToString(QueryType::kSum), "sum");
+  EXPECT_EQ(ToString(QueryDistribution::kUniform), "uniform");
+  EXPECT_EQ(ToString(QueryDistribution::kSkewed), "skewed");
+  EXPECT_EQ(ToString(QueryDistribution::kSequential), "sequential");
+}
+
+// ------------------------------------------------------------ Operators
+
+TEST(OperatorsTest, ExecuteQueryDispatchesOnType) {
+  Column col = Column::Sequential("A", 100);
+  IndexConfig config;
+  config.method = IndexMethod::kScan;
+  auto index = MakeIndex(&col, config);
+  QueryContext ctx;
+  QueryResult result;
+  ASSERT_TRUE(ExecuteQuery(index.get(), RangeQuery{10, 20, QueryType::kCount},
+                           &ctx, &result)
+                  .ok());
+  EXPECT_EQ(result.count, 10u);
+  ASSERT_TRUE(ExecuteQuery(index.get(), RangeQuery{10, 20, QueryType::kSum},
+                           &ctx, &result)
+                  .ok());
+  EXPECT_EQ(result.sum, 145);
+}
+
+TEST(OperatorsTest, OracleExecuteMatchesByHand) {
+  Column col("A", {5, 1, 9, 3});
+  auto r = OracleExecute(col, RangeQuery{2, 6, QueryType::kCount});
+  EXPECT_EQ(r.count, 2u);  // 5, 3
+  r = OracleExecute(col, RangeQuery{2, 6, QueryType::kSum});
+  EXPECT_EQ(r.sum, 8);
+}
+
+TEST(OperatorsTest, FetchSumTwoColumnPlan) {
+  // Figure 6: select sum(B) from R where lo <= A < hi.
+  Column a = Column::UniqueRandom("A", 1000, 60);
+  Column b("B", {});
+  for (size_t i = 0; i < 1000; ++i) b.Append(static_cast<Value>(i * 2));
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  auto index = MakeIndex(&a, config);
+  QueryContext ctx;
+  int64_t sum = 0;
+  RangeQuery q{100, 300, QueryType::kSum};
+  ASSERT_TRUE(FetchSum(index.get(), b, q, &ctx, &sum).ok());
+  EXPECT_EQ(sum, OracleFetchSum(a, b, q));
+}
+
+// --------------------------------------------------------------- Driver
+
+TEST(DriverTest, SingleClientRunsAllQueries) {
+  Column col = Column::UniqueRandom("A", 5000, 61);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 5000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 64;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 1;
+  RunResult result = Driver::Run(index.get(), queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.num_queries, 64u);
+  EXPECT_EQ(result.records.size(), 64u);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GT(result.throughput_qps, 0.0);
+}
+
+TEST(DriverTest, QueriesSplitAcrossClients) {
+  Column col = Column::UniqueRandom("A", 5000, 62);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 5000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 100;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 3;  // 34 + 33 + 33
+  RunResult result = Driver::Run(index.get(), queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.records.size(), 100u);
+  std::vector<size_t> per_client(3, 0);
+  for (const auto& rec : result.records) {
+    ASSERT_LT(rec.client_id, 3u);
+    ++per_client[rec.client_id];
+  }
+  EXPECT_EQ(per_client[0], 34u);
+  EXPECT_EQ(per_client[1], 33u);
+  EXPECT_EQ(per_client[2], 33u);
+}
+
+TEST(DriverTest, MoreClientsThanQueriesClamped) {
+  Column col = Column::UniqueRandom("A", 100, 63);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  std::vector<RangeQuery> queries = {RangeQuery{1, 5, QueryType::kCount},
+                                     RangeQuery{2, 6, QueryType::kCount}};
+  DriverOptions dopts;
+  dopts.num_clients = 8;
+  RunResult result = Driver::Run(index.get(), queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.num_clients, 2u);
+  EXPECT_EQ(result.records.size(), 2u);
+}
+
+TEST(DriverTest, EmptyWorkload) {
+  Column col = Column::UniqueRandom("A", 100, 64);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  RunResult result = Driver::Run(index.get(), {}, DriverOptions{});
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.num_queries, 0u);
+}
+
+TEST(DriverTest, RecordsSortedByCompletionTime) {
+  Column col = Column::UniqueRandom("A", 2000, 65);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 2000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 64;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 4;
+  RunResult result = Driver::Run(index.get(), queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  for (size_t i = 1; i < result.records.size(); ++i) {
+    EXPECT_LE(result.records[i - 1].stats.finish_ns,
+              result.records[i].stats.finish_ns);
+  }
+}
+
+TEST(DriverTest, RecordingCanBeDisabled) {
+  Column col = Column::UniqueRandom("A", 500, 66);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 500);
+  WorkloadOptions wopts;
+  wopts.num_queries = 16;
+  DriverOptions dopts;
+  dopts.record_per_query = false;
+  RunResult result = Driver::Run(index.get(), gen.Generate(wopts), dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.records.empty());
+  EXPECT_EQ(result.response_hist.count(), 16u);
+}
+
+// --------------------------------------------------------- IndexFactory
+
+TEST(IndexFactoryTest, AllMethodsConstructible) {
+  Column col = Column::UniqueRandom("A", 200, 67);
+  for (IndexMethod m :
+       {IndexMethod::kScan, IndexMethod::kSort, IndexMethod::kCrack,
+        IndexMethod::kAdaptiveMerge, IndexMethod::kHybrid,
+        IndexMethod::kBTreeMerge}) {
+    IndexConfig config;
+    config.method = m;
+    auto index = MakeIndex(&col, config);
+    ASSERT_NE(index, nullptr) << ToString(m);
+    QueryContext ctx;
+    uint64_t count = 0;
+    ASSERT_TRUE(index->RangeCount(ValueRange{50, 150}, &ctx, &count).ok())
+        << ToString(m);
+    EXPECT_EQ(count, 100u) << ToString(m);
+  }
+}
+
+TEST(IndexFactoryTest, MethodNames) {
+  EXPECT_EQ(ToString(IndexMethod::kScan), "scan");
+  EXPECT_EQ(ToString(IndexMethod::kSort), "sort");
+  EXPECT_EQ(ToString(IndexMethod::kCrack), "crack");
+  EXPECT_EQ(ToString(IndexMethod::kAdaptiveMerge), "merge");
+  EXPECT_EQ(ToString(IndexMethod::kHybrid), "hybrid");
+  EXPECT_EQ(ToString(IndexMethod::kBTreeMerge), "btree-merge");
+}
+
+// ------------------------------------------------------------- Database
+
+TEST(DatabaseTest, CreateTableAndQuery) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 1000, 70));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig config;
+  uint64_t count = 0;
+  ASSERT_TRUE(db.Count("R", "A", 100, 300, config, &count).ok());
+  EXPECT_EQ(count, 200u);
+  int64_t sum = 0;
+  ASSERT_TRUE(db.Sum("R", "A", 100, 300, config, &sum).ok());
+  EXPECT_EQ(sum, (100 + 299) * 200 / 2);
+}
+
+TEST(DatabaseTest, MissingTableOrColumn) {
+  Database db;
+  IndexConfig config;
+  uint64_t count;
+  EXPECT_TRUE(db.Count("nope", "A", 0, 1, config, &count).IsNotFound());
+  std::vector<Column> cols;
+  cols.push_back(Column("A", {1, 2, 3}));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  EXPECT_TRUE(db.Count("R", "B", 0, 1, config, &count).IsNotFound());
+}
+
+TEST(DatabaseTest, IndexSharedAcrossQueries) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 1000, 71));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig config;
+  uint64_t count;
+  QueryStats s1;
+  QueryStats s2;
+  ASSERT_TRUE(db.Count("R", "A", 100, 200, config, &count, &s1).ok());
+  ASSERT_TRUE(db.Count("R", "A", 100, 200, config, &count, &s2).ok());
+  EXPECT_GT(s1.init_ns, 0);
+  EXPECT_EQ(s2.init_ns, 0);  // same index reused
+  EXPECT_EQ(db.catalog()->num_indexes(), 1u);
+}
+
+TEST(DatabaseTest, MethodsCoexistOnSameColumn) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 500, 72));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig crack;
+  crack.method = IndexMethod::kCrack;
+  IndexConfig sort;
+  sort.method = IndexMethod::kSort;
+  uint64_t c1;
+  uint64_t c2;
+  ASSERT_TRUE(db.Count("R", "A", 50, 150, crack, &c1).ok());
+  ASSERT_TRUE(db.Count("R", "A", 50, 150, sort, &c2).ok());
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(db.catalog()->num_indexes(), 2u);
+}
+
+TEST(DatabaseTest, DropIndex) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 100, 73));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig config;
+  uint64_t count;
+  ASSERT_TRUE(db.Count("R", "A", 0, 50, config, &count).ok());
+  EXPECT_TRUE(db.DropIndex("R", "A", config));
+  EXPECT_FALSE(db.DropIndex("R", "A", config));
+  // Next query transparently rebuilds.
+  ASSERT_TRUE(db.Count("R", "A", 0, 50, config, &count).ok());
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(DatabaseTest, SumOtherTwoColumnPlan) {
+  Database db;
+  std::vector<Column> cols;
+  Column a = Column::UniqueRandom("A", 800, 74);
+  Column b("B", {});
+  for (size_t i = 0; i < 800; ++i) b.Append(static_cast<Value>(i % 7));
+  const Column a_copy = a;
+  const Column b_copy = b;
+  cols.push_back(std::move(a));
+  cols.push_back(std::move(b));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig config;
+  int64_t sum = 0;
+  ASSERT_TRUE(db.SumOther("R", "A", "B", 100, 500, config, &sum).ok());
+  EXPECT_EQ(sum, OracleFetchSum(a_copy, b_copy,
+                                RangeQuery{100, 500, QueryType::kSum}));
+}
+
+TEST(DatabaseTest, LockManagerIntegration) {
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 1000, 75));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+  IndexConfig config;
+  config.cracking.lock_manager = db.lock_manager();
+  config.cracking.lock_resource = "R/A";
+  // A user transaction locks the column; adaptive refinement is skipped.
+  ASSERT_TRUE(db.lock_manager()->Acquire(5, "R/A", LockMode::kS).ok());
+  uint64_t count;
+  QueryStats stats;
+  ASSERT_TRUE(db.Count("R", "A", 200, 400, config, &count, &stats).ok());
+  EXPECT_EQ(count, 200u);
+  EXPECT_TRUE(stats.refinement_skipped);
+  db.lock_manager()->ReleaseAll(5);
+}
+
+}  // namespace
+}  // namespace adaptidx

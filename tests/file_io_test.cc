@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/file_io.h"
+
+namespace adaptidx {
+namespace {
+
+class FileIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("adaptidx_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoTest, ColumnRoundTrip) {
+  Column col = Column::UniqueRandom("A", 10000, 5);
+  ASSERT_TRUE(WriteColumn(col, Path("a.col")).ok());
+  Column loaded;
+  ASSERT_TRUE(ReadColumn(Path("a.col"), "A", &loaded).ok());
+  EXPECT_EQ(loaded.name(), "A");
+  EXPECT_EQ(loaded.values(), col.values());
+}
+
+TEST_F(FileIoTest, EmptyColumnRoundTrip) {
+  Column col("E");
+  ASSERT_TRUE(WriteColumn(col, Path("e.col")).ok());
+  Column loaded;
+  ASSERT_TRUE(ReadColumn(Path("e.col"), "E", &loaded).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+TEST_F(FileIoTest, NegativeValuesSurvive) {
+  Column col("N", {-5, 0, 7, -1000000000000LL});
+  ASSERT_TRUE(WriteColumn(col, Path("n.col")).ok());
+  Column loaded;
+  ASSERT_TRUE(ReadColumn(Path("n.col"), "N", &loaded).ok());
+  EXPECT_EQ(loaded.values(), col.values());
+}
+
+TEST_F(FileIoTest, MissingFileIsNotFound) {
+  Column loaded;
+  EXPECT_TRUE(ReadColumn(Path("missing.col"), "X", &loaded).IsNotFound());
+}
+
+TEST_F(FileIoTest, BadMagicIsCorruption) {
+  {
+    std::FILE* f = std::fopen(Path("bad.col").c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("NOTACOLFILE.............", f);
+    std::fclose(f);
+  }
+  Column loaded;
+  EXPECT_TRUE(ReadColumn(Path("bad.col"), "X", &loaded).IsCorruption());
+}
+
+TEST_F(FileIoTest, TruncatedBodyIsCorruption) {
+  Column col("T", {1, 2, 3, 4});
+  ASSERT_TRUE(WriteColumn(col, Path("t.col")).ok());
+  std::filesystem::resize_file(Path("t.col"), 16 + 2 * sizeof(Value));
+  Column loaded;
+  EXPECT_TRUE(ReadColumn(Path("t.col"), "T", &loaded).IsCorruption());
+}
+
+TEST_F(FileIoTest, TrailingBytesIsCorruption) {
+  Column col("T", {1, 2});
+  ASSERT_TRUE(WriteColumn(col, Path("t.col")).ok());
+  {
+    std::FILE* f = std::fopen(Path("t.col").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputc('x', f);
+    std::fclose(f);
+  }
+  Column loaded;
+  EXPECT_TRUE(ReadColumn(Path("t.col"), "T", &loaded).IsCorruption());
+}
+
+TEST_F(FileIoTest, TableRoundTrip) {
+  Table table("R");
+  ASSERT_TRUE(table.AddColumn(Column::UniqueRandom("A", 500, 1)).ok());
+  ASSERT_TRUE(table.AddColumn(Column::Sequential("B", 500)).ok());
+  ASSERT_TRUE(WriteTable(table, Path("R")).ok());
+
+  std::unique_ptr<Table> loaded;
+  ASSERT_TRUE(ReadTable(Path("R"), "R", &loaded).ok());
+  ASSERT_EQ(loaded->num_columns(), 2u);
+  EXPECT_EQ(loaded->num_rows(), 500u);
+  EXPECT_EQ(loaded->ColumnNames(),
+            (std::vector<std::string>{"A", "B"}));
+  EXPECT_EQ(loaded->GetColumn("A")->values(),
+            table.GetColumn("A")->values());
+  EXPECT_EQ(loaded->GetColumn("B")->values(),
+            table.GetColumn("B")->values());
+}
+
+TEST_F(FileIoTest, ReadTableMissingDirIsNotFound) {
+  std::unique_ptr<Table> loaded;
+  EXPECT_TRUE(ReadTable(Path("nope"), "R", &loaded).IsNotFound());
+}
+
+}  // namespace
+}  // namespace adaptidx

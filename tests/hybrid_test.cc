@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hybrid/crack_sort.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+class HybridTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    column_ = Column::UniqueRandom("A", 10000, 17);
+    oracle_ = std::make_unique<RangeOracle>(column_);
+  }
+
+  HybridOptions SmallPartitions() const {
+    HybridOptions opts;
+    opts.partition_size = 1024;
+    return opts;
+  }
+
+  Column column_;
+  std::unique_ptr<RangeOracle> oracle_;
+};
+
+TEST_F(HybridTest, FirstQueryCreatesUnsortedPartitions) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  EXPECT_FALSE(index.initialized());
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{100, 300}, &ctx, &count).ok());
+  EXPECT_EQ(count, 200u);
+  EXPECT_TRUE(index.initialized());
+  EXPECT_EQ(index.num_partitions(), 10000u / 1024 + 1);
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_F(HybridTest, CountAndSumMatchOracle) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  Rng rng(18);
+  for (int i = 0; i < 150; ++i) {
+    Value lo = rng.UniformRange(0, 10000);
+    Value hi = rng.UniformRange(0, 10000);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    uint64_t count;
+    int64_t sum;
+    ASSERT_TRUE(index.RangeCount(ValueRange{lo, hi}, &ctx, &count).ok());
+    ASSERT_EQ(count, oracle_->Count(lo, hi));
+    ASSERT_TRUE(index.RangeSum(ValueRange{lo, hi}, &ctx, &sum).ok());
+    ASSERT_EQ(sum, oracle_->Sum(lo, hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_F(HybridTest, ExtractionDrainsInitialPartitions) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{0, 5000}, &ctx, &count).ok());
+  // Half the domain moved out of the initial partitions.
+  EXPECT_EQ(index.ResidualEntries(), 5000u);
+  ASSERT_TRUE(index.RangeCount(ValueRange{5000, 10000}, &ctx, &count).ok());
+  EXPECT_EQ(index.ResidualEntries(), 0u);
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_F(HybridTest, RepeatedRangeNeedsNoFurtherWork) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  QueryContext ctx1;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{2000, 2500}, &ctx1, &count).ok());
+  EXPECT_GT(ctx1.stats.cracks, 0u);
+  QueryContext ctx2;
+  ASSERT_TRUE(index.RangeCount(ValueRange{2000, 2500}, &ctx2, &count).ok());
+  EXPECT_EQ(ctx2.stats.cracks, 0u);
+  EXPECT_EQ(count, 500u);
+}
+
+TEST_F(HybridTest, OverlappingQueriesNoDoubleCounting) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{1000, 3000}, &ctx, &count).ok());
+  EXPECT_EQ(count, 2000u);
+  ASSERT_TRUE(index.RangeCount(ValueRange{2000, 4000}, &ctx, &count).ok());
+  EXPECT_EQ(count, 2000u);
+  ASSERT_TRUE(index.RangeCount(ValueRange{0, 10000}, &ctx, &count).ok());
+  EXPECT_EQ(count, 10000u);
+}
+
+TEST_F(HybridTest, RowIdsSurviveExtraction) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  QueryContext ctx;
+  std::vector<RowId> ids;
+  ASSERT_TRUE(index.RangeRowIds(ValueRange{4000, 4500}, &ctx, &ids).ok());
+  ASSERT_EQ(ids.size(), 500u);
+  for (RowId id : ids) {
+    EXPECT_GE(column_[id], 4000);
+    EXPECT_LT(column_[id], 4500);
+  }
+}
+
+TEST_F(HybridTest, ConcurrentQueriesMatchOracle) {
+  HybridCrackSortIndex index(&column_, SmallPartitions());
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(300 + t);
+      for (int i = 0; i < 80 && ok.load(); ++i) {
+        Value lo = rng.UniformRange(0, 10000);
+        Value hi = rng.UniformRange(0, 10000);
+        if (lo > hi) std::swap(lo, hi);
+        QueryContext ctx;
+        uint64_t count = 0;
+        if (!index.RangeCount(ValueRange{lo, hi}, &ctx, &count).ok() ||
+            count != oracle_->Count(lo, hi)) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(HybridEdgeTest, DuplicateValues) {
+  Column col = Column::UniformRandom("A", 5000, 0, 15, 21);
+  RangeOracle oracle(col);
+  HybridOptions opts;
+  opts.partition_size = 512;
+  HybridCrackSortIndex index(&col, opts);
+  Rng rng(22);
+  for (int i = 0; i < 60; ++i) {
+    Value lo = rng.UniformRange(-2, 17);
+    Value hi = rng.UniformRange(-2, 17);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    uint64_t count;
+    ASSERT_TRUE(index.RangeCount(ValueRange{lo, hi}, &ctx, &count).ok());
+    ASSERT_EQ(count, oracle.Count(lo, hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(HybridEdgeTest, WholeDomainInOneQuery) {
+  Column col = Column::UniqueRandom("A", 3000, 23);
+  HybridOptions opts;
+  opts.partition_size = 500;
+  HybridCrackSortIndex index(&col, opts);
+  QueryContext ctx;
+  int64_t sum;
+  ASSERT_TRUE(index.RangeSum(ValueRange{-5, 5000}, &ctx, &sum).ok());
+  EXPECT_EQ(sum, 2999 * 3000 / 2);
+  EXPECT_EQ(index.ResidualEntries(), 0u);
+  EXPECT_EQ(index.num_segments(), 1u);
+}
+
+TEST(HybridEdgeTest, TinyColumn) {
+  Column col("A", {5, 3, 9});
+  HybridCrackSortIndex index(&col);
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{4, 10}, &ctx, &count).ok());
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace adaptidx

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/cracking_index.h"
+#include "core/index_factory.h"
+#include "engine/driver.h"
+#include "test_util.h"
+#include "util/stopwatch.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+namespace {
+
+/// All adaptive and baseline methods must agree with each other and the
+/// oracle on an identical query sequence — the precondition for every
+/// benchmark comparison in Section 6.
+TEST(IntegrationTest, AllMethodsAgreeOnSameWorkload) {
+  Column col = Column::UniqueRandom("A", 20000, 80);
+  RangeOracle oracle(col);
+  WorkloadGenerator gen(0, 20000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 128;
+  wopts.selectivity = 0.02;
+  wopts.type = QueryType::kSum;
+  auto queries = gen.Generate(wopts);
+
+  for (IndexMethod m :
+       {IndexMethod::kScan, IndexMethod::kSort, IndexMethod::kCrack,
+        IndexMethod::kAdaptiveMerge, IndexMethod::kHybrid,
+        IndexMethod::kBTreeMerge}) {
+    IndexConfig config;
+    config.method = m;
+    config.merge.run_size = 4096;
+    config.hybrid.partition_size = 4096;
+    config.btree.run_size = 4096;
+    auto index = MakeIndex(&col, config);
+    for (const auto& q : queries) {
+      QueryContext ctx;
+      int64_t sum = 0;
+      ASSERT_TRUE(index->RangeSum(ValueRange{q.lo, q.hi}, &ctx, &sum).ok());
+      ASSERT_EQ(sum, oracle.Sum(q.lo, q.hi))
+          << ToString(m) << " on [" << q.lo << "," << q.hi << ")";
+    }
+  }
+}
+
+TEST(IntegrationTest, AdaptiveMethodsAgreeUnderConcurrency) {
+  Column col = Column::UniqueRandom("A", 20000, 81);
+  RangeOracle oracle(col);
+  WorkloadGenerator gen(0, 20000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 192;
+  wopts.selectivity = 0.01;
+  wopts.type = QueryType::kCount;
+  auto queries = gen.Generate(wopts);
+
+  for (IndexMethod m : {IndexMethod::kCrack, IndexMethod::kAdaptiveMerge,
+                        IndexMethod::kHybrid, IndexMethod::kBTreeMerge}) {
+    IndexConfig config;
+    config.method = m;
+    config.merge.run_size = 4096;
+    config.hybrid.partition_size = 4096;
+    config.btree.run_size = 4096;
+    auto index = MakeIndex(&col, config);
+    DriverOptions dopts;
+    dopts.num_clients = 6;
+    RunResult result = Driver::Run(index.get(), queries, dopts);
+    ASSERT_TRUE(result.status.ok()) << ToString(m);
+    ASSERT_EQ(result.records.size(), queries.size()) << ToString(m);
+    for (const auto& rec : result.records) {
+      ASSERT_EQ(rec.result.count, oracle.Count(rec.query.lo, rec.query.hi))
+          << ToString(m);
+    }
+  }
+}
+
+/// Figure 8, top (column latches): Q1/Q2/Q3 arrive concurrently on the same
+/// column, each cracks then aggregates. All must serialize correctly.
+TEST(IntegrationTest, Figure8ColumnLatchScenario) {
+  Column col = Column::UniqueRandom("A", 10000, 82);
+  RangeOracle oracle(col);
+  CrackingOptions opts;
+  opts.mode = ConcurrencyMode::kColumnLatch;
+  CrackingIndex index(&col, opts);
+
+  std::vector<RangeQuery> queries = {
+      {7000, 9000, QueryType::kSum},   // Q1: crack at [70, 90)
+      {1500, 3000, QueryType::kSum},   // Q2: crack at [15, 30)
+      {4000, 5500, QueryType::kSum},   // Q3: crack at [40, 55)
+  };
+  DriverOptions dopts;
+  dopts.num_clients = 3;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  for (const auto& rec : result.records) {
+    EXPECT_EQ(rec.result.sum, oracle.Sum(rec.query.lo, rec.query.hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+/// Figure 8, middle/bottom (piece latches): overlapping queries including a
+/// wide range spanning several pieces.
+TEST(IntegrationTest, Figure8PieceLatchScenario) {
+  Column col = Column::UniqueRandom("A", 10000, 83);
+  RangeOracle oracle(col);
+  CrackingIndex index(&col);  // piece latches by default
+
+  std::vector<RangeQuery> queries = {
+      {1500, 9000, QueryType::kSum},  // Q1': wide range
+      {3000, 4000, QueryType::kSum},  // Q2': nested range
+      {7000, 9000, QueryType::kSum},
+      {1500, 3000, QueryType::kSum},
+      {4000, 5500, QueryType::kSum},
+  };
+  DriverOptions dopts;
+  dopts.num_clients = 5;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  for (const auto& rec : result.records) {
+    EXPECT_EQ(rec.result.sum, oracle.Sum(rec.query.lo, rec.query.hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+/// The CC-overhead experiment (Figure 13): sequential execution with and
+/// without concurrency control must produce identical results; the overhead
+/// is measured by the benchmarks, correctness is asserted here.
+TEST(IntegrationTest, CcEnabledAndDisabledAgreeSequentially) {
+  Column col = Column::UniqueRandom("A", 20000, 84);
+  WorkloadGenerator gen(0, 20000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 128;
+  wopts.selectivity = 0.001;
+  wopts.type = QueryType::kSum;
+  auto queries = gen.Generate(wopts);
+
+  CrackingOptions with_cc;
+  with_cc.mode = ConcurrencyMode::kPieceLatch;
+  CrackingOptions no_cc;
+  no_cc.mode = ConcurrencyMode::kNone;
+  CrackingIndex a(&col, with_cc);
+  CrackingIndex b(&col, no_cc);
+  for (const auto& q : queries) {
+    QueryContext ca;
+    QueryContext cb;
+    int64_t sa = 0;
+    int64_t sb = 0;
+    ASSERT_TRUE(a.RangeSum(ValueRange{q.lo, q.hi}, &ca, &sa).ok());
+    ASSERT_TRUE(b.RangeSum(ValueRange{q.lo, q.hi}, &cb, &sb).ok());
+    ASSERT_EQ(sa, sb);
+  }
+  // Identical refinement: same crack count either way.
+  EXPECT_EQ(a.NumCracks(), b.NumCracks());
+}
+
+/// Adaptivity invariant (Figure 11): per-query response time of cracking
+/// trends downward; by the end of the sequence a query is much cheaper than
+/// the first.
+TEST(IntegrationTest, CrackingResponseTimeTrendsDown) {
+  Column col = Column::UniqueRandom("A", 500000, 85);
+  CrackingIndex index(&col);
+  WorkloadGenerator gen(0, 500000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 64;
+  wopts.selectivity = 0.1;
+  wopts.type = QueryType::kCount;
+  auto queries = gen.Generate(wopts);
+  std::vector<int64_t> response;
+  for (const auto& q : queries) {
+    QueryContext ctx;
+    uint64_t count;
+    const int64_t t0 = NowNanos();
+    ASSERT_TRUE(index.RangeCount(ValueRange{q.lo, q.hi}, &ctx, &count).ok());
+    response.push_back(NowNanos() - t0);
+  }
+  int64_t tail_avg = 0;
+  for (size_t i = response.size() - 8; i < response.size(); ++i) {
+    tail_avg += response[i];
+  }
+  tail_avg /= 8;
+  EXPECT_LT(tail_avg, response.front() / 4);
+}
+
+/// Convergence comparison (Figures 2-4): after the same query sequence,
+/// hybrid leaves less unmerged data than nothing, and merging converges to
+/// a fully sorted final partition while cracking keeps refining in place.
+TEST(IntegrationTest, MethodConvergenceShapes) {
+  Column col = Column::UniqueRandom("A", 30000, 86);
+  WorkloadGenerator gen(0, 30000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 60;
+  wopts.selectivity = 0.05;
+  auto queries = gen.Generate(wopts);
+
+  CrackingIndex crack(&col);
+  MergeOptions mopts;
+  mopts.run_size = 4096;
+  AdaptiveMergeIndex merge(&col, mopts);
+  HybridOptions hopts;
+  hopts.partition_size = 4096;
+  HybridCrackSortIndex hybrid(&col, hopts);
+
+  for (const auto& q : queries) {
+    QueryContext c1;
+    QueryContext c2;
+    QueryContext c3;
+    uint64_t n1;
+    uint64_t n2;
+    uint64_t n3;
+    ASSERT_TRUE(crack.RangeCount(ValueRange{q.lo, q.hi}, &c1, &n1).ok());
+    ASSERT_TRUE(merge.RangeCount(ValueRange{q.lo, q.hi}, &c2, &n2).ok());
+    ASSERT_TRUE(hybrid.RangeCount(ValueRange{q.lo, q.hi}, &c3, &n3).ok());
+    ASSERT_EQ(n1, n2);
+    ASSERT_EQ(n1, n3);
+  }
+  // Cracking refined pieces in place: piece count grew with queries.
+  EXPECT_GT(crack.NumPieces(), 30u);
+  // Hybrid moved the touched ranges out of its initial partitions.
+  EXPECT_LT(hybrid.ResidualEntries(), 30000u);
+  // Merging built segments covering the touched ranges.
+  EXPECT_GT(merge.num_segments(), 0u);
+  EXPECT_TRUE(crack.ValidateStructure());
+  EXPECT_TRUE(merge.ValidateStructure());
+  EXPECT_TRUE(hybrid.ValidateStructure());
+}
+
+/// Middle-out scheduling (Figure 10's queue example) under real contention:
+/// correctness plus structural validity with many waiters per piece.
+TEST(IntegrationTest, MiddleOutSchedulingUnderHotSpot) {
+  Column col = Column::UniqueRandom("A", 50000, 87);
+  RangeOracle oracle(col);
+  CrackingOptions opts;
+  opts.scheduling = SchedulingPolicy::kMiddleOut;
+  CrackingIndex index(&col, opts);
+  // Everyone hammers the same hot 10% of the domain.
+  WorkloadGenerator gen(0, 5000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  wopts.selectivity = 0.02;
+  wopts.type = QueryType::kSum;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 8;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  for (const auto& rec : result.records) {
+    ASSERT_EQ(rec.result.sum, oracle.Sum(rec.query.lo, rec.query.hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+/// Group cracking (Section 7) under contention: queued bounds get cracked
+/// by the latch holder; everything stays correct.
+TEST(IntegrationTest, GroupCrackUnderContention) {
+  Column col = Column::UniqueRandom("A", 50000, 88);
+  RangeOracle oracle(col);
+  CrackingOptions opts;
+  opts.group_crack = true;
+  CrackingIndex index(&col, opts);
+  WorkloadGenerator gen(0, 50000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 200;
+  wopts.selectivity = 0.005;
+  wopts.type = QueryType::kCount;
+  auto queries = gen.Generate(wopts);
+  DriverOptions dopts;
+  dopts.num_clients = 8;
+  RunResult result = Driver::Run(&index, queries, dopts);
+  ASSERT_TRUE(result.status.ok());
+  for (const auto& rec : result.records) {
+    ASSERT_EQ(rec.result.count, oracle.Count(rec.query.lo, rec.query.hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+}  // namespace
+}  // namespace adaptidx

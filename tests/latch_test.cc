@@ -1,0 +1,316 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "latch/wait_queue_latch.h"
+
+namespace adaptidx {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(WaitQueueLatchTest, UncontendedReadLock) {
+  WaitQueueLatch latch;
+  latch.ReadLock();
+  latch.ReadUnlock();
+  SUCCEED();
+}
+
+TEST(WaitQueueLatchTest, UncontendedWriteLock) {
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  latch.WriteUnlock();
+  SUCCEED();
+}
+
+TEST(WaitQueueLatchTest, MultipleReadersShare) {
+  WaitQueueLatch latch;
+  latch.ReadLock();
+  EXPECT_TRUE(latch.TryReadLock());
+  latch.ReadUnlock();
+  latch.ReadUnlock();
+}
+
+TEST(WaitQueueLatchTest, WriterExcludesReaders) {
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  EXPECT_FALSE(latch.TryReadLock());
+  latch.WriteUnlock();
+  EXPECT_TRUE(latch.TryReadLock());
+  latch.ReadUnlock();
+}
+
+TEST(WaitQueueLatchTest, ReaderExcludesWriter) {
+  WaitQueueLatch latch;
+  latch.ReadLock();
+  EXPECT_FALSE(latch.TryWriteLock());
+  latch.ReadUnlock();
+  EXPECT_TRUE(latch.TryWriteLock());
+  latch.WriteUnlock();
+}
+
+TEST(WaitQueueLatchTest, WriterExcludesWriter) {
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  EXPECT_FALSE(latch.TryWriteLock());
+  latch.WriteUnlock();
+}
+
+TEST(WaitQueueLatchTest, TryFailureRecordedInStats) {
+  WaitQueueLatch latch;
+  LatchStats stats;
+  LatchAcquireContext ctx{&stats, nullptr, nullptr};
+  latch.WriteLock(0, ctx);
+  EXPECT_FALSE(latch.TryWriteLock(ctx));
+  EXPECT_FALSE(latch.TryReadLock(ctx));
+  latch.WriteUnlock();
+  EXPECT_EQ(stats.try_failures(), 2u);
+  EXPECT_EQ(stats.write_acquires(), 1u);
+}
+
+TEST(WaitQueueLatchTest, BlockedWriterWaitsForReader) {
+  WaitQueueLatch latch;
+  latch.ReadLock();
+  std::atomic<bool> acquired{false};
+  std::thread writer([&] {
+    latch.WriteLock(0);
+    acquired.store(true);
+    latch.WriteUnlock();
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(acquired.load());
+  latch.ReadUnlock();
+  writer.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(WaitQueueLatchTest, BlockedReaderWaitsForWriter) {
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  std::atomic<bool> acquired{false};
+  std::thread reader([&] {
+    latch.ReadLock();
+    acquired.store(true);
+    latch.ReadUnlock();
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(acquired.load());
+  latch.WriteUnlock();
+  reader.join();
+  EXPECT_TRUE(acquired.load());
+}
+
+TEST(WaitQueueLatchTest, WaitTimeAttributedToQueryStats) {
+  WaitQueueLatch latch;
+  LatchStats stats;
+  int64_t wait_ns = 0;
+  uint64_t conflicts = 0;
+  LatchAcquireContext ctx{&stats, &wait_ns, &conflicts};
+  latch.WriteLock(0);
+  std::thread writer([&] {
+    latch.WriteLock(1, ctx);
+    latch.WriteUnlock();
+  });
+  std::this_thread::sleep_for(30ms);
+  latch.WriteUnlock();
+  writer.join();
+  EXPECT_GE(wait_ns, 20 * 1000 * 1000);
+  EXPECT_EQ(conflicts, 1u);
+  EXPECT_EQ(stats.write_conflicts(), 1u);
+}
+
+TEST(WaitQueueLatchTest, ReaderBatchGrantedTogether) {
+  // Figure 8 column-latch narrative: when the writer releases, all waiting
+  // readers aggregate in parallel while later writers keep waiting.
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  std::atomic<int> readers_in{0};
+  std::atomic<int> max_parallel{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&] {
+      latch.ReadLock();
+      const int cur = readers_in.fetch_add(1) + 1;
+      int prev = max_parallel.load();
+      while (prev < cur && !max_parallel.compare_exchange_weak(prev, cur)) {
+      }
+      std::this_thread::sleep_for(20ms);
+      readers_in.fetch_sub(1);
+      latch.ReadUnlock();
+    });
+  }
+  std::this_thread::sleep_for(20ms);  // let all readers queue up
+  latch.WriteUnlock();
+  for (auto& t : readers) t.join();
+  EXPECT_GE(max_parallel.load(), 2);
+}
+
+TEST(WaitQueueLatchTest, ReadersPreferredOverQueuedWriter) {
+  WaitQueueLatch latch;
+  latch.WriteLock(0);
+  std::atomic<bool> w2_acquired{false};
+  std::atomic<int> readers_done{0};
+  std::thread w2([&] {
+    latch.WriteLock(1);
+    w2_acquired.store(true);
+    latch.WriteUnlock();
+  });
+  std::this_thread::sleep_for(10ms);  // writer queues first
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&] {
+      latch.ReadLock();
+      std::this_thread::sleep_for(20ms);
+      readers_done.fetch_add(1);
+      latch.ReadUnlock();
+    });
+  }
+  std::this_thread::sleep_for(10ms);
+  latch.WriteUnlock();
+  for (auto& t : readers) t.join();
+  w2.join();
+  // Both readers finished; the queued writer eventually acquired as well.
+  EXPECT_EQ(readers_done.load(), 2);
+  EXPECT_TRUE(w2_acquired.load());
+}
+
+TEST(WaitQueueLatchTest, PendingWriterBoundsSortedUnderMiddleOut) {
+  WaitQueueLatch latch(SchedulingPolicy::kMiddleOut);
+  latch.WriteLock(50);
+  std::vector<std::thread> writers;
+  std::atomic<int> started{0};
+  for (Value b : {90, 20, 70, 30}) {
+    writers.emplace_back([&latch, &started, b] {
+      started.fetch_add(1);
+      latch.WriteLock(b);
+      latch.WriteUnlock();
+    });
+  }
+  while (started.load() < 4) std::this_thread::yield();
+  std::this_thread::sleep_for(30ms);  // let them enqueue
+  auto bounds = latch.PendingWriterBounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+  EXPECT_TRUE(latch.HasWaiters());
+  latch.WriteUnlock();
+  for (auto& t : writers) t.join();
+  EXPECT_FALSE(latch.HasWaiters());
+}
+
+TEST(WaitQueueLatchTest, MiddleOutWakesMedianFirst) {
+  // Paper example: bounds {20, 30, 50, 70, 90} queued; the median (50)
+  // must run first so the remaining waiters can proceed in parallel.
+  WaitQueueLatch latch(SchedulingPolicy::kMiddleOut);
+  latch.WriteLock(0);
+  std::mutex order_mu;
+  std::vector<Value> order;
+  std::vector<std::thread> writers;
+  std::atomic<int> started{0};
+  for (Value b : {20, 30, 50, 70, 90}) {
+    writers.emplace_back([&, b] {
+      started.fetch_add(1);
+      latch.WriteLock(b);
+      {
+        std::lock_guard<std::mutex> g(order_mu);
+        order.push_back(b);
+      }
+      latch.WriteUnlock();
+    });
+  }
+  while (started.load() < 5) std::this_thread::yield();
+  // Ensure all five are actually enqueued before releasing.
+  while (latch.PendingWriterBounds().size() < 5) {
+    std::this_thread::sleep_for(1ms);
+  }
+  latch.WriteUnlock();
+  for (auto& t : writers) t.join();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order[0], 50);  // the median waiter goes first
+}
+
+TEST(WaitQueueLatchTest, FifoWakesArrivalOrder) {
+  WaitQueueLatch latch(SchedulingPolicy::kFifo);
+  latch.WriteLock(0);
+  std::mutex order_mu;
+  std::vector<Value> order;
+  std::vector<std::thread> writers;
+  size_t enqueued = 0;
+  for (Value b : {90, 20, 70}) {
+    writers.emplace_back([&, b] {
+      latch.WriteLock(b);
+      {
+        std::lock_guard<std::mutex> g(order_mu);
+        order.push_back(b);
+      }
+      latch.WriteUnlock();
+    });
+    // Serialize enqueue order so arrival order is deterministic.
+    ++enqueued;
+    while (latch.PendingWriterBounds().size() < enqueued) {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+  latch.WriteUnlock();
+  for (auto& t : writers) t.join();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 90);  // arrival order preserved
+}
+
+TEST(WaitQueueLatchTest, GuardsReleaseOnScopeExit) {
+  WaitQueueLatch latch;
+  {
+    WriteLatchGuard guard(&latch, 5);
+    EXPECT_FALSE(latch.TryReadLock());
+  }
+  {
+    ReadLatchGuard guard(&latch);
+    EXPECT_TRUE(latch.TryReadLock());
+    latch.ReadUnlock();
+  }
+  EXPECT_TRUE(latch.TryWriteLock());
+  latch.WriteUnlock();
+}
+
+TEST(WaitQueueLatchTest, GuardEarlyRelease) {
+  WaitQueueLatch latch;
+  WriteLatchGuard guard(&latch, 1);
+  guard.Release();
+  EXPECT_TRUE(latch.TryWriteLock());
+  latch.WriteUnlock();
+  guard.Release();  // idempotent
+}
+
+TEST(WaitQueueLatchStressTest, ManyThreadsMixedLoad) {
+  WaitQueueLatch latch(SchedulingPolicy::kMiddleOut);
+  std::atomic<int> shared_state{0};
+  std::atomic<bool> corrupted{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        if ((t + i) % 3 == 0) {
+          latch.WriteLock(static_cast<Value>(i));
+          // Writers must be exclusive: observe and restore.
+          const int before = shared_state.exchange(t * 1000 + i);
+          if (before != 0) corrupted.store(true);
+          std::this_thread::yield();
+          shared_state.store(0);
+          latch.WriteUnlock();
+        } else {
+          latch.ReadLock();
+          if (shared_state.load() != 0) corrupted.store(true);
+          latch.ReadUnlock();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(corrupted.load());
+  EXPECT_FALSE(latch.HasWaiters());
+}
+
+}  // namespace
+}  // namespace adaptidx

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "lock/lock_manager.h"
+
+namespace adaptidx {
+namespace {
+
+using namespace std::chrono_literals;
+
+// -------------------------------------------------- Compatibility matrix
+
+TEST(LockModesTest, CompatibilityMatrix) {
+  using M = LockMode;
+  // IS is compatible with everything but X.
+  EXPECT_TRUE(LockModesCompatible(M::kIS, M::kIS));
+  EXPECT_TRUE(LockModesCompatible(M::kIS, M::kIX));
+  EXPECT_TRUE(LockModesCompatible(M::kIS, M::kS));
+  EXPECT_TRUE(LockModesCompatible(M::kIS, M::kSIX));
+  EXPECT_FALSE(LockModesCompatible(M::kIS, M::kX));
+  // IX with IS/IX only.
+  EXPECT_TRUE(LockModesCompatible(M::kIX, M::kIX));
+  EXPECT_FALSE(LockModesCompatible(M::kIX, M::kS));
+  EXPECT_FALSE(LockModesCompatible(M::kIX, M::kSIX));
+  EXPECT_FALSE(LockModesCompatible(M::kIX, M::kX));
+  // S with IS/S.
+  EXPECT_TRUE(LockModesCompatible(M::kS, M::kS));
+  EXPECT_FALSE(LockModesCompatible(M::kS, M::kIX));
+  EXPECT_FALSE(LockModesCompatible(M::kS, M::kX));
+  // SIX with IS only.
+  EXPECT_TRUE(LockModesCompatible(M::kSIX, M::kIS));
+  EXPECT_FALSE(LockModesCompatible(M::kSIX, M::kS));
+  EXPECT_FALSE(LockModesCompatible(M::kSIX, M::kSIX));
+  // X with nothing.
+  EXPECT_FALSE(LockModesCompatible(M::kX, M::kIS));
+  EXPECT_FALSE(LockModesCompatible(M::kX, M::kX));
+}
+
+TEST(LockModesTest, MatrixIsSymmetric) {
+  for (int a = 0; a < 5; ++a) {
+    for (int b = 0; b < 5; ++b) {
+      EXPECT_EQ(LockModesCompatible(static_cast<LockMode>(a),
+                                    static_cast<LockMode>(b)),
+                LockModesCompatible(static_cast<LockMode>(b),
+                                    static_cast<LockMode>(a)))
+          << "modes " << a << "," << b;
+    }
+  }
+}
+
+TEST(LockModesTest, IntentionMapping) {
+  EXPECT_EQ(IntentionFor(LockMode::kS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kIS), LockMode::kIS);
+  EXPECT_EQ(IntentionFor(LockMode::kX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(IntentionFor(LockMode::kSIX), LockMode::kIX);
+}
+
+TEST(LockModesTest, ToStringNames) {
+  EXPECT_STREQ(ToString(LockMode::kS), "S");
+  EXPECT_STREQ(ToString(LockMode::kX), "X");
+  EXPECT_STREQ(ToString(LockMode::kSIX), "SIX");
+}
+
+// ----------------------------------------------------- Basic operations
+
+TEST(LockManagerTest, AcquireAndRelease) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  LockMode held;
+  EXPECT_TRUE(lm.HeldMode(1, "R/A", &held));
+  EXPECT_EQ(held, LockMode::kS);
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.HeldMode(1, "R/A", &held));
+  EXPECT_EQ(lm.num_locked_resources(), 0u);
+}
+
+TEST(LockManagerTest, HierarchicalIntentionLocks) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A/piece:3", LockMode::kX).ok());
+  LockMode held;
+  ASSERT_TRUE(lm.HeldMode(1, "R", &held));
+  EXPECT_EQ(held, LockMode::kIX);
+  ASSERT_TRUE(lm.HeldMode(1, "R/A", &held));
+  EXPECT_EQ(held, LockMode::kIX);
+  ASSERT_TRUE(lm.HeldMode(1, "R/A/piece:3", &held));
+  EXPECT_EQ(held, LockMode::kX);
+}
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A", LockMode::kS).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, TryAcquireConflictIsBusy) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A", LockMode::kS).IsBusy());
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A", LockMode::kX).IsBusy());
+  lm.ReleaseAll(1);
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A", LockMode::kX).ok());
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, TryAcquireFailureLeavesNoResidue) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A/k1", LockMode::kX).ok());
+  // Intention on R and R/A would succeed, but the leaf conflicts; nothing
+  // may remain held by txn 2 afterwards.
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A/k1", LockMode::kX).IsBusy());
+  EXPECT_FALSE(lm.HeldMode(2, "R", nullptr));
+  EXPECT_FALSE(lm.HeldMode(2, "R/A", nullptr));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, IntentionLocksDoNotConflict) {
+  LockManager lm;
+  // Two transactions locking different pieces of the same column.
+  EXPECT_TRUE(lm.Acquire(1, "R/A/piece:1", LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A/piece:2", LockMode::kX).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, CoarseLockBlocksFinerIntent) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  // X on a piece requires IX on R/A, incompatible with the held S.
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A/piece:1", LockMode::kX).IsBusy());
+  // But another S on a piece (IS on R/A) is fine.
+  EXPECT_TRUE(lm.TryAcquire(2, "R/A/piece:1", LockMode::kS).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+TEST(LockManagerTest, ReacquireSameModeIsNoOp) {
+  LockManager lm;
+  EXPECT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  EXPECT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  lm.Release(1, "R/A");
+  EXPECT_FALSE(lm.HeldMode(1, "R/A", nullptr));
+}
+
+TEST(LockManagerTest, UpgradeSToX) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kX).ok());
+  LockMode held;
+  ASSERT_TRUE(lm.HeldMode(1, "R/A", &held));
+  EXPECT_EQ(held, LockMode::kX);
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, UpgradeBlockedByOtherReader) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(2, "R/A", LockMode::kS).ok());
+  EXPECT_TRUE(lm.TryAcquire(1, "R/A", LockMode::kX).IsBusy());
+  lm.ReleaseAll(2);
+  EXPECT_TRUE(lm.TryAcquire(1, "R/A", LockMode::kX).ok());
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, SPlusIXBecomesSIX) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  ASSERT_TRUE(lm.Acquire(1, "R/A/k", LockMode::kX).ok());  // needs IX on R/A
+  LockMode held;
+  ASSERT_TRUE(lm.HeldMode(1, "R/A", &held));
+  EXPECT_EQ(held, LockMode::kSIX);
+  lm.ReleaseAll(1);
+}
+
+// ------------------------------------------------------ Blocking grants
+
+TEST(LockManagerTest, BlockedAcquireGrantedOnRelease) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kX).ok());
+  std::atomic<bool> granted{false};
+  std::thread t([&] {
+    EXPECT_TRUE(lm.Acquire(2, "R/A", LockMode::kX).ok());
+    granted.store(true);
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, FifoPreventsBarging) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R", LockMode::kX).ok());
+  std::atomic<bool> w2{false};
+  std::thread t([&] {
+    EXPECT_TRUE(lm.Acquire(2, "R", LockMode::kX).ok());
+    w2.store(true);
+    lm.ReleaseAll(2);
+  });
+  std::this_thread::sleep_for(20ms);
+  // Txn 3 must not try-grab ahead of waiting txn 2.
+  EXPECT_TRUE(lm.TryAcquire(3, "R", LockMode::kS).IsBusy());
+  lm.ReleaseAll(1);
+  t.join();
+  EXPECT_TRUE(w2.load());
+}
+
+// --------------------------------------------------- Deadlock detection
+
+TEST(LockManagerTest, SimpleDeadlockDetected) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "A", LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, "B", LockMode::kX).ok());
+  std::atomic<bool> t1_done{false};
+  Status s1;
+  std::thread t1([&] {
+    s1 = lm.Acquire(1, "B", LockMode::kX);  // blocks on txn 2
+    t1_done.store(true);
+  });
+  std::this_thread::sleep_for(30ms);
+  EXPECT_FALSE(t1_done.load());
+  // Txn 2 requesting A closes the cycle and must be aborted.
+  Status s2 = lm.Acquire(2, "A", LockMode::kX);
+  EXPECT_TRUE(s2.IsAborted());
+  EXPECT_GE(lm.deadlocks_detected(), 1u);
+  // Roll txn 2 back; txn 1 then proceeds.
+  lm.ReleaseAll(2);
+  t1.join();
+  EXPECT_TRUE(s1.ok());
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, NoFalseDeadlockOnIndependentResources) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "A", LockMode::kX).ok());
+  ASSERT_TRUE(lm.Acquire(2, "B", LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryAcquire(1, "C", LockMode::kX).ok());
+  EXPECT_TRUE(lm.TryAcquire(2, "D", LockMode::kX).ok());
+  EXPECT_EQ(lm.deadlocks_detected(), 0u);
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(2);
+}
+
+// ------------------------------------- System-transaction conflict probe
+
+TEST(LockManagerTest, HasConflictingDirectLock) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  EXPECT_TRUE(lm.HasConflicting("R/A", LockMode::kX));
+  EXPECT_FALSE(lm.HasConflicting("R/A", LockMode::kS));
+  lm.ReleaseAll(1);
+  EXPECT_FALSE(lm.HasConflicting("R/A", LockMode::kX));
+}
+
+TEST(LockManagerTest, HasConflictingCoveringAncestor) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A", LockMode::kS).ok());
+  // S on the column covers every piece: refining piece 7 would conflict.
+  EXPECT_TRUE(lm.HasConflicting("R/A/piece:7", LockMode::kX));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, IntentionAncestorDoesNotConflict) {
+  LockManager lm;
+  // Txn 1 locks one key; its IX on R/A must not block refinement of an
+  // unrelated piece.
+  ASSERT_TRUE(lm.Acquire(1, "R/A/key:5", LockMode::kX).ok());
+  EXPECT_FALSE(lm.HasConflicting("R/A/piece:7", LockMode::kX));
+  // But refinement of the whole column conflicts with the key lock below.
+  EXPECT_TRUE(lm.HasConflicting("R/A", LockMode::kX));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, HasConflictingIgnoresSelf) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(7, "R/A", LockMode::kS).ok());
+  EXPECT_FALSE(lm.HasConflicting("R/A", LockMode::kX, /*self_txn=*/7));
+  lm.ReleaseAll(7);
+}
+
+TEST(LockManagerTest, HasConflictingDescendantProbe) {
+  LockManager lm;
+  ASSERT_TRUE(lm.Acquire(1, "R/A/key:10", LockMode::kS).ok());
+  EXPECT_TRUE(lm.HasConflicting("R/A", LockMode::kX));
+  EXPECT_FALSE(lm.HasConflicting("R/B", LockMode::kX));
+  lm.ReleaseAll(1);
+}
+
+TEST(LockManagerTest, ProbeNeverAcquires) {
+  LockManager lm;
+  EXPECT_FALSE(lm.HasConflicting("R/A", LockMode::kX));
+  EXPECT_EQ(lm.num_locked_resources(), 0u);
+}
+
+TEST(LockManagerTest, ReleaseAllIsIdempotent) {
+  LockManager lm;
+  lm.ReleaseAll(42);  // unknown txn: no-op
+  ASSERT_TRUE(lm.Acquire(1, "R", LockMode::kS).ok());
+  lm.ReleaseAll(1);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.num_locked_resources(), 0u);
+}
+
+// --------------------------------------------------------------- Stress
+
+TEST(LockManagerStressTest, ManyTxnsDisjointResources) {
+  LockManager lm;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&lm, &failures, t] {
+      const uint64_t txn = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < 100; ++i) {
+        const std::string res =
+            "R/A/piece:" + std::to_string((t * 100 + i) % 16);
+        Status s = lm.Acquire(txn, res, LockMode::kX);
+        if (!s.ok()) {
+          // Deadlock aborts are legal under contention; retry after
+          // releasing, like a real transaction would.
+          lm.ReleaseAll(txn);
+          continue;
+        }
+        lm.ReleaseAll(txn);
+      }
+      (void)failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lm.num_locked_resources(), 0u);
+}
+
+}  // namespace
+}  // namespace adaptidx

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "engine/plan.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<Column> cols;
+    a_ = Column::UniqueRandom("A", kRows, 7);
+    Column b("B", {});
+    Column c("C", {});
+    for (size_t i = 0; i < kRows; ++i) {
+      b.Append(static_cast<Value>((i * 13) % 500));
+      c.Append(static_cast<Value>(i));
+    }
+    b_ = b;
+    c_ = c;
+    cols.push_back(a_);
+    cols.push_back(std::move(b));
+    cols.push_back(std::move(c));
+    ASSERT_TRUE(db_.CreateTable("R", std::move(cols)).ok());
+    config_.method = IndexMethod::kCrack;
+  }
+
+  /// Row-at-a-time oracle for conjunctive plans.
+  template <typename Pred>
+  std::vector<RowId> OracleRows(Pred pred) const {
+    std::vector<RowId> out;
+    for (size_t i = 0; i < kRows; ++i) {
+      if (pred(i)) out.push_back(static_cast<RowId>(i));
+    }
+    return out;
+  }
+
+  static constexpr size_t kRows = 5000;
+  Database db_;
+  Column a_;
+  Column b_;
+  Column c_;
+  IndexConfig config_;
+};
+
+TEST_F(PlanTest, SingleSelectCount) {
+  QueryContext ctx;
+  uint64_t count = 0;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 1000, 2000, config_)
+                  .Count(&ctx, &count)
+                  .ok());
+  EXPECT_EQ(count, 1000u);
+}
+
+TEST_F(PlanTest, ConjunctionMatchesOracle) {
+  QueryContext ctx;
+  std::vector<RowId> ids;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 500, 4000, config_)
+                  .FilterRange("B", 100, 300)
+                  .RowIds(&ctx, &ids)
+                  .ok());
+  auto expected = OracleRows([&](size_t i) {
+    return a_[i] >= 500 && a_[i] < 4000 && b_[i] >= 100 && b_[i] < 300;
+  });
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, expected);
+}
+
+TEST_F(PlanTest, TriplePredicateSum) {
+  QueryContext ctx;
+  int64_t sum = 0;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 0, 4500, config_)
+                  .FilterRange("B", 50, 450)
+                  .FilterRange("C", 1000, 4000)
+                  .Sum("C", &ctx, &sum)
+                  .ok());
+  int64_t expected = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    if (a_[i] >= 0 && a_[i] < 4500 && b_[i] >= 50 && b_[i] < 450 &&
+        c_[i] >= 1000 && c_[i] < 4000) {
+      expected += c_[i];
+    }
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+TEST_F(PlanTest, CollectInCandidateOrder) {
+  QueryContext ctx;
+  std::vector<Value> values;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 100, 120, config_)
+                  .Collect("C", &ctx, &values)
+                  .ok());
+  EXPECT_EQ(values.size(), 20u);
+  // Every collected C value must belong to a row whose A qualifies.
+  for (Value v : values) {
+    const size_t row = static_cast<size_t>(v);  // C == row index
+    EXPECT_GE(a_[row], 100);
+    EXPECT_LT(a_[row], 120);
+  }
+}
+
+TEST_F(PlanTest, SelectCracksAsSideEffect) {
+  auto index = db_.GetOrCreateIndex("R", "A", config_);
+  auto* crack = static_cast<CrackingIndex*>(index.get());
+  const size_t cracks_before = crack->NumCracks();
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 2222, 3333, config_)
+                  .Count(&ctx, &count)
+                  .ok());
+  EXPECT_GT(crack->NumCracks(), cracks_before);
+}
+
+TEST_F(PlanTest, ErrorsSurfaceAtExecution) {
+  QueryContext ctx;
+  uint64_t count;
+  // No select operator.
+  EXPECT_TRUE(PlanBuilder(&db_, "R").Count(&ctx, &count).IsInvalidArgument());
+  // Unknown table.
+  EXPECT_TRUE(PlanBuilder(&db_, "S")
+                  .SelectRange("A", 0, 1, config_)
+                  .Count(&ctx, &count)
+                  .IsNotFound());
+  // Unknown select column.
+  EXPECT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("Z", 0, 1, config_)
+                  .Count(&ctx, &count)
+                  .IsNotFound());
+  // Unknown filter column.
+  EXPECT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 0, 1, config_)
+                  .FilterRange("Z", 0, 1)
+                  .Count(&ctx, &count)
+                  .IsNotFound());
+  // Double select.
+  EXPECT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 0, 1, config_)
+                  .SelectRange("B", 0, 1, config_)
+                  .Count(&ctx, &count)
+                  .IsInvalidArgument());
+}
+
+TEST_F(PlanTest, EmptySelection) {
+  QueryContext ctx;
+  int64_t sum = 123;
+  ASSERT_TRUE(PlanBuilder(&db_, "R")
+                  .SelectRange("A", 100000, 200000, config_)
+                  .Sum("C", &ctx, &sum)
+                  .ok());
+  EXPECT_EQ(sum, 0);
+}
+
+TEST_F(PlanTest, WorksOverEveryAccessMethod) {
+  for (IndexMethod m :
+       {IndexMethod::kScan, IndexMethod::kSort, IndexMethod::kCrack,
+        IndexMethod::kAdaptiveMerge, IndexMethod::kHybrid,
+        IndexMethod::kBTreeMerge}) {
+    IndexConfig config;
+    config.method = m;
+    config.merge.run_size = 1024;
+    config.hybrid.partition_size = 1024;
+    config.btree.run_size = 1024;
+    QueryContext ctx;
+    uint64_t count = 0;
+    ASSERT_TRUE(PlanBuilder(&db_, "R")
+                    .SelectRange("A", 1000, 1500, config)
+                    .FilterRange("B", 0, 250)
+                    .Count(&ctx, &count)
+                    .ok())
+        << ToString(m);
+    uint64_t expected = 0;
+    for (size_t i = 0; i < kRows; ++i) {
+      expected += (a_[i] >= 1000 && a_[i] < 1500 && b_[i] < 250) ? 1 : 0;
+    }
+    EXPECT_EQ(count, expected) << ToString(m);
+  }
+}
+
+}  // namespace
+}  // namespace adaptidx

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cracking/sideways.h"
+#include "engine/operators.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace {
+
+class SidewaysTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = Column::UniqueRandom("A", 5000, 61);
+    Column b("B", {});
+    for (size_t i = 0; i < 5000; ++i) {
+      b.Append(static_cast<Value>((i * 37) % 1000));
+    }
+    b_ = std::move(b);
+    oracle_ = std::make_unique<RangeOracle>(a_);
+  }
+
+  Column a_;
+  Column b_;
+  std::unique_ptr<RangeOracle> oracle_;
+};
+
+TEST_F(SidewaysTest, LazyInitialization) {
+  SidewaysIndex index(&a_, &b_);
+  EXPECT_FALSE(index.initialized());
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{10, 20}, &ctx, &count).ok());
+  EXPECT_TRUE(index.initialized());
+  EXPECT_GT(ctx.stats.init_ns, 0);
+}
+
+TEST_F(SidewaysTest, CountMatchesOracle) {
+  SidewaysIndex index(&a_, &b_);
+  Rng rng(62);
+  for (int i = 0; i < 150; ++i) {
+    Value lo = rng.UniformRange(-10, 5010);
+    Value hi = rng.UniformRange(-10, 5010);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    uint64_t count;
+    ASSERT_TRUE(index.RangeCount(ValueRange{lo, hi}, &ctx, &count).ok());
+    ASSERT_EQ(count, oracle_->Count(lo, hi));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_F(SidewaysTest, SumAMatchesOracle) {
+  SidewaysIndex index(&a_, &b_);
+  Rng rng(63);
+  for (int i = 0; i < 100; ++i) {
+    Value lo = rng.UniformRange(0, 5000);
+    Value hi = rng.UniformRange(0, 5000);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    int64_t sum;
+    ASSERT_TRUE(index.RangeSum(ValueRange{lo, hi}, &ctx, &sum).ok());
+    ASSERT_EQ(sum, oracle_->Sum(lo, hi));
+  }
+}
+
+TEST_F(SidewaysTest, SumOtherMatchesFetchOracle) {
+  SidewaysIndex index(&a_, &b_);
+  Rng rng(64);
+  for (int i = 0; i < 100; ++i) {
+    Value lo = rng.UniformRange(0, 5000);
+    Value hi = rng.UniformRange(0, 5000);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    int64_t sum_b;
+    ASSERT_TRUE(
+        index.RangeSumOther(ValueRange{lo, hi}, &ctx, &sum_b).ok());
+    ASSERT_EQ(sum_b, OracleFetchSum(a_, b_,
+                                    RangeQuery{lo, hi, QueryType::kSum}));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST_F(SidewaysTest, PairsSurviveReorganization) {
+  SidewaysIndex index(&a_, &b_);
+  Rng rng(65);
+  for (int i = 0; i < 200; ++i) {
+    const Value lo = rng.UniformRange(0, 4900);
+    QueryContext ctx;
+    uint64_t count;
+    ASSERT_TRUE(index.RangeCount(ValueRange{lo, lo + 50}, &ctx, &count).ok());
+  }
+  // ValidateStructure rechecks (a, b, rowid) pairing against both columns.
+  EXPECT_TRUE(index.ValidateStructure());
+  EXPECT_GT(index.NumCracks(), 50u);
+}
+
+TEST_F(SidewaysTest, RowIdsCorrect) {
+  SidewaysIndex index(&a_, &b_);
+  QueryContext ctx;
+  std::vector<RowId> ids;
+  ASSERT_TRUE(index.RangeRowIds(ValueRange{1000, 1200}, &ctx, &ids).ok());
+  ASSERT_EQ(ids.size(), 200u);
+  for (RowId id : ids) {
+    EXPECT_GE(a_[id], 1000);
+    EXPECT_LT(a_[id], 1200);
+  }
+}
+
+TEST_F(SidewaysTest, RepeatedQueryDoesNotRecrack) {
+  SidewaysIndex index(&a_, &b_);
+  QueryContext c1;
+  int64_t sum;
+  ASSERT_TRUE(index.RangeSumOther(ValueRange{100, 400}, &c1, &sum).ok());
+  EXPECT_GT(c1.stats.cracks, 0u);
+  QueryContext c2;
+  ASSERT_TRUE(index.RangeSumOther(ValueRange{100, 400}, &c2, &sum).ok());
+  EXPECT_EQ(c2.stats.cracks, 0u);
+}
+
+TEST_F(SidewaysTest, CrackInThreeUsedForFreshPiece) {
+  SidewaysIndex index(&a_, &b_);
+  QueryContext ctx;
+  uint64_t count;
+  ASSERT_TRUE(index.RangeCount(ValueRange{2000, 3000}, &ctx, &count).ok());
+  EXPECT_EQ(count, 1000u);
+  EXPECT_EQ(ctx.stats.cracks, 2u);  // one crack-in-three pass, two bounds
+  EXPECT_EQ(index.NumCracks(), 2u);
+}
+
+TEST_F(SidewaysTest, ConcurrentMixedQueries) {
+  SidewaysIndex index(&a_, &b_);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(600 + t);
+      for (int i = 0; i < 80 && ok.load(); ++i) {
+        Value lo = rng.UniformRange(0, 5000);
+        Value hi = rng.UniformRange(0, 5000);
+        if (lo > hi) std::swap(lo, hi);
+        QueryContext ctx;
+        if (i % 2 == 0) {
+          uint64_t count = 0;
+          if (!index.RangeCount(ValueRange{lo, hi}, &ctx, &count).ok() ||
+              count != oracle_->Count(lo, hi)) {
+            ok.store(false);
+          }
+        } else {
+          int64_t sum_b = 0;
+          if (!index.RangeSumOther(ValueRange{lo, hi}, &ctx, &sum_b).ok() ||
+              sum_b != OracleFetchSum(a_, b_,
+                                      RangeQuery{lo, hi, QueryType::kSum})) {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(SidewaysEdgeTest, DuplicatesInSelectionColumn) {
+  Column a = Column::UniformRandom("A", 3000, 0, 30, 66);
+  Column b("B", {});
+  for (size_t i = 0; i < 3000; ++i) b.Append(static_cast<Value>(i));
+  SidewaysIndex index(&a, &b);
+  Rng rng(67);
+  for (int i = 0; i < 60; ++i) {
+    Value lo = rng.UniformRange(-2, 32);
+    Value hi = rng.UniformRange(-2, 32);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext ctx;
+    int64_t sum_b;
+    ASSERT_TRUE(index.RangeSumOther(ValueRange{lo, hi}, &ctx, &sum_b).ok());
+    ASSERT_EQ(sum_b, OracleFetchSum(a, b, RangeQuery{lo, hi, QueryType::kSum}));
+  }
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+TEST(SidewaysEdgeTest, EmptyAndFullRanges) {
+  Column a = Column::UniqueRandom("A", 100, 68);
+  Column b = Column::Sequential("B", 100);
+  SidewaysIndex index(&a, &b);
+  QueryContext ctx;
+  int64_t sum_b;
+  ASSERT_TRUE(index.RangeSumOther(ValueRange{50, 50}, &ctx, &sum_b).ok());
+  EXPECT_EQ(sum_b, 0);
+  ASSERT_TRUE(index.RangeSumOther(ValueRange{-10, 1000}, &ctx, &sum_b).ok());
+  EXPECT_EQ(sum_b, 99 * 100 / 2);
+}
+
+}  // namespace
+}  // namespace adaptidx

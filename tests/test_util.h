@@ -1,0 +1,50 @@
+#ifndef ADAPTIDX_TESTS_TEST_UTIL_H_
+#define ADAPTIDX_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "storage/column.h"
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief O(log n) range-count/sum oracle over an immutable column, used to
+/// verify adaptive indexes under heavy query volume (a full scan per check
+/// would dominate test time).
+class RangeOracle {
+ public:
+  explicit RangeOracle(const Column& column)
+      : sorted_(column.values().begin(), column.values().end()) {
+    std::sort(sorted_.begin(), sorted_.end());
+    prefix_.resize(sorted_.size() + 1, 0);
+    for (size_t i = 0; i < sorted_.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + sorted_[i];
+    }
+  }
+
+  uint64_t Count(Value lo, Value hi) const {
+    if (lo >= hi) return 0;
+    return Index(hi) - Index(lo);
+  }
+
+  int64_t Sum(Value lo, Value hi) const {
+    if (lo >= hi) return 0;
+    return prefix_[Index(hi)] - prefix_[Index(lo)];
+  }
+
+ private:
+  size_t Index(Value v) const {
+    return static_cast<size_t>(
+        std::lower_bound(sorted_.begin(), sorted_.end(), v) -
+        sorted_.begin());
+  }
+
+  std::vector<Value> sorted_;
+  std::vector<int64_t> prefix_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_TESTS_TEST_UTIL_H_
