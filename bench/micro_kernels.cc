@@ -1,159 +1,465 @@
-/// \file Micro-benchmarks (google-benchmark) for the hot kernels:
+/// \file Micro-benchmarks for the hot kernels:
 ///  - crack-in-two / crack-in-three on both cracker-array layouts
-///    (Figure 7's representation question),
-///  - the scan fallback kernels,
+///    (Figure 7's representation question), reference vs branchless/SIMD
+///    tiers,
+///  - the scan fallback kernels (count / sum / positional sum),
 ///  - latch acquire/release cost (the per-operation ingredient of the
 ///    Figure 13 overhead),
 ///  - AVL table-of-contents lookups.
+///
+/// Results are printed as a table and written to a machine-readable JSON
+/// file (default BENCH_kernels.json, override with AI_BENCH_JSON) so the
+/// kernel-tier speedups are recorded in the repo's perf trajectory:
+///   {"kernel", "layout", "tier", "n", "melem_per_s", "speedup_vs_reference"}
+///
+/// Size sweep: 2^12 .. 2^24 (even exponents plus 2^22, the acceptance
+/// point); trim with AI_BENCH_MAX_EXP for smoke runs.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "cracking/avl_tree.h"
 #include "cracking/cracker_array.h"
+#include "cracking/kernel_tiers.h"
+#include "cracking/reference_kernels.h"
+#include "cracking/span_kernels.h"
 #include "latch/wait_queue_latch.h"
 #include "storage/column.h"
 #include "util/rng.h"
+#include "util/stopwatch.h"
 
 namespace adaptidx {
 namespace {
 
-constexpr size_t kRows = 1 << 20;
+struct BenchRecord {
+  std::string kernel;
+  std::string layout;
+  std::string tier;
+  size_t n;
+  double melem_per_s;
+  double speedup_vs_reference;  // 1.0 for the reference rows themselves
+};
 
-ArrayLayout LayoutArg(int64_t a) {
-  return a == 0 ? ArrayLayout::kRowIdValuePairs : ArrayLayout::kPairOfArrays;
+std::vector<BenchRecord> g_records;
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end == v ? def : static_cast<size_t>(parsed);
 }
 
-void BM_CrackInTwo(benchmark::State& state) {
-  Column col = Column::UniqueRandom("A", kRows, 3);
-  Rng rng(11);
-  for (auto _ : state) {
-    state.PauseTiming();
-    CrackerArray arr(col, LayoutArg(state.range(0)));
-    const Value pivot = rng.UniformRange(0, kRows);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(arr.CrackTwo(0, kRows, pivot));
+/// Times `fn` (already warmed) and returns the best-of-reps seconds.
+template <typename Fn>
+double BestOf(int reps, Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    const int64_t t0 = NowNanos();
+    fn();
+    const int64_t t1 = NowNanos();
+    best = std::min(best, static_cast<double>(t1 - t0) * 1e-9);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+  return best;
 }
-BENCHMARK(BM_CrackInTwo)->Arg(0)->Arg(1)->ArgName("layout")
-    ->Unit(benchmark::kMillisecond);
 
-void BM_CrackInThree(benchmark::State& state) {
-  Column col = Column::UniqueRandom("A", kRows, 5);
-  Rng rng(13);
-  for (auto _ : state) {
-    state.PauseTiming();
-    CrackerArray arr(col, LayoutArg(state.range(0)));
-    Value lo = rng.UniformRange(0, kRows);
-    Value hi = rng.UniformRange(0, kRows);
-    if (lo > hi) std::swap(lo, hi);
-    state.ResumeTiming();
-    benchmark::DoNotOptimize(arr.CrackThree(0, kRows, lo, hi));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+int RepsFor(size_t n) { return n >= (1u << 22) ? 5 : 9; }
+
+void Record(const std::string& kernel, const std::string& layout,
+            const std::string& tier, size_t n, double secs, double ref_secs) {
+  const double melem = static_cast<double>(n) / secs / 1e6;
+  const double speedup = ref_secs / secs;
+  g_records.push_back(BenchRecord{kernel, layout, tier, n, melem, speedup});
+  std::printf("  %-14s %-6s %-10s %9.3f ms  %8.1f Melem/s  %5.2fx\n",
+              kernel.c_str(), layout.c_str(), tier.c_str(), secs * 1e3, melem,
+              speedup);
 }
-BENCHMARK(BM_CrackInThree)->Arg(0)->Arg(1)->ArgName("layout")
-    ->Unit(benchmark::kMillisecond);
 
-void BM_TwoCracksVsThree(benchmark::State& state) {
-  // Cost of crack-in-three's single pass vs two crack-in-two passes.
-  Column col = Column::UniqueRandom("A", kRows, 7);
-  for (auto _ : state) {
-    state.PauseTiming();
-    CrackerArray arr(col, ArrayLayout::kPairOfArrays);
-    state.ResumeTiming();
-    const Position p = arr.CrackTwo(0, kRows, kRows / 3);
-    benchmark::DoNotOptimize(arr.CrackTwo(p, kRows, 2 * kRows / 3));
+// --------------------------------------------------------------- scans
+
+void BenchScansSplit(const std::vector<Value>& values, size_t n) {
+  const Value lo = static_cast<Value>(n / 4);
+  const Value hi = static_cast<Value>(n / 2);
+  const Value* v = values.data();
+  volatile uint64_t sink = 0;
+  const int reps = RepsFor(n);
+
+  sink += reference::ScanCountSplit(v, 0, n, lo, hi);
+  const double ref_cnt =
+      BestOf(reps, [&] { sink += reference::ScanCountSplit(v, 0, n, lo, hi); });
+  Record("ScanCount", "split", "reference", n, ref_cnt, ref_cnt);
+  sink += detail::ScanCountBranchless(v, 0, n, lo, hi);
+  Record("ScanCount", "split", "branchless", n,
+         BestOf(reps,
+                [&] { sink += detail::ScanCountBranchless(v, 0, n, lo, hi); }),
+         ref_cnt);
+#ifdef ADAPTIDX_X86_SIMD
+  if (detail::HaveAvx2()) {
+    sink += detail::ScanCountAvx2(v, 0, n, lo, hi);
+    Record("ScanCount", "split", "avx2", n,
+           BestOf(reps,
+                  [&] { sink += detail::ScanCountAvx2(v, 0, n, lo, hi); }),
+           ref_cnt);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+#endif
+
+  sink += static_cast<uint64_t>(reference::ScanSumSplit(v, 0, n, lo, hi));
+  const double ref_sum = BestOf(reps, [&] {
+    sink += static_cast<uint64_t>(reference::ScanSumSplit(v, 0, n, lo, hi));
+  });
+  Record("ScanSum", "split", "reference", n, ref_sum, ref_sum);
+  Record("ScanSum", "split", "branchless", n, BestOf(reps, [&] {
+           sink += static_cast<uint64_t>(
+               detail::ScanSumBranchless(v, 0, n, lo, hi));
+         }),
+         ref_sum);
+#ifdef ADAPTIDX_X86_SIMD
+  if (detail::HaveAvx2()) {
+    Record("ScanSum", "split", "avx2", n, BestOf(reps, [&] {
+             sink +=
+                 static_cast<uint64_t>(detail::ScanSumAvx2(v, 0, n, lo, hi));
+           }),
+           ref_sum);
+  }
+#endif
+
+  sink += static_cast<uint64_t>(reference::PositionalSumSplit(v, 0, n));
+  const double ref_pos = BestOf(reps, [&] {
+    sink += static_cast<uint64_t>(reference::PositionalSumSplit(v, 0, n));
+  });
+  Record("PositionalSum", "split", "reference", n, ref_pos, ref_pos);
+  Record("PositionalSum", "split", "branchless", n, BestOf(reps, [&] {
+           sink +=
+               static_cast<uint64_t>(detail::PositionalSumUnrolled(v, 0, n));
+         }),
+         ref_pos);
+#ifdef ADAPTIDX_X86_SIMD
+  if (detail::HaveAvx2()) {
+    Record("PositionalSum", "split", "avx2", n, BestOf(reps, [&] {
+             sink += static_cast<uint64_t>(detail::PositionalSumAvx2(v, 0, n));
+           }),
+           ref_pos);
+  }
+#endif
 }
-BENCHMARK(BM_TwoCracksVsThree)->Unit(benchmark::kMillisecond);
 
-void BM_ScanCount(benchmark::State& state) {
-  Column col = Column::UniqueRandom("A", kRows, 9);
-  CrackerArray arr(col, LayoutArg(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        arr.ScanCountRange(0, kRows, kRows / 4, kRows / 2));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+void BenchScansPairs(const std::vector<CrackerEntry>& entries, size_t n) {
+  const Value lo = static_cast<Value>(n / 4);
+  const Value hi = static_cast<Value>(n / 2);
+  const CrackerEntry* e = entries.data();
+  volatile uint64_t sink = 0;
+  const int reps = RepsFor(n);
+
+  sink += reference::ScanCountPairs(e, 0, n, lo, hi);
+  const double ref_cnt =
+      BestOf(reps, [&] { sink += reference::ScanCountPairs(e, 0, n, lo, hi); });
+  Record("ScanCount", "pairs", "reference", n, ref_cnt, ref_cnt);
+  Record("ScanCount", "pairs", "branchless", n,
+         BestOf(reps, [&] { sink += ScanCountEntries(e, 0, n, lo, hi); }),
+         ref_cnt);
+
+  sink += static_cast<uint64_t>(reference::ScanSumPairs(e, 0, n, lo, hi));
+  const double ref_sum = BestOf(reps, [&] {
+    sink += static_cast<uint64_t>(reference::ScanSumPairs(e, 0, n, lo, hi));
+  });
+  Record("ScanSum", "pairs", "reference", n, ref_sum, ref_sum);
+  Record("ScanSum", "pairs", "branchless", n, BestOf(reps, [&] {
+           sink += static_cast<uint64_t>(ScanSumEntries(e, 0, n, lo, hi));
+         }),
+         ref_sum);
+
+  sink += static_cast<uint64_t>(reference::PositionalSumPairs(e, 0, n));
+  const double ref_pos = BestOf(reps, [&] {
+    sink += static_cast<uint64_t>(reference::PositionalSumPairs(e, 0, n));
+  });
+  Record("PositionalSum", "pairs", "reference", n, ref_pos, ref_pos);
+  Record("PositionalSum", "pairs", "branchless", n, BestOf(reps, [&] {
+           sink += static_cast<uint64_t>(PositionalSumEntries(e, 0, n));
+         }),
+         ref_pos);
 }
-BENCHMARK(BM_ScanCount)->Arg(0)->Arg(1)->ArgName("layout")
-    ->Unit(benchmark::kMillisecond);
 
-void BM_PositionalSum(benchmark::State& state) {
-  Column col = Column::UniqueRandom("A", kRows, 10);
-  CrackerArray arr(col, LayoutArg(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(arr.PositionalSumRange(0, kRows));
+// --------------------------------------------------------------- cracks
+//
+// Crack kernels mutate their input, so every timed run partitions a fresh
+// copy of the pristine data; the copy happens outside the timed section.
+
+struct SplitData {
+  std::vector<Value> values;
+  std::vector<RowId> row_ids;
+};
+
+template <typename Fn>
+double BestOfCrackSplit(const SplitData& pristine, SplitData* work, int reps,
+                        Fn&& fn) {
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    work->values = pristine.values;
+    work->row_ids = pristine.row_ids;
+    const int64_t t0 = NowNanos();
+    fn(work);
+    const int64_t t1 = NowNanos();
+    best = std::min(best, static_cast<double>(t1 - t0) * 1e-9);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kRows);
+  return best;
 }
-BENCHMARK(BM_PositionalSum)->Arg(0)->Arg(1)->ArgName("layout")
-    ->Unit(benchmark::kMillisecond);
 
-void BM_LatchUncontendedWrite(benchmark::State& state) {
-  WaitQueueLatch latch;
-  for (auto _ : state) {
-    latch.WriteLock(0);
-    latch.WriteUnlock();
+void BenchCracksSplit(const SplitData& pristine, size_t n) {
+  const Value pivot = static_cast<Value>(n / 2);
+  const Value lo3 = static_cast<Value>(n / 3);
+  const Value hi3 = static_cast<Value>(2 * n / 3);
+  SplitData work;
+  volatile uint64_t sink = 0;
+  const int reps = n >= (1u << 22) ? 3 : 7;
+
+  const double ref2 = BestOfCrackSplit(pristine, &work, reps, [&](SplitData* w) {
+    sink += reference::CrackInTwoSplit(w->values.data(), w->row_ids.data(), 0,
+                                       n, pivot);
+  });
+  Record("CrackInTwo", "split", "reference", n, ref2, ref2);
+  Record("CrackInTwo", "split", "predicated", n,
+         BestOfCrackSplit(pristine, &work, reps,
+                          [&](SplitData* w) {
+                            sink += detail::CrackInTwoPredSpan(
+                                w->values.data(), w->row_ids.data(), 0, n,
+                                pivot);
+                          }),
+         ref2);
+#ifdef ADAPTIDX_X86_SIMD
+  if (detail::HaveAvx512()) {
+    Record("CrackInTwo", "split", "avx512", n,
+           BestOfCrackSplit(pristine, &work, reps,
+                            [&](SplitData* w) {
+                              sink += detail::CrackInTwoAvx512(
+                                  w->values.data(), w->row_ids.data(), 0, n,
+                                  pivot);
+                            }),
+           ref2);
   }
+#endif
+
+  const double ref3 = BestOfCrackSplit(pristine, &work, reps, [&](SplitData* w) {
+    sink += reference::CrackInThreeSplit(w->values.data(), w->row_ids.data(),
+                                         0, n, lo3, hi3)
+                .first;
+  });
+  Record("CrackInThree", "split", "reference", n, ref3, ref3);
+  const KernelTier best_tier = BestKernelTier();
+  Record("CrackInThree", "split", KernelTierName(best_tier), n,
+         BestOfCrackSplit(pristine, &work, reps,
+                          [&](SplitData* w) {
+                            sink += CrackInThreeSpan(w->values.data(),
+                                                     w->row_ids.data(), 0, n,
+                                                     lo3, hi3, best_tier)
+                                        .first;
+                          }),
+         ref3);
 }
-BENCHMARK(BM_LatchUncontendedWrite);
 
-void BM_LatchUncontendedRead(benchmark::State& state) {
-  WaitQueueLatch latch;
-  for (auto _ : state) {
-    latch.ReadLock();
-    latch.ReadUnlock();
+void BenchCracksPairs(const std::vector<CrackerEntry>& pristine, size_t n) {
+  const Value pivot = static_cast<Value>(n / 2);
+  const Value lo3 = static_cast<Value>(n / 3);
+  const Value hi3 = static_cast<Value>(2 * n / 3);
+  std::vector<CrackerEntry> work;
+  volatile uint64_t sink = 0;
+  const int reps = n >= (1u << 22) ? 3 : 7;
+
+  double best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    work = pristine;
+    const int64_t t0 = NowNanos();
+    sink += reference::CrackInTwoPairs(work.data(), 0, n, pivot);
+    best = std::min(best, static_cast<double>(NowNanos() - t0) * 1e-9);
   }
+  const double ref2 = best;
+  Record("CrackInTwo", "pairs", "reference", n, ref2, ref2);
+
+  best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    work = pristine;
+    const int64_t t0 = NowNanos();
+    sink += CrackInTwoEntries(work.data(), 0, n, pivot);
+    best = std::min(best, static_cast<double>(NowNanos() - t0) * 1e-9);
+  }
+  Record("CrackInTwo", "pairs", "predicated", n, best, ref2);
+
+  best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    work = pristine;
+    const int64_t t0 = NowNanos();
+    sink += reference::CrackInThreePairs(work.data(), 0, n, lo3, hi3).first;
+    best = std::min(best, static_cast<double>(NowNanos() - t0) * 1e-9);
+  }
+  const double ref3 = best;
+  Record("CrackInThree", "pairs", "reference", n, ref3, ref3);
+
+  best = 1e100;
+  for (int r = 0; r < reps; ++r) {
+    work = pristine;
+    const int64_t t0 = NowNanos();
+    sink += CrackInThreeEntries(work.data(), 0, n, lo3, hi3).first;
+    best = std::min(best, static_cast<double>(NowNanos() - t0) * 1e-9);
+  }
+  Record("CrackInThree", "pairs", "predicated", n, best, ref3);
 }
-BENCHMARK(BM_LatchUncontendedRead);
 
-void BM_LatchInstrumentedWrite(benchmark::State& state) {
-  WaitQueueLatch latch;
-  LatchStats stats;
-  int64_t wait = 0;
-  uint64_t conflicts = 0;
-  LatchAcquireContext ctx{&stats, &wait, &conflicts};
-  for (auto _ : state) {
-    latch.WriteLock(0, ctx);
-    latch.WriteUnlock();
-  }
-}
-BENCHMARK(BM_LatchInstrumentedWrite);
+// ------------------------------------------------- latch / AVL micro
 
-void BM_AvlLookup(benchmark::State& state) {
-  AvlTree tree;
-  const size_t cracks = static_cast<size_t>(state.range(0));
-  Rng rng(21);
-  while (tree.size() < cracks) {
-    const Value v = rng.UniformRange(0, 1 << 26);
-    tree.Insert(v, static_cast<Position>(v));
+void BenchLatchAndAvl() {
+  std::printf("\n== latch / AVL micro ==\n");
+  constexpr int kIters = 2'000'000;
+  {
+    WaitQueueLatch latch;
+    const int64_t t0 = NowNanos();
+    for (int i = 0; i < kIters; ++i) {
+      latch.WriteLock(0);
+      latch.WriteUnlock();
+    }
+    std::printf("  uncontended write lock/unlock: %6.1f ns\n",
+                static_cast<double>(NowNanos() - t0) / kIters);
   }
-  Value probe = 1;
-  for (auto _ : state) {
-    AvlTree::Entry e;
-    benchmark::DoNotOptimize(tree.Floor(probe, &e));
-    probe = (probe * 2862933555777941757ULL + 3037000493ULL) & ((1 << 26) - 1);
+  {
+    WaitQueueLatch latch;
+    const int64_t t0 = NowNanos();
+    for (int i = 0; i < kIters; ++i) {
+      latch.ReadLock();
+      latch.ReadUnlock();
+    }
+    std::printf("  uncontended read lock/unlock:  %6.1f ns\n",
+                static_cast<double>(NowNanos() - t0) / kIters);
   }
-}
-BENCHMARK(BM_AvlLookup)->Arg(64)->Arg(1024)->Arg(16384)->ArgName("cracks");
-
-void BM_AvlInsert(benchmark::State& state) {
-  for (auto _ : state) {
-    state.PauseTiming();
+  for (size_t cracks : {64u, 1024u, 16384u}) {
     AvlTree tree;
-    Rng rng(23);
-    state.ResumeTiming();
-    for (int i = 0; i < 1024; ++i) {
+    Rng rng(21);
+    while (tree.size() < cracks) {
       const Value v = rng.UniformRange(0, 1 << 26);
       tree.Insert(v, static_cast<Position>(v));
     }
+    Value probe = 1;
+    volatile uint64_t sink = 0;
+    constexpr int kLookups = 2'000'000;
+    const int64_t t0 = NowNanos();
+    for (int i = 0; i < kLookups; ++i) {
+      AvlTree::Entry e;
+      sink += tree.Floor(probe, &e) ? e.pos : 0;
+      probe = static_cast<Value>(
+          (static_cast<uint64_t>(probe) * 2862933555777941757ULL +
+           3037000493ULL) &
+          ((1 << 26) - 1));
+    }
+    std::printf("  AVL floor lookup (%5zu cracks): %6.1f ns\n", cracks,
+                static_cast<double>(NowNanos() - t0) / kLookups);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
 }
-BENCHMARK(BM_AvlInsert)->Unit(benchmark::kMicrosecond);
+
+// ----------------------------------------------------------- reporting
+
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"best_tier\": \"%s\",\n",
+               KernelTierName(BestKernelTier()));
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < g_records.size(); ++i) {
+    const BenchRecord& r = g_records[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"layout\": \"%s\", \"tier\": "
+                 "\"%s\", \"n\": %zu, \"melem_per_s\": %.1f, "
+                 "\"speedup_vs_reference\": %.3f}%s\n",
+                 r.kernel.c_str(), r.layout.c_str(), r.tier.c_str(), r.n,
+                 r.melem_per_s, r.speedup_vs_reference,
+                 i + 1 == g_records.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote %s (%zu records)\n", path.c_str(), g_records.size());
+}
+
+/// Best non-reference speedup for (kernel, layout) at size n.
+double BestSpeedup(const std::string& kernel, const std::string& layout,
+                   size_t n) {
+  double best = 0.0;
+  for (const BenchRecord& r : g_records) {
+    if (r.kernel == kernel && r.layout == layout && r.n == n &&
+        r.tier != "reference") {
+      best = std::max(best, r.speedup_vs_reference);
+    }
+  }
+  return best;
+}
+
+void PrintVerdicts(size_t acceptance_n) {
+  struct Check {
+    const char* kernel;
+    const char* layout;
+    double threshold;
+  };
+  const Check checks[] = {
+      {"ScanCount", "split", 1.5},
+      {"ScanSum", "split", 1.5},
+      {"CrackInTwo", "split", 1.2},
+  };
+  std::printf("\n== acceptance @ n=%zu ==\n", acceptance_n);
+  for (const Check& c : checks) {
+    const double s = BestSpeedup(c.kernel, c.layout, acceptance_n);
+    std::printf("  %-10s %-6s best %.2fx (need %.1fx): %s\n", c.kernel,
+                c.layout, s, c.threshold, s >= c.threshold ? "PASS" : "FAIL");
+  }
+}
 
 }  // namespace
 }  // namespace adaptidx
+
+int main() {
+  using namespace adaptidx;
+
+  std::printf("kernel micro-benchmarks; best supported tier: %s\n",
+              KernelTierName(BestKernelTier()));
+
+  const size_t max_exp = EnvSize("AI_BENCH_MAX_EXP", 24);
+  std::vector<size_t> exps;
+  for (size_t e = 12; e <= max_exp && e <= 24; e += 2) exps.push_back(e);
+  // 2^22 is the acceptance point; make sure it is always in the sweep.
+  if (max_exp >= 22 &&
+      std::find(exps.begin(), exps.end(), 22u) == exps.end()) {
+    exps.push_back(22);
+    std::sort(exps.begin(), exps.end());
+  }
+
+  for (size_t e : exps) {
+    const size_t n = static_cast<size_t>(1) << e;
+    std::printf("\n== n = 2^%zu = %zu ==\n", e, n);
+    Column col = Column::UniqueRandom("A", n, 3);
+
+    SplitData split;
+    split.values.assign(col.values().begin(), col.values().end());
+    split.row_ids.resize(n);
+    for (size_t i = 0; i < n; ++i) split.row_ids[i] = static_cast<RowId>(i);
+
+    std::vector<CrackerEntry> pairs(n);
+    for (size_t i = 0; i < n; ++i) {
+      pairs[i] = CrackerEntry{static_cast<RowId>(i), col[i]};
+    }
+
+    BenchScansSplit(split.values, n);
+    BenchScansPairs(pairs, n);
+    BenchCracksSplit(split, n);
+    BenchCracksPairs(pairs, n);
+  }
+
+  BenchLatchAndAvl();
+
+  const char* json_path = std::getenv("AI_BENCH_JSON");
+  WriteJson(json_path != nullptr && *json_path != '\0' ? json_path
+                                                       : "BENCH_kernels.json");
+  if (max_exp >= 22) PrintVerdicts(static_cast<size_t>(1) << 22);
+  return 0;
+}

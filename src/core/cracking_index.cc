@@ -106,10 +106,7 @@ struct RowIdAggregator {
   }
   void Filtered(const CrackerArray& a, Position b, Position e,
                 const ValueRange& r) {
-    for (Position i = b; i < e; ++i) {
-      const Value v = a.ValueAt(i);
-      if (v >= r.lo && v < r.hi) out->push_back(a.RowIdAt(i));
-    }
+    a.CollectRowIdsFiltered(b, e, r, out);
   }
 };
 
@@ -138,17 +135,12 @@ void CrackingIndex::EnsureInitialized(QueryContext* ctx) {
     return;
   }
   ScopedTimer init_timer(&ctx->stats.init_ns);
-  array_ = std::make_unique<CrackerArray>(*column_, opts_.layout);
+  array_ = std::make_unique<CrackerArray>(*column_, opts_.layout,
+                                          opts_.kernel_tier);
   Value lo = 0;
   Value hi = 0;
   if (array_->size() > 0) {
-    lo = array_->ValueAt(0);
-    hi = array_->ValueAt(0);
-    for (Position i = 1; i < array_->size(); ++i) {
-      const Value v = array_->ValueAt(i);
-      lo = std::min(lo, v);
-      hi = std::max(hi, v);
-    }
+    array_->MinMax(0, array_->size(), &lo, &hi);
   }
   domain_lo_ = lo;
   domain_hi_ = hi + 1;

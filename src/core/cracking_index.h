@@ -42,6 +42,10 @@ struct CrackingOptions {
   SchedulingPolicy scheduling = SchedulingPolicy::kMiddleOut;
   ArrayLayout layout = ArrayLayout::kPairOfArrays;
 
+  /// Kernel implementation tier for cracks and scans (kernel_tiers.h);
+  /// kAuto resolves to the best tier the CPU supports.
+  KernelTier kernel_tier = KernelTier::kAuto;
+
   /// Crack both bounds of a range in a single pass when they fall into the
   /// same piece.
   bool use_crack_in_three = true;

@@ -1,5 +1,6 @@
 #include "core/scan_index.h"
 
+#include "cracking/span_kernels.h"
 #include "util/stopwatch.h"
 
 namespace adaptidx {
@@ -7,40 +8,31 @@ namespace adaptidx {
 Status ScanIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
                              uint64_t* count) {
   ScopedTimer read_timer(&ctx->stats.read_ns);
-  const Value* data = column_->data();
-  const size_t n = column_->size();
-  uint64_t c = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Value v = data[i];
-    c += (v >= range.lo && v < range.hi) ? 1 : 0;
-  }
-  *count = c;
+  *count = ScanCountSpan(column_->data(), 0, column_->size(), range.lo,
+                         range.hi, KernelTier::kAuto);
   return Status::OK();
 }
 
 Status ScanIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
                            int64_t* sum) {
   ScopedTimer read_timer(&ctx->stats.read_ns);
-  const Value* data = column_->data();
-  const size_t n = column_->size();
-  int64_t s = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const Value v = data[i];
-    if (v >= range.lo && v < range.hi) s += v;
-  }
-  *sum = s;
+  *sum = ScanSumSpan(column_->data(), 0, column_->size(), range.lo, range.hi,
+                     KernelTier::kAuto);
   return Status::OK();
 }
 
 Status ScanIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
                               std::vector<RowId>* row_ids) {
   ScopedTimer read_timer(&ctx->stats.read_ns);
+  row_ids->clear();
+  if (range.Empty()) return Status::OK();  // width below would wrap
   const Value* data = column_->data();
   const size_t n = column_->size();
-  row_ids->clear();
+  const uint64_t width =
+      static_cast<uint64_t>(range.hi) - static_cast<uint64_t>(range.lo);
   for (size_t i = 0; i < n; ++i) {
-    const Value v = data[i];
-    if (v >= range.lo && v < range.hi) {
+    if ((static_cast<uint64_t>(data[i]) - static_cast<uint64_t>(range.lo)) <
+        width) {
       row_ids->push_back(static_cast<RowId>(i));
     }
   }

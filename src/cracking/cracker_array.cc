@@ -3,11 +3,51 @@
 #include <algorithm>
 
 #include "cracking/crack_kernels.h"
+#include "cracking/reference_kernels.h"
+#include "cracking/span_kernels.h"
 
 namespace adaptidx {
 
-CrackerArray::CrackerArray(const Column& column, ArrayLayout layout)
-    : layout_(layout), size_(column.size()) {
+namespace {
+
+/// Ranges at or below this size are sorted with a tandem insertion sort
+/// instead of a zip-sort-unzip round trip. Matches the magnitude of
+/// CrackingOptions::sort_piece_threshold (128), the piece size below which
+/// the active strategy sorts instead of cracking.
+constexpr size_t kInsertionSortCutoff = 128;
+
+void InsertionSortEntries(CrackerEntry* e, Position begin, Position end) {
+  for (Position i = begin + 1; i < end; ++i) {
+    const CrackerEntry key = e[i];
+    Position j = i;
+    while (j > begin && e[j - 1].value > key.value) {
+      e[j] = e[j - 1];
+      --j;
+    }
+    e[j] = key;
+  }
+}
+
+void InsertionSortSplit(Value* v, RowId* r, Position begin, Position end) {
+  for (Position i = begin + 1; i < end; ++i) {
+    const Value kv = v[i];
+    const RowId kr = r[i];
+    Position j = i;
+    while (j > begin && v[j - 1] > kv) {
+      v[j] = v[j - 1];
+      r[j] = r[j - 1];
+      --j;
+    }
+    v[j] = kv;
+    r[j] = kr;
+  }
+}
+
+}  // namespace
+
+CrackerArray::CrackerArray(const Column& column, ArrayLayout layout,
+                           KernelTier tier)
+    : layout_(layout), tier_(ResolveKernelTier(tier)), size_(column.size()) {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
     pairs_.resize(size_);
     for (Position i = 0; i < size_; ++i) {
@@ -23,8 +63,8 @@ CrackerArray::CrackerArray(const Column& column, ArrayLayout layout)
 }
 
 CrackerArray::CrackerArray(std::vector<CrackerEntry> entries,
-                           ArrayLayout layout)
-    : layout_(layout), size_(entries.size()) {
+                           ArrayLayout layout, KernelTier tier)
+    : layout_(layout), tier_(ResolveKernelTier(tier)), size_(entries.size()) {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
     pairs_ = std::move(entries);
   } else {
@@ -37,28 +77,42 @@ CrackerArray::CrackerArray(std::vector<CrackerEntry> entries,
   }
 }
 
+void CrackerArray::set_kernel_tier(KernelTier tier) {
+  tier_ = ResolveKernelTier(tier);
+}
+
 Position CrackerArray::CrackTwo(Position begin, Position end, Value pivot) {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
-    PairAccessor a(pairs_.data());
-    return CrackInTwo(a, begin, end, pivot);
+    if (tier_ == KernelTier::kReference) {
+      return reference::CrackInTwoPairs(pairs_.data(), begin, end, pivot);
+    }
+    return CrackInTwoEntries(pairs_.data(), begin, end, pivot);
   }
-  SplitAccessor a(values_.data(), row_ids_.data());
-  return CrackInTwo(a, begin, end, pivot);
+  return CrackInTwoSpan(values_.data(), row_ids_.data(), begin, end, pivot,
+                        tier_);
 }
 
 std::pair<Position, Position> CrackerArray::CrackThree(Position begin,
                                                        Position end, Value lo,
                                                        Value hi) {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
-    PairAccessor a(pairs_.data());
-    return CrackInThree(a, begin, end, lo, hi);
+    if (tier_ == KernelTier::kReference) {
+      return reference::CrackInThreePairs(pairs_.data(), begin, end, lo, hi);
+    }
+    return CrackInThreeEntries(pairs_.data(), begin, end, lo, hi);
   }
-  SplitAccessor a(values_.data(), row_ids_.data());
-  return CrackInThree(a, begin, end, lo, hi);
+  return CrackInThreeSpan(values_.data(), row_ids_.data(), begin, end, lo, hi,
+                          tier_);
 }
 
 void CrackerArray::SortRange(Position begin, Position end) {
+  if (end - begin <= 1) return;
+  const size_t n = end - begin;
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    if (n <= kInsertionSortCutoff) {
+      InsertionSortEntries(pairs_.data(), begin, end);
+      return;
+    }
     std::sort(pairs_.begin() + static_cast<long>(begin),
               pairs_.begin() + static_cast<long>(end),
               [](const CrackerEntry& a, const CrackerEntry& b) {
@@ -66,63 +120,108 @@ void CrackerArray::SortRange(Position begin, Position end) {
               });
     return;
   }
-  // Pair-of-arrays layout: sort an index permutation, then apply it to both
-  // arrays. Sorting happens rarely (active strategy, small pieces), so the
-  // extra permutation buffer is acceptable.
-  const size_t n = end - begin;
-  std::vector<Position> perm(n);
-  for (size_t i = 0; i < n; ++i) perm[i] = begin + i;
-  std::sort(perm.begin(), perm.end(), [this](Position a, Position b) {
-    return values_[a] < values_[b];
-  });
-  std::vector<Value> tmp_v(n);
-  std::vector<RowId> tmp_r(n);
-  for (size_t i = 0; i < n; ++i) {
-    tmp_v[i] = values_[perm[i]];
-    tmp_r[i] = row_ids_[perm[i]];
+  if (n <= kInsertionSortCutoff) {
+    InsertionSortSplit(values_.data(), row_ids_.data(), begin, end);
+    return;
   }
-  std::copy(tmp_v.begin(), tmp_v.end(),
-            values_.begin() + static_cast<long>(begin));
-  std::copy(tmp_r.begin(), tmp_r.end(),
-            row_ids_.begin() + static_cast<long>(begin));
+  // Pair-of-arrays layout, large range: zip into contiguous entries, sort,
+  // unzip. Compared to sorting an index permutation this keeps the
+  // comparator free of indirection and touches each array linearly.
+  std::vector<CrackerEntry> tmp(n);
+  for (size_t i = 0; i < n; ++i) {
+    tmp[i] = CrackerEntry{row_ids_[begin + i], values_[begin + i]};
+  }
+  std::sort(tmp.begin(), tmp.end(),
+            [](const CrackerEntry& a, const CrackerEntry& b) {
+              return a.value < b.value;
+            });
+  for (size_t i = 0; i < n; ++i) {
+    values_[begin + i] = tmp[i].value;
+    row_ids_[begin + i] = tmp[i].row_id;
+  }
 }
 
 uint64_t CrackerArray::ScanCountRange(Position begin, Position end, Value lo,
                                       Value hi) const {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
-    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
-    return ScanCount(a, begin, end, lo, hi);
+    if (tier_ == KernelTier::kReference) {
+      return reference::ScanCountPairs(pairs_.data(), begin, end, lo, hi);
+    }
+    return ScanCountEntries(pairs_.data(), begin, end, lo, hi);
   }
-  SplitAccessor a(const_cast<Value*>(values_.data()),
-                  const_cast<RowId*>(row_ids_.data()));
-  return ScanCount(a, begin, end, lo, hi);
+  return ScanCountSpan(values_.data(), begin, end, lo, hi, tier_);
 }
 
 int64_t CrackerArray::ScanSumRange(Position begin, Position end, Value lo,
                                    Value hi) const {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
-    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
-    return ScanSum(a, begin, end, lo, hi);
+    if (tier_ == KernelTier::kReference) {
+      return reference::ScanSumPairs(pairs_.data(), begin, end, lo, hi);
+    }
+    return ScanSumEntries(pairs_.data(), begin, end, lo, hi);
   }
-  SplitAccessor a(const_cast<Value*>(values_.data()),
-                  const_cast<RowId*>(row_ids_.data()));
-  return ScanSum(a, begin, end, lo, hi);
+  return ScanSumSpan(values_.data(), begin, end, lo, hi, tier_);
 }
 
 int64_t CrackerArray::PositionalSumRange(Position begin, Position end) const {
   if (layout_ == ArrayLayout::kRowIdValuePairs) {
-    PairAccessor a(const_cast<CrackerEntry*>(pairs_.data()));
-    return PositionalSum(a, begin, end);
+    if (tier_ == KernelTier::kReference) {
+      return reference::PositionalSumPairs(pairs_.data(), begin, end);
+    }
+    return PositionalSumEntries(pairs_.data(), begin, end);
   }
-  SplitAccessor a(const_cast<Value*>(values_.data()),
-                  const_cast<RowId*>(row_ids_.data()));
-  return PositionalSum(a, begin, end);
+  return PositionalSumSpan(values_.data(), begin, end, tier_);
+}
+
+void CrackerArray::MinMax(Position begin, Position end, Value* lo,
+                          Value* hi) const {
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    Value mn = pairs_[begin].value;
+    Value mx = mn;
+    for (Position i = begin + 1; i < end; ++i) {
+      const Value v = pairs_[i].value;
+      mn = v < mn ? v : mn;
+      mx = v > mx ? v : mx;
+    }
+    *lo = mn;
+    *hi = mx;
+    return;
+  }
+  MinMaxSpan(values_.data(), begin, end, lo, hi);
 }
 
 void CrackerArray::CollectRowIds(Position begin, Position end,
                                  std::vector<RowId>* out) const {
   out->reserve(out->size() + (end - begin));
-  for (Position i = begin; i < end; ++i) out->push_back(RowIdAt(i));
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    for (Position i = begin; i < end; ++i) out->push_back(pairs_[i].row_id);
+    return;
+  }
+  out->insert(out->end(), row_ids_.begin() + static_cast<long>(begin),
+              row_ids_.begin() + static_cast<long>(end));
+}
+
+void CrackerArray::CollectRowIdsFiltered(Position begin, Position end,
+                                         const ValueRange& range,
+                                         std::vector<RowId>* out) const {
+  if (range.Empty()) return;  // the unsigned width below would wrap
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    for (Position i = begin; i < end; ++i) {
+      const Value v = pairs_[i].value;
+      if (v >= range.lo && v < range.hi) out->push_back(pairs_[i].row_id);
+    }
+    return;
+  }
+  const Value* v = values_.data();
+  const RowId* r = row_ids_.data();
+  const uint64_t width =
+      static_cast<uint64_t>(range.hi) - static_cast<uint64_t>(range.lo);
+  for (Position i = begin; i < end; ++i) {
+    if ((static_cast<uint64_t>(v[i]) - static_cast<uint64_t>(range.lo)) <
+        width) {
+      out->push_back(r[i]);
+    }
+  }
 }
 
 Position CrackerArray::LowerBoundInSorted(Position begin, Position end,

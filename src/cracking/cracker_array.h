@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "cracking/kernel_tiers.h"
 #include "storage/column.h"
 #include "storage/types.h"
 
@@ -27,7 +28,7 @@ struct CrackerEntry {
   Value value;
 };
 
-/// \brief Accessor for the rowID-value-pairs layout; swaps move 12-byte
+/// \brief Accessor for the rowID-value-pairs layout; swaps move whole
 /// entries.
 class PairAccessor {
  public:
@@ -35,6 +36,8 @@ class PairAccessor {
   Value ValueAt(Position i) const { return data_[i].value; }
   RowId RowIdAt(Position i) const { return data_[i].row_id; }
   void Swap(Position i, Position j) { std::swap(data_[i], data_[j]); }
+  CrackerEntry Load(Position i) const { return data_[i]; }
+  void Store(Position i, const CrackerEntry& e) { data_[i] = e; }
 
  private:
   CrackerEntry* data_;
@@ -52,6 +55,13 @@ class SplitAccessor {
     std::swap(values_[i], values_[j]);
     std::swap(row_ids_[i], row_ids_[j]);
   }
+  CrackerEntry Load(Position i) const {
+    return CrackerEntry{row_ids_[i], values_[i]};
+  }
+  void Store(Position i, const CrackerEntry& e) {
+    values_[i] = e.value;
+    row_ids_[i] = e.row_id;
+  }
 
  private:
   Value* values_;
@@ -66,20 +76,41 @@ class SplitAccessor {
 /// with its original rowID so qualifying tuples can be reconstructed
 /// positionally from other columns of the table.
 ///
+/// Every bulk operation (CrackTwo/CrackThree/Scan*/CollectRowIds*) inspects
+/// `layout_` and the kernel tier exactly once per call, then runs a tight
+/// layout-specialized kernel — the per-element layout test that ValueAt pays
+/// never appears on a hot path; the index's aggregators stream regions
+/// through these bulk calls under piece read-latches. For the pair-of-arrays
+/// layout the dense value/rowID spans are additionally exposed (ValuesSpan /
+/// RowIdsSpan) so code outside this class — custom operators, the kernel
+/// micro-benchmarks and differential tests — can feed the raw arrays
+/// straight into the span kernels of span_kernels.h.
+///
 /// Not internally synchronized — callers serialize access with the column or
 /// piece latches, which is the entire subject of the paper.
 class CrackerArray {
  public:
   /// \brief Copies `column` into a fresh cracker array with rowIDs 0..n-1 in
   /// the requested layout. This is the "first touch" cost of cracking.
-  CrackerArray(const Column& column, ArrayLayout layout);
+  /// `tier` selects the kernel implementation (kAuto picks the best the CPU
+  /// supports; see kernel_tiers.h).
+  CrackerArray(const Column& column, ArrayLayout layout,
+               KernelTier tier = KernelTier::kAuto);
 
   /// \brief Builds from explicit entries (used by hybrid initial partitions
   /// and tests).
-  CrackerArray(std::vector<CrackerEntry> entries, ArrayLayout layout);
+  CrackerArray(std::vector<CrackerEntry> entries, ArrayLayout layout,
+               KernelTier tier = KernelTier::kAuto);
 
   size_t size() const { return size_; }
   ArrayLayout layout() const { return layout_; }
+
+  /// \brief Resolved kernel tier used by all bulk operations.
+  KernelTier kernel_tier() const { return tier_; }
+
+  /// \brief Forces a kernel tier (tests/benchmarks); kAuto restores the best
+  /// supported tier, and unsupported SIMD tiers are clamped down.
+  void set_kernel_tier(KernelTier tier);
 
   Value ValueAt(Position i) const {
     return layout_ == ArrayLayout::kRowIdValuePairs ? pairs_[i].value
@@ -90,9 +121,22 @@ class CrackerArray {
                                                     : row_ids_[i];
   }
 
+  /// \brief Dense value span of the pair-of-arrays layout; nullptr for the
+  /// rowID-value-pairs layout. Valid until the array is destroyed; contents
+  /// change under cracks, so read under the appropriate latch.
+  const Value* ValuesSpan() const {
+    return layout_ == ArrayLayout::kPairOfArrays ? values_.data() : nullptr;
+  }
+
+  /// \brief Dense rowID span of the pair-of-arrays layout; nullptr for the
+  /// rowID-value-pairs layout.
+  const RowId* RowIdsSpan() const {
+    return layout_ == ArrayLayout::kPairOfArrays ? row_ids_.data() : nullptr;
+  }
+
   /// \brief Two-way crack over [begin, end); see CrackInTwo in
-  /// crack_kernels.h. Dispatches once on layout, then runs the tight
-  /// template kernel.
+  /// crack_kernels.h. Dispatches once on layout and tier, then runs the
+  /// tight kernel.
   Position CrackTwo(Position begin, Position end, Value pivot);
 
   /// \brief Three-way crack over [begin, end); see CrackInThree.
@@ -100,7 +144,9 @@ class CrackerArray {
                                            Value lo, Value hi);
 
   /// \brief Fully sorts [begin, end) by value (used by the active strategy
-  /// and hybrid final partitions).
+  /// and hybrid final partitions). Small ranges — the active strategy's
+  /// sort_piece_threshold regime — use an in-place tandem insertion sort;
+  /// larger ranges sort zipped entries.
   void SortRange(Position begin, Position end);
 
   /// \brief Counts values in [lo, hi) within [begin, end) without
@@ -115,9 +161,19 @@ class CrackerArray {
   /// \brief Sums every value in [begin, end) positionally.
   int64_t PositionalSumRange(Position begin, Position end) const;
 
+  /// \brief Min and max value in [begin, end); requires begin < end.
+  void MinMax(Position begin, Position end, Value* lo, Value* hi) const;
+
   /// \brief Appends rowIDs of [begin, end) to `out` (positional fetch).
   void CollectRowIds(Position begin, Position end,
                      std::vector<RowId>* out) const;
+
+  /// \brief Appends rowIDs of elements in [begin, end) whose value lies in
+  /// [range.lo, range.hi). Dispatches once on layout, unlike a per-element
+  /// ValueAt/RowIdAt loop.
+  void CollectRowIdsFiltered(Position begin, Position end,
+                             const ValueRange& range,
+                             std::vector<RowId>* out) const;
 
   /// \brief In a sorted range, the offset of the first value >= v (binary
   /// search). Precondition: [begin, end) sorted.
@@ -125,6 +181,7 @@ class CrackerArray {
 
  private:
   ArrayLayout layout_;
+  KernelTier tier_;
   size_t size_;
   // Exactly one representation is populated, chosen by layout_.
   std::vector<CrackerEntry> pairs_;

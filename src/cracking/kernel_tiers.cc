@@ -1,0 +1,62 @@
+#include "cracking/kernel_tiers.h"
+
+namespace adaptidx {
+
+namespace {
+
+KernelTier DetectBestTier() {
+#ifdef ADAPTIDX_X86_SIMD
+  __builtin_cpu_init();
+  // avx512f covers the compress instructions (vpcompressq/vpcompressd) the
+  // crack kernel uses on zmm registers.
+  if (__builtin_cpu_supports("avx512f")) return KernelTier::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return KernelTier::kAvx2;
+#endif
+  return KernelTier::kBranchless;
+}
+
+}  // namespace
+
+KernelTier BestKernelTier() {
+  static const KernelTier best = DetectBestTier();
+  return best;
+}
+
+bool KernelTierSupported(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kReference:
+    case KernelTier::kBranchless:
+    case KernelTier::kAuto:
+      return true;
+    case KernelTier::kAvx2:
+      return BestKernelTier() == KernelTier::kAvx2 ||
+             BestKernelTier() == KernelTier::kAvx512;
+    case KernelTier::kAvx512:
+      return BestKernelTier() == KernelTier::kAvx512;
+  }
+  return false;
+}
+
+KernelTier ResolveKernelTier(KernelTier tier) {
+  if (tier == KernelTier::kAuto) return BestKernelTier();
+  if (!KernelTierSupported(tier)) return BestKernelTier();
+  return tier;
+}
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kReference:
+      return "reference";
+    case KernelTier::kBranchless:
+      return "branchless";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+    case KernelTier::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+}  // namespace adaptidx

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "cracking/crack_kernels.h"
+#include "cracking/span_kernels.h"
 #include "util/stopwatch.h"
 
 namespace adaptidx {
@@ -82,11 +82,13 @@ size_t HybridCrackSortIndex::ResolveInPartition(InitialPartition* part,
   auto it = part->cracks.lower_bound(v);
   if (it != part->cracks.end()) end = it->second;
   if (it != part->cracks.begin()) begin = std::prev(it)->second;
-  PairAccessor acc(part->entries.data());
   Position pos;
   {
     ScopedTimer t(&ctx->stats.crack_ns);
-    pos = CrackInTwo(acc, begin, end, v);
+    // Predicated kernel: partition pivots are query bounds, i.e. effectively
+    // random within the sub-piece, which is the worst case for the branchy
+    // reference kernel.
+    pos = CrackInTwoEntries(part->entries.data(), begin, end, v);
     ++ctx->stats.cracks;
   }
   part->cracks.emplace(v, static_cast<size_t>(pos));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cracking/span_kernels.h"
 #include "util/stopwatch.h"
 
 namespace adaptidx {
@@ -25,7 +26,7 @@ struct SumAgg {
     result += SegmentStore::SumIn(p);
   }
   void RunPart(const std::vector<CrackerEntry>& entries, size_t b, size_t e) {
-    for (size_t i = b; i < e; ++i) result += entries[i].value;
+    result += PositionalSumEntries(entries.data(), b, e);
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "cracking/span_kernels.h"
+
 namespace adaptidx {
 
 void SegmentStore::Insert(Value lo, Value hi, std::vector<CrackerEntry> entries) {
@@ -87,15 +89,14 @@ uint64_t SegmentStore::CountIn(const CoveredPart& part) {
 int64_t SegmentStore::SumIn(const CoveredPart& part) {
   const size_t b = LowerBound(*part.segment, part.lo);
   const size_t e = LowerBound(*part.segment, part.hi);
-  int64_t s = 0;
-  for (size_t i = b; i < e; ++i) s += part.segment->entries[i].value;
-  return s;
+  return PositionalSumEntries(part.segment->entries.data(), b, e);
 }
 
 void SegmentStore::CollectRowIds(const CoveredPart& part,
                                  std::vector<RowId>* out) {
   const size_t b = LowerBound(*part.segment, part.lo);
   const size_t e = LowerBound(*part.segment, part.hi);
+  out->reserve(out->size() + (e - b));
   for (size_t i = b; i < e; ++i) {
     out->push_back(part.segment->entries[i].row_id);
   }

@@ -15,6 +15,9 @@ Histogram::Histogram()
       buckets_(kNumBuckets, 0) {}
 
 size_t Histogram::BucketFor(int64_t value) {
+  // Zero (and any clamped negative) gets the first bucket explicitly:
+  // __builtin_clzll has undefined behavior for an argument of 0, so it must
+  // never see the zero bucket.
   if (value <= 0) return 0;
   // Two buckets per power of two: bucket = 2*log2(v) + (second half? 1 : 0).
   int msb = 63 - __builtin_clzll(static_cast<uint64_t>(value));

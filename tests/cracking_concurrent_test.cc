@@ -230,11 +230,21 @@ TEST(CrackingRaceTest, MixedReadersAndCrackersOnSamePiece) {
 }
 
 TEST(CrackingRaceTest, ConflictsDecreaseAsIndexRefines) {
-  // The paper's core claim (Figure 1 right, Figure 15): wait time in the
-  // second half of the workload is lower than in the first half.
-  Column col = Column::UniqueRandom("A", 200000, 101);
-  CrackingIndex index(&col);
-  WorkloadGenerator gen(0, 200000);
+  // The paper's core claim (Figure 1 right, Figure 15): contention declines
+  // as the index refines. Two signals:
+  //  - refinement *work* (crack_ns) concentrates in the first half of the
+  //    workload — early queries partition near-column-sized pieces, late
+  //    ones partition slivers. The column is sized so the data work dwarfs
+  //    the fixed per-crack cost (timers/latches), which is the same in both
+  //    halves;
+  //  - wait time in the second half is lower than in the first.
+  // Both are timing measurements and noisy on an oversubscribed machine (a
+  // latch holder can lose its timeslice to 7 waiting siblings), so each
+  // signal gets a few attempts on fresh indexes; scheduler noise flips a
+  // comparison occasionally, genuine regressions flip it every time.
+  constexpr size_t kTestRows = 1000000;
+  Column col = Column::UniqueRandom("A", kTestRows, 101);
+  WorkloadGenerator gen(0, kTestRows);
   WorkloadOptions wopts;
   wopts.num_queries = 512;
   wopts.selectivity = 0.01;
@@ -242,23 +252,36 @@ TEST(CrackingRaceTest, ConflictsDecreaseAsIndexRefines) {
   wopts.seed = 5;
   auto queries = gen.Generate(wopts);
 
-  DriverOptions dopts;
-  dopts.num_clients = 8;
-  RunResult result = Driver::Run(&index, queries, dopts);
-  ASSERT_TRUE(result.status.ok());
-  ASSERT_EQ(result.records.size(), queries.size());
+  bool wait_declined = false;
+  bool work_declined = false;
+  for (int attempt = 0;
+       attempt < 3 && !(wait_declined && work_declined); ++attempt) {
+    CrackingIndex index(&col);
+    DriverOptions dopts;
+    dopts.num_clients = 8;
+    RunResult result = Driver::Run(&index, queries, dopts);
+    ASSERT_TRUE(result.status.ok());
+    ASSERT_EQ(result.records.size(), queries.size());
 
-  int64_t first_half_wait = 0;
-  int64_t second_half_wait = 0;
-  for (size_t i = 0; i < result.records.size(); ++i) {
-    if (i < result.records.size() / 2) {
-      first_half_wait += result.records[i].stats.wait_ns;
-    } else {
-      second_half_wait += result.records[i].stats.wait_ns;
+    int64_t first_half_wait = 0;
+    int64_t second_half_wait = 0;
+    int64_t first_half_crack_ns = 0;
+    int64_t second_half_crack_ns = 0;
+    for (size_t i = 0; i < result.records.size(); ++i) {
+      if (i < result.records.size() / 2) {
+        first_half_wait += result.records[i].stats.wait_ns;
+        first_half_crack_ns += result.records[i].stats.crack_ns;
+      } else {
+        second_half_wait += result.records[i].stats.wait_ns;
+        second_half_crack_ns += result.records[i].stats.crack_ns;
+      }
     }
+    EXPECT_TRUE(index.ValidateStructure());
+    wait_declined |= first_half_wait > second_half_wait;
+    work_declined |= first_half_crack_ns > second_half_crack_ns;
   }
-  EXPECT_GT(first_half_wait, second_half_wait);
-  EXPECT_TRUE(index.ValidateStructure());
+  EXPECT_TRUE(wait_declined);
+  EXPECT_TRUE(work_declined);
 }
 
 TEST(CrackingRaceTest, DriverResultsMatchOracleAllClients) {

@@ -228,6 +228,27 @@ TEST(HistogramTest, NegativeValuesClampToZero) {
   EXPECT_EQ(h.count(), 1u);
 }
 
+TEST(HistogramTest, ZeroValueLandsInFirstBucket) {
+  // Regression: the bucket computation uses __builtin_clzll, which is
+  // undefined for 0 — zero must be routed to the first bucket explicitly.
+  Histogram h;
+  h.Add(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0.0);
+}
+
+TEST(HistogramTest, ZeroAndOneStaySeparable) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Add(0);
+  h.Add(1);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_EQ(h.max(), 1);
+  EXPECT_LE(h.Percentile(50), 1.0);
+}
+
 TEST(HistogramTest, MergeCombines) {
   Histogram a;
   Histogram b;
