@@ -44,7 +44,11 @@ void Run() {
     config.merge.run_size = rows / 16 + 1;
     config.merge.mvcc_commit = mvcc;
     config.merge.early_termination = false;  // isolate the commit protocol
-    RunResult r = RunWorkload(column, config, queries, clients);
+    // batch_size 1: wait-dynamics comparison under the paper's
+    // synchronous clients (see fig15).
+    RunResult r = RunWorkload(column, config, queries, clients,
+                              /*record_per_query=*/false,
+                              /*batch_size=*/1);
     waits[i++] = static_cast<double>(r.total_wait_ns) / 1e6;
     std::printf("%-22s %12.3f %14.3f %12llu %12llu\n",
                 mvcc ? "mvcc (short commit)" : "standard (long X)",

@@ -45,7 +45,11 @@ void Run() {
     IndexConfig config;
     config.method = IndexMethod::kCrack;
     config.cracking.scheduling = policy;
-    RunResult r = RunWorkload(column, config, queries, clients);
+    // batch_size 1: wait-dynamics comparison under the paper's
+    // synchronous clients (see fig15).
+    RunResult r = RunWorkload(column, config, queries, clients,
+                              /*record_per_query=*/false,
+                              /*batch_size=*/1);
     totals[i++] = r.total_seconds;
     std::printf("%-12s %14.3f %14.3f %14llu %12llu\n",
                 policy == SchedulingPolicy::kMiddleOut ? "middle-out"

@@ -58,7 +58,11 @@ void Run() {
     IndexConfig config;
     config.method = IndexMethod::kCrack;
     config.cracking = v.opts;
-    RunResult r = RunWorkload(column, config, queries, clients);
+    // batch_size 1: wait-dynamics comparison under the paper's
+    // synchronous clients (see fig15).
+    RunResult r = RunWorkload(column, config, queries, clients,
+                              /*record_per_query=*/false,
+                              /*batch_size=*/1);
     std::printf("%-12s %12.3f %12.3f %12llu %12llu %12llu\n", v.name,
                 r.total_seconds,
                 static_cast<double>(r.total_wait_ns) / 1e6,

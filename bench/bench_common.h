@@ -33,15 +33,20 @@ inline Column MakeUniqueRandomColumn(size_t rows, uint64_t seed = 2012) {
 }
 
 /// \brief Runs `queries` against a fresh index of `config` with
-/// `num_clients` concurrent clients.
+/// `num_clients` concurrent clients. `batch_size` 0 keeps the driver's
+/// batch-admission default; figure benches that reproduce the paper's
+/// per-query synchronous clients pass 1. AI_BENCH_BATCH overrides either.
 inline RunResult RunWorkload(const Column& column, const IndexConfig& config,
                              const std::vector<RangeQuery>& queries,
                              size_t num_clients,
-                             bool record_per_query = false) {
+                             bool record_per_query = false,
+                             size_t batch_size = 0) {
   auto index = MakeIndex(&column, config);
   DriverOptions dopts;
   dopts.num_clients = num_clients;
   dopts.record_per_query = record_per_query;
+  if (batch_size != 0) dopts.batch_size = batch_size;
+  dopts.batch_size = EnvSize("AI_BENCH_BATCH", dopts.batch_size);
   return Driver::Run(index.get(), queries, dopts);
 }
 

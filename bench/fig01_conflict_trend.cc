@@ -33,8 +33,9 @@ void Run() {
 
   IndexConfig config;
   config.method = IndexMethod::kCrack;
+  // batch_size 1 reproduces the paper's synchronous clients (see fig15).
   RunResult r = RunWorkload(column, config, queries, clients,
-                            /*record_per_query=*/true);
+                            /*record_per_query=*/true, /*batch_size=*/1);
 
   // Bucket the completion-ordered sequence and report conflicts per bucket.
   const size_t buckets = 16;
@@ -44,17 +45,12 @@ void Run() {
   uint64_t first_bucket = 0;
   uint64_t last_bucket = 0;
   for (size_t b = 0; b < buckets; ++b) {
-    uint64_t conflicts = 0;
-    int64_t wait = 0;
-    for (size_t i = b * per; i < (b + 1) * per; ++i) {
-      conflicts += r.records[i].stats.conflicts;
-      wait += r.records[i].stats.wait_ns;
-    }
-    if (b == 0) first_bucket = conflicts;
-    if (b == buckets - 1) last_bucket = conflicts;
+    const StatTotals t = SumStats(r.records, b * per, (b + 1) * per);
+    if (b == 0) first_bucket = t.conflicts;
+    if (b == buckets - 1) last_bucket = t.conflicts;
     std::printf("[%5zu, %5zu)        %12llu %14.3f\n", b * per, (b + 1) * per,
-                static_cast<unsigned long long>(conflicts),
-                static_cast<double>(wait) / 1e6);
+                static_cast<unsigned long long>(t.conflicts),
+                static_cast<double>(t.wait_ns) / 1e6);
   }
   std::printf("\ntotal conflicts: %llu, total wait: %.3f ms\n",
               static_cast<unsigned long long>(r.total_conflicts),

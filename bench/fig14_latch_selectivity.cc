@@ -49,7 +49,11 @@ double RunPanel(const char* label, const Column& column, QueryType type,
       IndexConfig config;
       config.method = IndexMethod::kCrack;
       config.cracking.mode = mode;
-      RunResult r = RunWorkload(column, config, queries, clients);
+      // batch_size 1: wait-dynamics comparison under the paper's
+      // synchronous clients (see fig15).
+      RunResult r = RunWorkload(column, config, queries, clients,
+                                /*record_per_query=*/false,
+                                /*batch_size=*/1);
       panel_wait_ms += static_cast<double>(r.total_wait_ns) / 1e6;
       std::printf(" %11.3fs", r.total_seconds);
     }

@@ -1,12 +1,15 @@
-/// \file Quickstart: load a table, run range queries, and watch the adaptive
-/// index build itself as a side effect of query processing.
+/// \file Quickstart: load a table, open a session, run range queries, and
+/// watch the adaptive index build itself as a side effect of query
+/// processing.
 ///
 ///   $ ./build/examples/quickstart
 ///
-/// Walks through the embedded `Database` facade: creating a table of unique
-/// random integers, running Q1 (count) and Q2 (sum) range queries with
-/// database cracking, and inspecting the per-query stats that show the index
-/// getting cheaper to use with every query.
+/// Walks through the session-based query API: creating a table of unique
+/// random integers, opening a `Session` that pins database cracking as its
+/// access method, running Q1 (count) and Q2 (sum) range queries — first
+/// synchronously, then as an asynchronous batch of `Query` descriptors —
+/// and inspecting the per-query stats that show the index getting cheaper
+/// to use with every query.
 
 #include <cstdio>
 
@@ -33,11 +36,13 @@ int main() {
   std::printf("Loaded table R with %zu rows (columns A, B), unsorted.\n\n",
               kRows);
 
-  // 2. Configure the access method: database cracking with piece-grained
-  // latches (the paper's best configuration). No index is built up front;
-  // the first query initializes it as a side effect.
-  IndexConfig config;
-  config.method = IndexMethod::kCrack;
+  // 2. Open a session. The session pins the access method — database
+  // cracking with piece-grained latches (the paper's best configuration) —
+  // and owns the client/transaction identity of everything it submits.
+  // No index is built up front; the first query initializes it.
+  SessionOptions sopts;
+  sopts.config.method = IndexMethod::kCrack;
+  auto session = db.OpenSession(sopts);
 
   // 3. Run a sequence of range queries and watch response time fall while
   // the crack count rises.
@@ -49,7 +54,7 @@ int main() {
     uint64_t count = 0;
     QueryStats stats;
     StopWatch sw;
-    if (Status s = db.Count("R", "A", lo, hi, config, &count, &stats);
+    if (Status s = session->Count("R", "A", lo, hi, &count, &stats);
         !s.ok()) {
       std::fprintf(stderr, "query failed: %s\n", s.ToString().c_str());
       return 1;
@@ -63,23 +68,28 @@ int main() {
                 static_cast<unsigned long long>(stats.cracks));
   }
 
-  // 4. Sum over the same (now partially indexed) column: previously cracked
-  // ranges are answered positionally with no further refinement.
-  int64_t sum = 0;
-  QueryStats stats;
-  (void)db.Sum("R", "A", 100'000, 150'000, config, &sum, &stats);
-  std::printf("\nsum(A) where 100000<=A<150000 = %lld (refinements: %llu — "
-              "bounds were already cracked)\n",
-              static_cast<long long>(sum),
-              static_cast<unsigned long long>(stats.cracks));
+  // 4. Asynchronous submission: build unified Query descriptors, submit
+  // them as one batch, and collect the answers through the tickets. The
+  // batch executes concurrently on the database's shared pool — the
+  // admission path that batch-aware refinement (group cracking) feeds on.
+  std::vector<Query> batch;
+  batch.push_back(Query::Sum("R", "A", 100'000, 150'000));
+  batch.push_back(Query::Count("R", "A", 400'000, 600'000));
+  batch.push_back(Query::SumOther("R", "A", "B", 100'000, 150'000));
+  auto tickets = session->SubmitBatch(std::move(batch));
+  tickets[0].Wait();  // explicit wait; result()/stats() also wait implicitly
 
-  // 5. The two-column plan of the paper's Figure 6: select on A, fetch
+  std::printf("\nsum(A)  where 100000<=A<150000 = %lld (refinements: %llu — "
+              "bounds were already cracked)\n",
+              static_cast<long long>(tickets[0].result().sum),
+              static_cast<unsigned long long>(tickets[0].stats().cracks));
+  std::printf("count(*) where 400000<=A<600000 = %llu\n",
+              static_cast<unsigned long long>(tickets[1].result().count));
+  // The two-column plan of the paper's Figure 6: select on A, fetch
   // aligned values of B positionally, aggregate.
-  int64_t sum_b = 0;
-  (void)db.SumOther("R", "A", "B", 100'000, 150'000, config, &sum_b);
   std::printf("sum(B)  where 100000<=A<150000 = %lld (select on A, "
               "positional fetch of B)\n",
-              static_cast<long long>(sum_b));
+              static_cast<long long>(tickets[2].result().sum));
 
   std::printf("\nDone. The index now exists purely as a side effect of the "
               "queries above;\nno CREATE INDEX was ever issued.\n");

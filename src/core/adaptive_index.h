@@ -33,10 +33,15 @@ struct QueryStats {
 
 /// \brief Carried through every query execution; owns the stats and
 /// identifies the client/transaction for lock-manager interplay.
+///
+/// Contexts created through a `Session` carry the full identity triple:
+/// the session that submitted the query, the client it belongs to, and the
+/// user-transaction id its update operations lock under.
 struct QueryContext {
   QueryStats stats;
   uint32_t client_id = 0;
   uint64_t txn_id = 0;
+  uint32_t session_id = 0;  ///< issuing session; 0 outside the session API
 
   /// \brief Builds the latch acquisition sink wired to this query's stats
   /// and the index-wide aggregate.

@@ -1,5 +1,7 @@
 #include "core/index_factory.h"
 
+#include <cstdint>
+
 #include "core/scan_index.h"
 #include "core/sort_index.h"
 
@@ -21,6 +23,64 @@ std::string ToString(IndexMethod method) {
       return "btree-merge";
   }
   return "unknown";
+}
+
+std::string IndexConfigKey(const IndexConfig& config) {
+  std::string key = ToString(config.method);
+  // Only the option block the method consults participates — two configs
+  // that differ in an unconsulted block denote the same physical index.
+  switch (config.method) {
+    case IndexMethod::kScan:
+    case IndexMethod::kSort:
+      break;
+    case IndexMethod::kCrack: {
+      const CrackingOptions& c = config.cracking;
+      key += ":mode=" + std::to_string(static_cast<int>(c.mode));
+      key += ",sched=" + std::to_string(static_cast<int>(c.scheduling));
+      key += ",layout=" + std::to_string(static_cast<int>(c.layout));
+      key += ",tier=" + std::to_string(static_cast<int>(c.kernel_tier));
+      key += ",c3=" + std::to_string(c.use_crack_in_three);
+      key += ",swap=" + std::to_string(c.swap_bound_on_conflict);
+      key += ",gc=" + std::to_string(c.group_crack) + "/" +
+             std::to_string(c.group_crack_max);
+      key += ",strat=" + std::to_string(static_cast<int>(c.strategy));
+      key += ",sortthr=" + std::to_string(c.sort_piece_threshold);
+      key += ",stoch=" + std::to_string(c.stochastic) + "/" +
+             std::to_string(c.stochastic_min_piece);
+      if (c.lock_manager != nullptr) {
+        // Identity of the manager matters, not just the resource name: the
+        // same resource string under two managers is two distinct conflict
+        // domains.
+        key += ",lock=" +
+               std::to_string(reinterpret_cast<uintptr_t>(c.lock_manager)) +
+               "@" + c.lock_resource;
+      }
+      break;
+    }
+    case IndexMethod::kAdaptiveMerge: {
+      const MergeOptions& m = config.merge;
+      key += ":run=" + std::to_string(m.run_size);
+      key += ",et=" + std::to_string(m.early_termination);
+      key += ",cc=" + std::to_string(m.concurrency_control);
+      key += ",mvcc=" + std::to_string(m.mvcc_commit);
+      break;
+    }
+    case IndexMethod::kHybrid: {
+      const HybridOptions& h = config.hybrid;
+      key += ":part=" + std::to_string(h.partition_size);
+      key += ",cc=" + std::to_string(h.concurrency_control);
+      break;
+    }
+    case IndexMethod::kBTreeMerge: {
+      const BTreeMergeOptions& b = config.btree;
+      key += ":run=" + std::to_string(b.run_size);
+      key += ",node=" + std::to_string(b.node_capacity);
+      key += ",et=" + std::to_string(b.early_termination);
+      key += ",cc=" + std::to_string(b.concurrency_control);
+      break;
+    }
+  }
+  return key;
 }
 
 std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,

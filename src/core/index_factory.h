@@ -37,6 +37,13 @@ struct IndexConfig {
   BTreeMergeOptions btree;
 };
 
+/// \brief Canonical catalog-key fingerprint of a configuration: the method
+/// plus every option that changes the physical index it denotes. Two
+/// configs that produce different indexes (e.g. differing only in
+/// `ConcurrencyMode`) yield distinct keys; display-only fields (`name`) do
+/// not participate.
+std::string IndexConfigKey(const IndexConfig& config);
+
 /// \brief Instantiates the access method for a base column.
 std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,
                                          const IndexConfig& config);

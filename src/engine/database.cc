@@ -1,5 +1,8 @@
 #include "engine/database.h"
 
+#include <algorithm>
+#include <thread>
+
 namespace adaptidx {
 
 Status Database::CreateTable(const std::string& name,
@@ -12,10 +15,26 @@ Status Database::CreateTable(const std::string& name,
   return catalog_.AddTable(std::move(table));
 }
 
+std::unique_ptr<Session> Database::OpenSession(SessionOptions opts) {
+  // The pool is bound lazily inside Session::Submit, so opening a session
+  // for synchronous use starts no worker threads.
+  return std::unique_ptr<Session>(new Session(
+      this, nullptr, nullptr, std::move(opts), Session::NextSessionId()));
+}
+
+ThreadPool* Database::pool() {
+  std::call_once(pool_once_, [this] {
+    const size_t n =
+        std::max<size_t>(2, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(n);
+  });
+  return pool_.get();
+}
+
 std::string Database::IndexKey(const std::string& table,
                                const std::string& column,
                                const IndexConfig& config) {
-  return table + "/" + column + "#" + ToString(config.method);
+  return table + "/" + column + "#" + IndexConfigKey(config);
 }
 
 std::shared_ptr<AdaptiveIndex> Database::GetOrCreateIndex(
@@ -42,30 +61,25 @@ bool Database::DropIndex(const std::string& table, const std::string& column,
   return catalog_.DropIndexEntry(IndexKey(table, column, config));
 }
 
+// The legacy one-shot statements are shims over a single-query session:
+// open, pin the config, execute synchronously, close.
+
 Status Database::Count(const std::string& table, const std::string& column,
                        Value lo, Value hi, const IndexConfig& config,
                        uint64_t* out, QueryStats* stats) {
-  auto index = GetOrCreateIndex(table, column, config);
-  if (index == nullptr) {
-    return Status::NotFound("no such table/column: " + table + "." + column);
-  }
-  QueryContext ctx;
-  Status s = index->RangeCount(ValueRange{lo, hi}, &ctx, out);
-  if (stats != nullptr) *stats = ctx.stats;
-  return s;
+  SessionOptions sopts;
+  sopts.config = config;
+  return OpenSession(std::move(sopts))->Count(table, column, lo, hi, out,
+                                              stats);
 }
 
 Status Database::Sum(const std::string& table, const std::string& column,
                      Value lo, Value hi, const IndexConfig& config,
                      int64_t* out, QueryStats* stats) {
-  auto index = GetOrCreateIndex(table, column, config);
-  if (index == nullptr) {
-    return Status::NotFound("no such table/column: " + table + "." + column);
-  }
-  QueryContext ctx;
-  Status s = index->RangeSum(ValueRange{lo, hi}, &ctx, out);
-  if (stats != nullptr) *stats = ctx.stats;
-  return s;
+  SessionOptions sopts;
+  sopts.config = config;
+  return OpenSession(std::move(sopts))->Sum(table, column, lo, hi, out,
+                                            stats);
 }
 
 Status Database::SumOther(const std::string& table,
@@ -73,21 +87,10 @@ Status Database::SumOther(const std::string& table,
                           const std::string& agg_column, Value lo, Value hi,
                           const IndexConfig& config, int64_t* out,
                           QueryStats* stats) {
-  Table* t = catalog_.GetTable(table);
-  if (t == nullptr) return Status::NotFound("no such table: " + table);
-  const Column* b = t->GetColumn(agg_column);
-  if (b == nullptr) {
-    return Status::NotFound("no such column: " + agg_column);
-  }
-  auto index = GetOrCreateIndex(table, sel_column, config);
-  if (index == nullptr) {
-    return Status::NotFound("no such column: " + sel_column);
-  }
-  QueryContext ctx;
-  RangeQuery q{lo, hi, QueryType::kSum};
-  Status s = FetchSum(index.get(), *b, q, &ctx, out);
-  if (stats != nullptr) *stats = ctx.stats;
-  return s;
+  SessionOptions sopts;
+  sopts.config = config;
+  return OpenSession(std::move(sopts))
+      ->SumOther(table, sel_column, agg_column, lo, hi, out, stats);
 }
 
 }  // namespace adaptidx

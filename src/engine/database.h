@@ -1,20 +1,31 @@
 #ifndef ADAPTIDX_ENGINE_DATABASE_H_
 #define ADAPTIDX_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/index_factory.h"
 #include "engine/operators.h"
+#include "engine/session.h"
 #include "lock/lock_manager.h"
 #include "storage/catalog.h"
+#include "util/thread_pool.h"
 
 namespace adaptidx {
 
 /// \brief Small embedded-database facade tying the catalog, adaptive
-/// indexes, and the lock manager together; this is the public entry point
-/// the examples use.
+/// indexes, the lock manager, and the shared execution pool together; this
+/// is the public entry point.
+///
+/// Queries flow through sessions: `OpenSession` hands out a `Session` that
+/// owns client/transaction identity, pins an access-method configuration,
+/// and submits `Query` descriptors asynchronously (`Submit`/`SubmitBatch`,
+/// executed on the database's shared thread pool) or synchronously via
+/// typed wrappers. The legacy one-shot `Count`/`Sum`/`SumOther` methods are
+/// deprecated shims over a single-query session.
 ///
 /// Index life cycle follows Section 5.3: query execution latches the catalog
 /// (the global structure) only to locate or register the index for a column,
@@ -30,10 +41,20 @@ class Database {
     return catalog_.GetTable(name);
   }
 
+  /// \brief Opens a session. Sessions must be closed (destroyed) before the
+  /// database; closing drains the session's in-flight queries.
+  std::unique_ptr<Session> OpenSession(SessionOptions opts = {});
+
+  /// \brief The shared query-execution pool, created on first use (one
+  /// thread per hardware context). Synchronous-only workloads never touch
+  /// it.
+  ThreadPool* pool();
+
   /// \brief Returns the shared adaptive index for `table`.`column` under
-  /// `config`, creating it on first use. Distinct methods on the same
-  /// column coexist (distinct catalog entries), which is how benchmarks
-  /// compare methods on identical data.
+  /// `config`, creating it on first use. Distinct methods — or identical
+  /// methods under distinguishing options (see IndexConfigKey) — coexist on
+  /// the same column as distinct catalog entries, which is how benchmarks
+  /// compare configurations on identical data.
   std::shared_ptr<AdaptiveIndex> GetOrCreateIndex(const std::string& table,
                                                   const std::string& column,
                                                   const IndexConfig& config);
@@ -44,17 +65,24 @@ class Database {
                  const IndexConfig& config);
 
   /// \brief `select count(*) from table where lo <= column < hi`.
+  /// \deprecated One-shot shim over a single-query session; open a Session
+  /// and use `Session::Count` (or `Submit(Query::Count(...))`).
+  [[deprecated("open a Session and use Session::Count / Submit")]]
   Status Count(const std::string& table, const std::string& column, Value lo,
                Value hi, const IndexConfig& config, uint64_t* out,
                QueryStats* stats = nullptr);
 
   /// \brief `select sum(column) from table where lo <= column < hi`.
+  /// \deprecated See `Count`; use `Session::Sum`.
+  [[deprecated("open a Session and use Session::Sum / Submit")]]
   Status Sum(const std::string& table, const std::string& column, Value lo,
              Value hi, const IndexConfig& config, int64_t* out,
              QueryStats* stats = nullptr);
 
   /// \brief `select sum(agg_column) from table where lo <= sel_column < hi`
   /// — the two-column plan of Figure 6.
+  /// \deprecated See `Count`; use `Session::SumOther`.
+  [[deprecated("open a Session and use Session::SumOther / Submit")]]
   Status SumOther(const std::string& table, const std::string& sel_column,
                   const std::string& agg_column, Value lo, Value hi,
                   const IndexConfig& config, int64_t* out,
@@ -70,6 +98,8 @@ class Database {
 
   Catalog catalog_;
   LockManager lock_manager_;
+  std::once_flag pool_once_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace adaptidx

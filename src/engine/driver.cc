@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
+#include "engine/session.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace adaptidx {
 
@@ -34,6 +37,14 @@ class StartBarrier {
 
 }  // namespace
 
+StatTotals SumStats(const std::vector<PerQueryRecord>& records, size_t from,
+                    size_t to) {
+  StatTotals totals;
+  to = std::min(to, records.size());
+  for (size_t i = from; i < to; ++i) totals.Add(records[i].stats);
+  return totals;
+}
+
 RunResult Driver::Run(AdaptiveIndex* index,
                       const std::vector<RangeQuery>& queries,
                       const DriverOptions& opts) {
@@ -44,17 +55,20 @@ RunResult Driver::Run(AdaptiveIndex* index,
 
   const size_t num_clients = std::min(result.num_clients, queries.size());
   result.num_clients = num_clients;
+  const size_t batch_size = std::max<size_t>(1, opts.batch_size);
 
   // Contiguous partitioning of the sequence across clients, paper-style.
-  std::vector<std::pair<size_t, size_t>> slices;
-  const size_t per = queries.size() / num_clients;
-  const size_t extra = queries.size() % num_clients;
-  size_t cursor = 0;
-  for (size_t c = 0; c < num_clients; ++c) {
-    const size_t len = per + (c < extra ? 1 : 0);
-    slices.emplace_back(cursor, cursor + len);
-    cursor += len;
-  }
+  const auto slices = SplitStreams(queries.size(), num_clients);
+
+  // Clients are sessions over a shared pool with one worker per client:
+  // aggregate parallelism equals the paper's one-thread-per-client set-up.
+  // Each client thread submits its stream strictly batch-at-a-time (submit
+  // `batch_size` queries, collect all answers, submit the next batch): a
+  // blocked query throttles its own client's stream exactly as the paper's
+  // synchronous clients do, which bounds writer starvation under the
+  // reader-preferring latches, while the queued batch keeps crack bounds
+  // visible to group-aware refinement.
+  ThreadPool pool(num_clients);
 
   std::vector<std::vector<PerQueryRecord>> client_records(num_clients);
   std::atomic<bool> failed{false};
@@ -64,30 +78,70 @@ RunResult Driver::Run(AdaptiveIndex* index,
   clients.reserve(num_clients);
   for (size_t c = 0; c < num_clients; ++c) {
     clients.emplace_back([&, c] {
+      SessionOptions sopts;
+      sopts.client_id = static_cast<uint32_t>(c + 1);
+      auto session = Session::OnIndex(index, &pool, std::move(sopts));
       auto& records = client_records[c];
       records.reserve(slices[c].second - slices[c].first);
-      barrier.ArriveAndWait();
-      for (size_t i = slices[c].first; i < slices[c].second; ++i) {
-        PerQueryRecord rec;
-        rec.query = queries[i];
-        rec.client_id = static_cast<uint32_t>(c);
-        rec.client_seq = i - slices[c].first;
-        QueryContext ctx;
-        ctx.client_id = static_cast<uint32_t>(c);
-        ctx.stats.start_ns = NowNanos();
-        Status s = ExecuteQuery(index, queries[i], &ctx, &rec.result);
-        ctx.stats.finish_ns = NowNanos();
-        ctx.stats.response_ns = ctx.stats.finish_ns - ctx.stats.start_ns;
-        if (!s.ok()) {
-          failed.store(true, std::memory_order_relaxed);
-          return;
+      size_t seq = 0;
+      // Collects one completed batch. Waits back-to-front: the batch
+      // executes roughly FIFO, so blocking on the last ticket first leaves
+      // the earlier waits non-blocking — one sleep per batch instead of one
+      // per query, which matters when clients outnumber cores.
+      auto drain = [&](std::vector<QueryTicket>& tickets,
+                       size_t base) -> bool {
+        for (size_t i = tickets.size(); i-- > 0;) tickets[i].Wait();
+        for (size_t i = 0; i < tickets.size(); ++i) {
+          if (!tickets[i].status().ok()) {
+            failed.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          PerQueryRecord rec;
+          rec.query = queries[base + i];
+          rec.result = tickets[i].result();
+          rec.stats = tickets[i].stats();
+          rec.client_id = static_cast<uint32_t>(c);
+          rec.client_seq = seq++;
+          records.push_back(std::move(rec));
         }
-        rec.stats = ctx.stats;
-        records.push_back(rec);
+        return true;
+      };
+      // batch_size 1 is the paper's strictly synchronous client. Larger
+      // batches model batch admission and double-buffer (batch k+1 is
+      // submitted before batch k is collected) so the pool never idles at a
+      // batch boundary.
+      const bool pipelined = batch_size > 1;
+      std::vector<QueryTicket> pending;
+      size_t pending_base = 0;
+      barrier.ArriveAndWait();
+      for (size_t b = slices[c].first;
+           b < slices[c].second && !failed.load(std::memory_order_relaxed);
+           b += batch_size) {
+        const size_t e = std::min(slices[c].second, b + batch_size);
+        std::vector<Query> batch;
+        batch.reserve(e - b);
+        for (size_t i = b; i < e; ++i) {
+          batch.push_back(Query::From("", "", queries[i]));
+        }
+        auto tickets = session->SubmitBatch(std::move(batch));
+        if (!pipelined) {
+          if (!drain(tickets, b)) return;
+          continue;
+        }
+        if (!pending.empty() && !drain(pending, pending_base)) {
+          return;  // session close drains whatever is still in flight
+        }
+        pending = std::move(tickets);
+        pending_base = b;
+      }
+      if (!pending.empty() && !failed.load(std::memory_order_relaxed)) {
+        drain(pending, pending_base);
       }
     });
   }
 
+  // The reported total time is "the time perceived by the last client to
+  // receive all answers".
   StopWatch wall;
   barrier.ArriveAndWait();
   wall.Reset();
@@ -102,18 +156,21 @@ RunResult Driver::Run(AdaptiveIndex* index,
     return result;
   }
 
+  StatTotals totals;
   for (auto& records : client_records) {
     for (auto& rec : records) {
       result.response_hist.Add(rec.stats.response_ns);
-      result.total_conflicts += rec.stats.conflicts;
-      result.total_wait_ns += rec.stats.wait_ns;
-      result.total_crack_ns += rec.stats.crack_ns;
-      result.total_init_ns += rec.stats.init_ns;
-      result.total_cracks += rec.stats.cracks;
-      result.refinements_skipped += rec.stats.refinement_skipped ? 1 : 0;
+      totals.Add(rec.stats);
       if (opts.record_per_query) result.records.push_back(std::move(rec));
     }
   }
+  result.total_conflicts = totals.conflicts;
+  result.total_wait_ns = totals.wait_ns;
+  result.total_crack_ns = totals.crack_ns;
+  result.total_init_ns = totals.init_ns;
+  result.total_read_ns = totals.read_ns;
+  result.total_cracks = totals.cracks;
+  result.refinements_skipped = totals.refinements_skipped;
   if (opts.record_per_query) {
     std::sort(result.records.begin(), result.records.end(),
               [](const PerQueryRecord& a, const PerQueryRecord& b) {

@@ -21,6 +21,34 @@ struct PerQueryRecord {
   size_t client_seq = 0;  ///< index within the client's own stream
 };
 
+/// \brief Aggregated per-query statistics over a span of records — the
+/// shared accumulation used by the driver's run totals and by benchmarks
+/// that break a sequence into buckets/quarters.
+struct StatTotals {
+  int64_t wait_ns = 0;
+  int64_t crack_ns = 0;
+  int64_t init_ns = 0;
+  int64_t read_ns = 0;
+  uint64_t conflicts = 0;
+  uint64_t cracks = 0;
+  uint64_t refinements_skipped = 0;
+
+  /// \brief Folds one query's stats into the totals.
+  void Add(const QueryStats& s) {
+    wait_ns += s.wait_ns;
+    crack_ns += s.crack_ns;
+    init_ns += s.init_ns;
+    read_ns += s.read_ns;
+    conflicts += s.conflicts;
+    cracks += s.cracks;
+    refinements_skipped += s.refinement_skipped ? 1 : 0;
+  }
+};
+
+/// \brief Sums the stats of records `[from, to)` (clamped to the vector).
+StatTotals SumStats(const std::vector<PerQueryRecord>& records, size_t from,
+                    size_t to);
+
 /// \brief Outcome of a multi-client run.
 struct RunResult {
   Status status;
@@ -33,6 +61,7 @@ struct RunResult {
   int64_t total_wait_ns = 0;
   int64_t total_crack_ns = 0;
   int64_t total_init_ns = 0;
+  int64_t total_read_ns = 0;   ///< time reading data under read latches
   uint64_t total_cracks = 0;
   uint64_t refinements_skipped = 0;
   /// Per-query records sorted by completion time (the "query sequence" axis
@@ -44,13 +73,27 @@ struct RunResult {
 struct DriverOptions {
   size_t num_clients = 1;
   bool record_per_query = true;
+  /// Submission granularity per client. 1 reproduces the paper's strictly
+  /// synchronous per-client streams (a client never races past its own
+  /// blocked query). Larger values model batch admission: batches are
+  /// double-buffered (up to 2×batch_size queries in flight per client),
+  /// which keeps the pool busy across batch boundaries and feeds queued
+  /// crack bounds to group-aware refinement
+  /// (CrackingOptions::group_crack). The default amortizes the per-batch
+  /// client wake-up over enough queries that even very cheap (fully
+  /// refined) queries are not dominated by it.
+  size_t batch_size = 32;
 };
 
 /// \brief Multi-client query driver reproducing the paper's experimental
-/// set-up (Section 6.2): the query sequence is split into `num_clients`
-/// contiguous streams ("we use 2 clients ... each one fires 512 queries"),
-/// all clients start together on a barrier, and the reported total time is
-/// "the time perceived by the last client to receive all answers".
+/// set-up (Section 6.2) on the public session API: the query sequence is
+/// split into `num_clients` contiguous streams ("we use 2 clients ... each
+/// one fires 512 queries"), every client is a `Session` submitting its
+/// stream as asynchronous batches onto a shared pool (one worker per
+/// client, so aggregate parallelism matches the paper's
+/// thread-per-client set-up), all clients start together on a barrier, and
+/// the reported total time is "the time perceived by the last client to
+/// receive all answers".
 class Driver {
  public:
   static RunResult Run(AdaptiveIndex* index,

@@ -2,6 +2,7 @@
 #define ADAPTIDX_ENGINE_OPERATORS_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/adaptive_index.h"
 #include "storage/column.h"
@@ -9,14 +10,17 @@
 
 namespace adaptidx {
 
-/// \brief Result of one range query.
+/// \brief Result of one query: `count`/`sum` for the aggregate kinds,
+/// `row_ids` for QueryKind::kRowIds submissions (empty otherwise).
 struct QueryResult {
   QueryType type = QueryType::kCount;
   uint64_t count = 0;
   int64_t sum = 0;
+  std::vector<RowId> row_ids;
 
   friend bool operator==(const QueryResult& a, const QueryResult& b) {
-    return a.type == b.type && a.count == b.count && a.sum == b.sum;
+    return a.type == b.type && a.count == b.count && a.sum == b.sum &&
+           a.row_ids == b.row_ids;
   }
 };
 

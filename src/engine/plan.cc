@@ -7,6 +7,24 @@ namespace adaptidx {
 PlanBuilder::PlanBuilder(Database* db, std::string table)
     : db_(db), table_(std::move(table)) {}
 
+PlanBuilder::PlanBuilder(Session* session, std::string table)
+    : db_(session->database()), session_(session), table_(std::move(table)) {
+  if (db_ == nullptr) {
+    deferred_error_ = Status::InvalidArgument(
+        "session-bound plans require a database session");
+  }
+}
+
+PlanBuilder& PlanBuilder::SelectRange(const std::string& column, Value lo,
+                                      Value hi) {
+  if (session_ == nullptr) {
+    deferred_error_ = Status::InvalidArgument(
+        "SelectRange without a config requires a session-bound plan");
+    return *this;
+  }
+  return SelectRange(column, lo, hi, session_->config());
+}
+
 PlanBuilder& PlanBuilder::SelectRange(const std::string& column, Value lo,
                                       Value hi, const IndexConfig& config) {
   if (has_select_) {
@@ -35,6 +53,13 @@ Status PlanBuilder::Execute(QueryContext* ctx) {
     return Status::InvalidArgument("plan needs a SelectRange operator");
   }
   executed_ = true;
+
+  // Session-bound plans execute under the session's identity.
+  if (session_ != nullptr) {
+    ctx->client_id = session_->client_id();
+    ctx->txn_id = session_->txn_id();
+    ctx->session_id = session_->session_id();
+  }
 
   Table* table = db_->GetTable(table_);
   if (table == nullptr) return Status::NotFound("no such table: " + table_);

@@ -39,11 +39,21 @@ class PlanBuilder {
   /// \brief Starts a plan over `table`; errors surface at execution time.
   PlanBuilder(Database* db, std::string table);
 
+  /// \brief Starts a plan bound to a session: the session's pinned
+  /// IndexConfig becomes the default for `SelectRange`, and its
+  /// client/txn/session identity is stamped onto the execution context.
+  /// The session must be a database session (not `Session::OnIndex`).
+  PlanBuilder(Session* session, std::string table);
+
   /// \brief The selection operator: qualifying rowIDs of
   /// `lo <= column < hi` via the (adaptive) index configured by `config`.
   /// Must be the first operator of the plan.
   PlanBuilder& SelectRange(const std::string& column, Value lo, Value hi,
                            const IndexConfig& config);
+
+  /// \brief Session-bound variant using the session's pinned IndexConfig;
+  /// only valid on a session-constructed builder.
+  PlanBuilder& SelectRange(const std::string& column, Value lo, Value hi);
 
   /// \brief Bulk positional refinement: keeps candidates whose `column`
   /// value lies in [lo, hi). May be chained arbitrarily.
@@ -71,6 +81,7 @@ class PlanBuilder {
   Status Execute(QueryContext* ctx);
 
   Database* db_;
+  Session* session_ = nullptr;  ///< non-null for session-bound plans
   std::string table_;
   bool has_select_ = false;
   std::string select_column_;

@@ -1,0 +1,30 @@
+#include "engine/query.h"
+
+namespace adaptidx {
+
+std::string ToString(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kCount:
+      return "count";
+    case QueryKind::kSum:
+      return "sum";
+    case QueryKind::kSumOther:
+      return "sum-other";
+    case QueryKind::kRowIds:
+      return "row-ids";
+  }
+  return "unknown";
+}
+
+std::vector<Query> ToQueries(const std::string& table,
+                             const std::string& column,
+                             const std::vector<RangeQuery>& queries) {
+  std::vector<Query> out;
+  out.reserve(queries.size());
+  for (const RangeQuery& q : queries) {
+    out.push_back(Query::From(table, column, q));
+  }
+  return out;
+}
+
+}  // namespace adaptidx

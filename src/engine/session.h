@@ -1,0 +1,228 @@
+#ifndef ADAPTIDX_ENGINE_SESSION_H_
+#define ADAPTIDX_ENGINE_SESSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/index_factory.h"
+#include "engine/operators.h"
+#include "engine/query.h"
+#include "util/thread_pool.h"
+
+namespace adaptidx {
+
+class Database;
+class Session;
+class UpdatableIndex;
+
+/// \brief Options pinned for the lifetime of a session.
+struct SessionOptions {
+  /// Access method used to resolve every query the session submits; one
+  /// session = one index configuration, so method comparisons open one
+  /// session per method.
+  IndexConfig config;
+  /// Client identity recorded in every QueryContext; 0 auto-assigns the
+  /// session id.
+  uint32_t client_id = 0;
+  /// User-transaction identity for update operations; 0 auto-assigns a
+  /// globally unique id that cannot collide with small hand-picked test ids.
+  uint64_t txn_id = 0;
+};
+
+/// \brief Future-like handle to one submitted query.
+///
+/// Tickets are cheap to copy (shared state) and remain valid after the
+/// session that issued them is closed: closing a session drains in-flight
+/// work, so a surviving ticket is always complete and readable. The
+/// accessors `status()/result()/stats()` implicitly `Wait()`. A
+/// default-constructed (never-submitted) ticket behaves as terminally
+/// failed: `done()` is true, `status()` is InvalidArgument, the result and
+/// stats are empty.
+class QueryTicket {
+ public:
+  QueryTicket() = default;
+
+  /// \brief False for default-constructed (never-submitted) tickets.
+  bool valid() const { return state_ != nullptr; }
+
+  /// \brief Blocks until the query has executed.
+  void Wait() const;
+
+  /// \brief Non-blocking completion probe.
+  bool done() const;
+
+  /// \brief Execution status (waits for completion).
+  const Status& status() const;
+
+  /// \brief The answer (waits for completion). `count`/`sum`/`row_ids` are
+  /// populated per the query's kind.
+  const QueryResult& result() const;
+
+  /// \brief Per-query instrumentation (waits for completion).
+  const QueryStats& stats() const;
+
+ private:
+  friend class Session;
+
+  struct State {
+    mutable std::mutex mu;
+    mutable std::condition_variable cv;
+    bool done = false;
+    Status status;
+    QueryResult result;
+    QueryStats stats;
+  };
+
+  explicit QueryTicket(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// \brief A client's connection to the engine: owns the client/transaction
+/// identity, pins an IndexConfig, and submits queries — asynchronously onto
+/// the shared thread pool (`Submit`/`SubmitBatch`) or synchronously inline
+/// (`Execute` and the typed convenience wrappers).
+///
+/// Batch submission is the admission path that batch-aware refinement
+/// (CrackingOptions::group_crack, Section 7 "Dynamic Algorithms") feeds on:
+/// all queries of a batch are enqueued before any result is awaited, so
+/// concurrent executions pile their crack bounds into the piece-latch wait
+/// queues where a refining query can serve them in one step.
+///
+/// Thread safety: a session may be used from multiple threads; identity is
+/// immutable after open. Closing (destroying) a session blocks until every
+/// submitted query has finished; tickets stay readable afterwards. Sessions
+/// must not outlive the Database (or, for direct sessions, the index and
+/// pool) they were opened on.
+class Session {
+ public:
+  ~Session();  // drains in-flight queries
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// \brief Opens a session directly over one index, bypassing catalog
+  /// resolution — the driver's and benchmarks' path. Table/column names in
+  /// descriptors are ignored; kSumOther is not supported (no second column).
+  /// `pool` may be null for synchronous-only use — async submissions then
+  /// fail their tickets with InvalidArgument.
+  static std::unique_ptr<Session> OnIndex(AdaptiveIndex* index,
+                                          ThreadPool* pool,
+                                          SessionOptions opts = {});
+
+  /// \brief Draws the next process-global session id (shared by database
+  /// and direct sessions so ids never alias).
+  static uint32_t NextSessionId();
+
+  // ---- asynchronous submission ----------------------------------------
+
+  /// \brief Enqueues one query onto the shared pool; never blocks.
+  QueryTicket Submit(Query query);
+
+  /// \brief Enqueues every query of the batch before returning, so the
+  /// batch executes concurrently (pool permitting) and queued crack bounds
+  /// become visible to group cracking. Tickets are in submission order.
+  std::vector<QueryTicket> SubmitBatch(std::vector<Query> batch);
+
+  // ---- synchronous execution ------------------------------------------
+
+  /// \brief Executes `query` inline on the calling thread (no pool
+  /// round-trip); the path the legacy Database shims use.
+  Status Execute(const Query& query, QueryResult* result,
+                 QueryStats* stats = nullptr);
+
+  /// \brief `select count(*) from table where lo <= column < hi`.
+  Status Count(const std::string& table, const std::string& column, Value lo,
+               Value hi, uint64_t* out, QueryStats* stats = nullptr);
+
+  /// \brief `select sum(column) from table where lo <= column < hi`.
+  Status Sum(const std::string& table, const std::string& column, Value lo,
+             Value hi, int64_t* out, QueryStats* stats = nullptr);
+
+  /// \brief `select sum(agg_column) from table where lo <= column < hi`.
+  Status SumOther(const std::string& table, const std::string& column,
+                  const std::string& agg_column, Value lo, Value hi,
+                  int64_t* out, QueryStats* stats = nullptr);
+
+  /// \brief Materializes qualifying rowIDs.
+  Status RowIds(const std::string& table, const std::string& column, Value lo,
+                Value hi, std::vector<RowId>* out,
+                QueryStats* stats = nullptr);
+
+  // ---- updates as session operations ----------------------------------
+
+  /// \brief Inserts `v` through `index` as a user transaction carrying this
+  /// session's txn identity; the index wires the transaction into its
+  /// LockManager (exclusive key lock, auto-commit).
+  Status Insert(UpdatableIndex* index, Value v, RowId* row_id = nullptr);
+
+  /// \brief Deletes (`v`, `row_id`) through `index` under this session's
+  /// txn identity.
+  Status Delete(UpdatableIndex* index, Value v, RowId row_id);
+
+  // ---- identity & introspection ---------------------------------------
+
+  /// \brief A QueryContext pre-stamped with this session's identity.
+  QueryContext MakeContext() const;
+
+  uint32_t session_id() const { return session_id_; }
+  uint32_t client_id() const { return client_id_; }
+  uint64_t txn_id() const { return txn_id_; }
+  const IndexConfig& config() const { return opts_.config; }
+
+  /// \brief The database this session was opened on; null for direct-index
+  /// sessions.
+  Database* database() const { return db_; }
+
+  /// \brief Queries submitted over the session's lifetime (async + sync).
+  size_t queries_submitted() const;
+
+  /// \brief Async queries currently executing or queued.
+  size_t in_flight() const;
+
+ private:
+  friend class Database;
+
+  Session(Database* db, AdaptiveIndex* direct_index, ThreadPool* pool,
+          SessionOptions opts, uint32_t session_id);
+
+  /// Shared execution core for the sync and async paths. `ctx` carries the
+  /// session identity; timing fields are managed by the caller.
+  Status ExecuteWithContext(const Query& query, QueryContext* ctx,
+                            QueryResult* result);
+
+  Database* db_;               ///< null for direct-index sessions
+  AdaptiveIndex* direct_;      ///< non-null for direct-index sessions
+  ThreadPool* pool_;           ///< direct sessions' pool; db sessions use
+                               ///< db_->pool()
+  SessionOptions opts_;
+  uint32_t session_id_;
+  uint32_t client_id_;
+  uint64_t txn_id_;
+
+  // Per-session resolution cache: the session pins one config, so each
+  // (table, column) resolves through the catalog once; the shared_ptr keeps
+  // the index alive (and correct — base columns are immutable) even if the
+  // entry is dropped concurrently. A DropIndex takes effect for sessions
+  // opened afterwards.
+  std::mutex resolve_mu_;
+  std::unordered_map<std::string, std::shared_ptr<AdaptiveIndex>> resolved_;
+
+  // submitted_ is relaxed bookkeeping; in_flight_ transitions happen under
+  // mu_ so the close-time drain cannot race a completing worker (see
+  // Submit).
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::atomic<size_t> in_flight_{0};
+  std::atomic<size_t> submitted_{0};
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_ENGINE_SESSION_H_

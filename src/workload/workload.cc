@@ -22,6 +22,22 @@ std::string ToString(QueryDistribution dist) {
   return "unknown";
 }
 
+std::vector<std::pair<size_t, size_t>> SplitStreams(size_t num_queries,
+                                                    size_t num_clients) {
+  num_clients = std::max<size_t>(1, std::min(num_clients, num_queries));
+  std::vector<std::pair<size_t, size_t>> slices;
+  slices.reserve(num_clients);
+  const size_t per = num_queries / num_clients;
+  const size_t extra = num_queries % num_clients;
+  size_t cursor = 0;
+  for (size_t c = 0; c < num_clients; ++c) {
+    const size_t len = per + (c < extra ? 1 : 0);
+    slices.emplace_back(cursor, cursor + len);
+    cursor += len;
+  }
+  return slices;
+}
+
 std::vector<RangeQuery> WorkloadGenerator::Generate(
     const WorkloadOptions& opts) const {
   std::vector<RangeQuery> queries;

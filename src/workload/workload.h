@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "storage/types.h"
@@ -51,6 +52,14 @@ struct WorkloadOptions {
   double skew = 0.8;
   uint64_t seed = 7;
 };
+
+/// \brief Paper-style contiguous partitioning of a query sequence into
+/// per-client streams (Section 6.2: each client fires a contiguous slice of
+/// the sequence). Returns `[begin, end)` index pairs, one per client;
+/// remainder queries go to the leading clients. `num_clients` is clamped to
+/// `num_queries`.
+std::vector<std::pair<size_t, size_t>> SplitStreams(size_t num_queries,
+                                                    size_t num_clients);
 
 /// \brief Deterministic range-query generator over an integer value domain.
 class WorkloadGenerator {

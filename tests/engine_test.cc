@@ -244,6 +244,53 @@ TEST(DriverTest, RecordsSortedByCompletionTime) {
   }
 }
 
+TEST(DriverTest, ReadTimeAggregatedIntoTotals) {
+  Column col = Column::UniqueRandom("A", 20000, 68);
+  IndexConfig config;
+  config.method = IndexMethod::kSort;  // sort's read path records read_ns
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 20000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 32;
+  wopts.selectivity = 0.2;
+  DriverOptions dopts;
+  dopts.num_clients = 2;
+  RunResult result = Driver::Run(index.get(), gen.Generate(wopts), dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_GT(result.total_read_ns, 0);
+  // The run totals are exactly the shared accumulation over all records.
+  const StatTotals totals = SumStats(result.records, 0, result.records.size());
+  EXPECT_EQ(result.total_read_ns, totals.read_ns);
+  EXPECT_EQ(result.total_wait_ns, totals.wait_ns);
+  EXPECT_EQ(result.total_conflicts, totals.conflicts);
+}
+
+TEST(DriverTest, BatchSizeOneMatchesSequentialSemantics) {
+  Column col = Column::UniqueRandom("A", 5000, 69);
+  IndexConfig config;
+  auto index = MakeIndex(&col, config);
+  WorkloadGenerator gen(0, 5000);
+  WorkloadOptions wopts;
+  wopts.num_queries = 48;
+  DriverOptions dopts;
+  dopts.num_clients = 4;
+  dopts.batch_size = 1;  // strictly sequential per-client streams
+  RunResult result = Driver::Run(index.get(), gen.Generate(wopts), dopts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.records.size(), 48u);
+}
+
+TEST(WorkloadTest, SplitStreamsPartitionsContiguously) {
+  auto slices = SplitStreams(100, 3);
+  ASSERT_EQ(slices.size(), 3u);
+  EXPECT_EQ(slices[0], (std::pair<size_t, size_t>{0, 34}));
+  EXPECT_EQ(slices[1], (std::pair<size_t, size_t>{34, 67}));
+  EXPECT_EQ(slices[2], (std::pair<size_t, size_t>{67, 100}));
+  // More clients than queries: clamped.
+  EXPECT_EQ(SplitStreams(2, 8).size(), 2u);
+  EXPECT_EQ(SplitStreams(0, 4).size(), 1u);
+}
+
 TEST(DriverTest, RecordingCanBeDisabled) {
   Column col = Column::UniqueRandom("A", 500, 66);
   IndexConfig config;
@@ -289,6 +336,12 @@ TEST(IndexFactoryTest, MethodNames) {
 }
 
 // ------------------------------------------------------------- Database
+//
+// These tests deliberately exercise the deprecated one-shot shims
+// (the acceptance contract is that legacy call sites keep passing);
+// session_test.cc covers the replacement Session API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 TEST(DatabaseTest, CreateTableAndQuery) {
   Database db;
@@ -381,6 +434,52 @@ TEST(DatabaseTest, SumOtherTwoColumnPlan) {
                                 RangeQuery{100, 500, QueryType::kSum}));
 }
 
+TEST(DatabaseTest, ConfigsDifferingOnlyInOptionsGetDistinctEntries) {
+  // Regression: the catalog key once hashed only table/column/method, so two
+  // configs differing in any option block silently aliased one index.
+  Database db;
+  std::vector<Column> cols;
+  cols.push_back(Column::UniqueRandom("A", 500, 76));
+  ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
+
+  IndexConfig piece;
+  piece.method = IndexMethod::kCrack;
+  piece.cracking.mode = ConcurrencyMode::kPieceLatch;
+  IndexConfig column_latch = piece;
+  column_latch.cracking.mode = ConcurrencyMode::kColumnLatch;
+
+  auto a = db.GetOrCreateIndex("R", "A", piece);
+  auto b = db.GetOrCreateIndex("R", "A", column_latch);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(db.catalog()->num_indexes(), 2u);
+
+  // Display-only fields do not distinguish entries.
+  IndexConfig renamed = piece;
+  renamed.cracking.name = "crack-renamed";
+  EXPECT_EQ(db.GetOrCreateIndex("R", "A", renamed).get(), a.get());
+  EXPECT_EQ(db.catalog()->num_indexes(), 2u);
+
+  // Dropping one entry leaves its sibling alone.
+  EXPECT_TRUE(db.DropIndex("R", "A", column_latch));
+  EXPECT_EQ(db.catalog()->num_indexes(), 1u);
+  EXPECT_EQ(db.GetOrCreateIndex("R", "A", piece).get(), a.get());
+
+  // Other option blocks distinguish their methods too.
+  IndexConfig merge_a;
+  merge_a.method = IndexMethod::kAdaptiveMerge;
+  IndexConfig merge_b = merge_a;
+  merge_b.merge.mvcc_commit = true;
+  EXPECT_NE(IndexConfigKey(merge_a), IndexConfigKey(merge_b));
+  // ...but options of an unconsulted block do not.
+  IndexConfig scan_a;
+  scan_a.method = IndexMethod::kScan;
+  IndexConfig scan_b = scan_a;
+  scan_b.cracking.group_crack = true;
+  EXPECT_EQ(IndexConfigKey(scan_a), IndexConfigKey(scan_b));
+}
+
 TEST(DatabaseTest, LockManagerIntegration) {
   Database db;
   std::vector<Column> cols;
@@ -398,6 +497,8 @@ TEST(DatabaseTest, LockManagerIntegration) {
   EXPECT_TRUE(stats.refinement_skipped);
   db.lock_manager()->ReleaseAll(5);
 }
+
+#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace adaptidx
