@@ -5,8 +5,17 @@
 /// Expected shape: all methods speed up with clients up to the core count,
 /// then level out; cracking keeps its advantage at every client count —
 /// concurrency is "not only possible but also beneficial".
+///
+/// Part (c) goes beyond the paper: a partition-count sweep
+/// (P in {1, 2, 4, 8}) of range-partitioned cracking under multi-client
+/// load, emitting BENCH_partition.json (override the path with
+/// AI_BENCH_PARTITION_JSON). On a multi-core machine P=4 should beat the
+/// monolithic P=1 cracker: disjoint-range clients stop conflicting and
+/// boundary-straddling queries use several cores.
 
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -85,6 +94,57 @@ void Run() {
       client_counts[last],
       methods[2].total_secs[last] < methods[0].total_secs[last] ? "yes"
                                                                 : "NO");
+
+  // ---- (c) partition-count sweep --------------------------------------
+  const size_t part_clients = std::min<size_t>(8, max_clients);
+  const size_t partition_counts[] = {1, 2, 4, 8};
+  std::printf("\n(c) Partitioned cracking, %zu clients (qps by P)\n",
+              part_clients);
+  std::printf("%-12s %12s %12s\n", "partitions", "total_secs", "qps");
+  std::vector<double> part_secs;
+  std::vector<double> part_qps;
+  for (size_t p : partition_counts) {
+    IndexConfig config;
+    config.method = IndexMethod::kCrack;
+    config.partitions = p;  // P=1 is the monolithic baseline
+    RunResult r = RunWorkload(column, config, queries, part_clients);
+    part_secs.push_back(r.total_seconds);
+    part_qps.push_back(r.throughput_qps);
+    std::printf("%-12zu %12.3f %12.1f\n", p, r.total_seconds,
+                r.throughput_qps);
+  }
+  const double speedup_p4 = part_qps[0] > 0 ? part_qps[2] / part_qps[0] : 0;
+  std::printf("P=4 vs P=1 throughput: %.2fx (%s on this machine)\n",
+              speedup_p4, speedup_p4 > 1.0 ? "faster" : "NOT faster");
+
+  const char* json_env = std::getenv("AI_BENCH_PARTITION_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env
+                                               : "BENCH_partition.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig12_partition_sweep\",\n"
+               "  \"rows\": %zu,\n  \"queries\": %zu,\n"
+               "  \"clients\": %zu,\n  \"method\": \"crack\",\n"
+               "  \"results\": [\n",
+               rows, num_queries, part_clients);
+  for (size_t i = 0; i < part_qps.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"partitions\": %zu, \"total_secs\": %.6f, "
+                 "\"qps\": %.1f}%s\n",
+                 partition_counts[i], part_secs[i], part_qps[i],
+                 i + 1 < part_qps.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"p4_vs_p1_speedup\": %.4f,\n"
+               "  \"p4_beats_p1\": %s\n}\n",
+               speedup_p4, speedup_p4 > 1.0 ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
 }
 
 }  // namespace

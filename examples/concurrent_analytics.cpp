@@ -125,10 +125,23 @@ int main(int argc, char** argv) {
               "side effect)\n\n",
               crack->NumCracks(), crack->NumPieces());
 
+  // Phase 3: partitioned parallel cracking. The same method under
+  // `partitions = 4` is a distinct catalog entry: the column splits into
+  // four value-range shards, each an independent cracker with its own
+  // latches, so clients working disjoint ranges never meet and a single
+  // wide query fans its fragments across cores.
+  std::printf("phase 3: partitioned cracking (P=4), fresh shards\n");
+  IndexConfig partitioned;
+  partitioned.method = IndexMethod::kCrack;
+  partitioned.partitions = 4;
+  auto part_sessions = OpenSessions(&db, clients, partitioned);
+  PrintPhase("  wave 1 (cold)", RunWave(part_sessions, workload));
+  PrintPhase("  wave 2 (warmed)", RunWave(part_sessions, refresh));
+
   // Contrast: the same two waves under a single column-grain latch. The
   // coarse config is a distinct catalog entry on the same column (the
   // configs differ in ConcurrencyMode), so both indexes coexist.
-  std::printf("contrast: same workload, column latch\n");
+  std::printf("\ncontrast: same workload, column latch\n");
   IndexConfig coarse;
   coarse.method = IndexMethod::kCrack;
   coarse.cracking.mode = ConcurrencyMode::kColumnLatch;
@@ -140,6 +153,9 @@ int main(int argc, char** argv) {
   std::printf(
       "\nTakeaways: (1) wave 2 is far cheaper than wave 1 — the read-only\n"
       "dashboard built its own index; (2) piece latches accumulate less\n"
-      "wait time than the column latch under identical load.\n");
+      "wait time than the column latch under identical load; (3) with\n"
+      "partitioned shards, disjoint-range clients stop conflicting at all\n"
+      "— on a multi-core machine the partitioned waves accumulate the\n"
+      "least wait time of the three configurations.\n");
   return 0;
 }

@@ -26,6 +26,11 @@ struct RowIdAgg {
   void Record(const BTreeKey& k) { out->push_back(k.row_id); }
 };
 
+struct MinMaxAgg {
+  MinMaxAccumulator acc;
+  void Record(const BTreeKey& k) { acc.Feed(k.value); }
+};
+
 }  // namespace
 
 BTreeMergeIndex::BTreeMergeIndex(const Column* column, BTreeMergeOptions opts)
@@ -95,8 +100,8 @@ void BTreeMergeIndex::MergeGapLocked(Value lo, Value hi, QueryContext* ctx) {
 }
 
 template <typename Agg>
-Status BTreeMergeIndex::Execute(const ValueRange& range, QueryContext* ctx,
-                                Agg* agg) {
+Status BTreeMergeIndex::ExecuteRange(const ValueRange& range,
+                                     QueryContext* ctx, Agg* agg) {
   if (range.Empty()) return Status::OK();
   EnsureInitialized(ctx);
   const Value lo = std::max(range.lo, domain_lo_);
@@ -168,27 +173,35 @@ Status BTreeMergeIndex::Execute(const ValueRange& range, QueryContext* ctx,
   return Status::OK();
 }
 
-Status BTreeMergeIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                                   uint64_t* count) {
-  CountAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *count = agg.result;
-  return s;
-}
-
-Status BTreeMergeIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                                 int64_t* sum) {
-  SumAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *sum = agg.result;
-  return s;
-}
-
-Status BTreeMergeIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                                    std::vector<RowId>* row_ids) {
-  row_ids->clear();
-  RowIdAgg agg{row_ids};
-  return Execute(range, ctx, &agg);
+Status BTreeMergeIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                    QueryResult* result) {
+  switch (query.kind) {
+    case QueryKind::kCount: {
+      CountAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->count = agg.result;
+      return s;
+    }
+    case QueryKind::kSum: {
+      SumAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->sum = agg.result;
+      return s;
+    }
+    case QueryKind::kRowIds: {
+      RowIdAgg agg{&result->row_ids};
+      return ExecuteRange(query.range, ctx, &agg);
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      agg.acc.Store(result);
+      return s;
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("btree-merge holds no second column");
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 size_t BTreeMergeIndex::NumPieces() const {

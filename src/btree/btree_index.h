@@ -42,13 +42,6 @@ class BTreeMergeIndex : public AdaptiveIndex {
 
   std::string Name() const override { return opts_.name; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   /// \brief Live partitions in the B-tree.
   size_t NumPieces() const override;
 
@@ -65,6 +58,10 @@ class BTreeMergeIndex : public AdaptiveIndex {
 
   bool ValidateStructure() const;
 
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
+
  private:
   /// Final partition id; runs use 1..k.
   static constexpr uint32_t kFinalPartition = 0;
@@ -76,7 +73,7 @@ class BTreeMergeIndex : public AdaptiveIndex {
   void MergeGapLocked(Value lo, Value hi, QueryContext* ctx);
 
   template <typename Agg>
-  Status Execute(const ValueRange& range, QueryContext* ctx, Agg* agg);
+  Status ExecuteRange(const ValueRange& range, QueryContext* ctx, Agg* agg);
 
   const Column* column_;
   const BTreeMergeOptions opts_;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/query.h"
 #include "latch/latch_stats.h"
 #include "storage/types.h"
 #include "util/status.h"
@@ -29,6 +30,23 @@ struct QueryStats {
   bool refinement_skipped = false;   ///< conflict avoidance fired
   int64_t start_ns = 0;     ///< wall-clock start (sequence ordering)
   int64_t finish_ns = 0;    ///< wall-clock finish
+
+  /// \brief Rolls another execution's stats into this one — the
+  /// per-fragment accumulation of partitioned execution. Work counters add;
+  /// the conflict-avoidance flag ORs (any fragment skipping refinement
+  /// marks the query). The wall-clock fields (`response_ns`, `start_ns`,
+  /// `finish_ns`) describe the whole query and stay with the caller —
+  /// summing per-fragment wall time would double-count parallel fragments.
+  void Accumulate(const QueryStats& other) {
+    wait_ns += other.wait_ns;
+    crack_ns += other.crack_ns;
+    init_ns += other.init_ns;
+    read_ns += other.read_ns;
+    conflicts += other.conflicts;
+    cracks += other.cracks;
+    pieces_touched += other.pieces_touched;
+    refinement_skipped |= other.refinement_skipped;
+  }
 };
 
 /// \brief Carried through every query execution; owns the stats and
@@ -43,6 +61,16 @@ struct QueryContext {
   uint64_t txn_id = 0;
   uint32_t session_id = 0;  ///< issuing session; 0 outside the session API
 
+  /// \brief A context carrying this one's identity with fresh stats — the
+  /// per-fragment context of partitioned execution.
+  QueryContext SpawnFragment() const {
+    QueryContext ctx;
+    ctx.client_id = client_id;
+    ctx.txn_id = txn_id;
+    ctx.session_id = session_id;
+    return ctx;
+  }
+
   /// \brief Builds the latch acquisition sink wired to this query's stats
   /// and the index-wide aggregate.
   LatchAcquireContext LatchCtx(LatchStats* global) {
@@ -53,13 +81,21 @@ struct QueryContext {
 /// \brief Abstract access method evaluated in the paper's experiments: plain
 /// scan, full index (sort), database cracking, adaptive merging, hybrid
 /// crack-sort, and the partitioned-B-tree realization of adaptive merging
-/// all implement this interface.
+/// all implement this interface; `PartitionedIndex` composes any of them
+/// into range-partitioned shards.
 ///
 /// Semantics: the index answers over a fixed base column (read-only user
-/// data); `RangeCount`/`RangeSum` are the paper's Q1/Q2 templates with the
-/// predicate normalized to the half-open range [lo, hi). All methods are
-/// thread-safe; adaptive implementations may refine their physical structure
-/// as a side effect under the concurrency control being studied.
+/// data) with the predicate normalized to the half-open range [lo, hi).
+/// All methods are thread-safe; adaptive implementations may refine their
+/// physical structure as a side effect under the concurrency control being
+/// studied.
+///
+/// The single entry point is `Execute(Query, ctx, result)`: one virtual
+/// (`ExecuteImpl`) answers every query kind into a mergeable `QueryResult`,
+/// so results can be computed per fragment and combined — the property
+/// partitioned parallel execution depends on. The per-kind methods
+/// (`RangeCount`/`RangeSum`/`RangeRowIds`/`RangeMinMax`) are non-virtual
+/// convenience wrappers over `Execute`.
 class AdaptiveIndex {
  public:
   virtual ~AdaptiveIndex() = default;
@@ -68,22 +104,68 @@ class AdaptiveIndex {
   /// "crack", ...).
   virtual std::string Name() const = 0;
 
+  /// \brief Executes one query of any kind. `result` is fully reset (and
+  /// stamped with the query's kind) before dispatch; for kRowIds, `count`
+  /// additionally reports the number of materialized ids. Indexes answer
+  /// over their bound column and ignore the descriptor's name fields;
+  /// kSumOther requires a second column and is only answerable by indexes
+  /// that hold one (the engine's session layer plans it otherwise).
+  Status Execute(const Query& query, QueryContext* ctx, QueryResult* result) {
+    result->Reset(query.kind);
+    // Empty (including inverted) predicates answer zero/none for every
+    // kind; guarded here once so no implementation's arithmetic ever sees
+    // lo > hi (a sorted index's hi-position minus lo-position would wrap).
+    if (query.range.Empty()) return Status::OK();
+    Status s = ExecuteImpl(query, ctx, result);
+    if (s.ok() && query.kind == QueryKind::kRowIds) {
+      result->count = result->row_ids.size();
+    }
+    return s;
+  }
+
+  // ---- convenience wrappers over Execute ------------------------------
+
   /// \brief Q1: `select count(*) from R where lo <= A < hi`.
-  virtual Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                            uint64_t* count) = 0;
+  Status RangeCount(const ValueRange& range, QueryContext* ctx,
+                    uint64_t* count) {
+    QueryResult r;
+    Status s = Execute(Query::Count("", "", range.lo, range.hi), ctx, &r);
+    if (s.ok()) *count = r.count;
+    return s;
+  }
 
   /// \brief Q2: `select sum(A) from R where lo <= A < hi`.
-  virtual Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                          int64_t* sum) = 0;
+  Status RangeSum(const ValueRange& range, QueryContext* ctx, int64_t* sum) {
+    QueryResult r;
+    Status s = Execute(Query::Sum("", "", range.lo, range.hi), ctx, &r);
+    if (s.ok()) *sum = r.sum;
+    return s;
+  }
 
   /// \brief Materializes the rowIDs of qualifying tuples (the positional
-  /// intermediate of Figure 6, used to fetch other columns). Optional.
-  virtual Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                             std::vector<RowId>* row_ids) {
-    (void)range;
-    (void)ctx;
-    (void)row_ids;
-    return Status::NotSupported(Name() + " does not materialize rowIDs");
+  /// intermediate of Figure 6, used to fetch other columns).
+  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
+                     std::vector<RowId>* row_ids) {
+    QueryResult r;
+    Status s = Execute(Query::RowIds("", "", range.lo, range.hi), ctx, &r);
+    if (s.ok()) *row_ids = std::move(r.row_ids);
+    return s;
+  }
+
+  /// \brief Q3: `select min(A), max(A) from R where lo <= A < hi`.
+  /// `*found` reports whether any row qualified; `*min`/`*max` are only
+  /// written when it did.
+  Status RangeMinMax(const ValueRange& range, QueryContext* ctx, Value* min,
+                     Value* max, bool* found) {
+    QueryResult r;
+    Status s = Execute(Query::MinMax("", "", range.lo, range.hi), ctx, &r);
+    if (!s.ok()) return s;
+    *found = r.has_minmax;
+    if (r.has_minmax) {
+      *min = r.min_value;
+      *max = r.max_value;
+    }
+    return s;
   }
 
   /// \brief Number of physical pieces/partitions currently in the index;
@@ -95,6 +177,13 @@ class AdaptiveIndex {
   LatchStats* mutable_latch_stats() { return &latch_stats_; }
 
  protected:
+  /// \brief The one per-method virtual: answers `query` into the (already
+  /// reset) result. Implementations dispatch on `query.kind` internally —
+  /// the only per-kind switch left in the system lives next to each
+  /// method's aggregation machinery.
+  virtual Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                             QueryResult* result) = 0;
+
   LatchStats latch_stats_;
 };
 

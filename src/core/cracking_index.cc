@@ -110,6 +110,23 @@ struct RowIdAggregator {
   }
 };
 
+struct MinMaxAggregator {
+  static constexpr bool kNeedsRead = true;
+  MinMaxAccumulator acc;
+  void Positional(const CrackerArray& a, Position b, Position e) {
+    Value lo;
+    Value hi;
+    a.MinMax(b, e, &lo, &hi);
+    acc.Feed(lo, hi);
+  }
+  void Filtered(const CrackerArray& a, Position b, Position e,
+                const ValueRange& r) {
+    Value lo;
+    Value hi;
+    if (a.MinMaxFiltered(b, e, r, &lo, &hi)) acc.Feed(lo, hi);
+  }
+};
+
 struct Region {
   Position begin;
   Position end;
@@ -540,8 +557,8 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
 }
 
 template <typename Aggregator>
-Status CrackingIndex::Execute(const ValueRange& range, QueryContext* ctx,
-                              Aggregator* agg) {
+Status CrackingIndex::ExecuteRange(const ValueRange& range, QueryContext* ctx,
+                                   Aggregator* agg) {
   if (range.Empty()) return Status::OK();
   EnsureInitialized(ctx);
   const bool refine_allowed = !UserLockConflict(ctx);
@@ -628,27 +645,35 @@ Status CrackingIndex::Execute(const ValueRange& range, QueryContext* ctx,
   return Status::OK();
 }
 
-Status CrackingIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                                 uint64_t* count) {
-  CountAggregator agg;
-  Status s = Execute(range, ctx, &agg);
-  *count = agg.result;
-  return s;
-}
-
-Status CrackingIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                               int64_t* sum) {
-  SumAggregator agg;
-  Status s = Execute(range, ctx, &agg);
-  *sum = agg.result;
-  return s;
-}
-
-Status CrackingIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                                  std::vector<RowId>* row_ids) {
-  row_ids->clear();
-  RowIdAggregator agg{row_ids};
-  return Execute(range, ctx, &agg);
+Status CrackingIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                  QueryResult* result) {
+  switch (query.kind) {
+    case QueryKind::kCount: {
+      CountAggregator agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->count = agg.result;
+      return s;
+    }
+    case QueryKind::kSum: {
+      SumAggregator agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->sum = agg.result;
+      return s;
+    }
+    case QueryKind::kRowIds: {
+      RowIdAggregator agg{&result->row_ids};
+      return ExecuteRange(query.range, ctx, &agg);
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAggregator agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      agg.acc.Store(result);
+      return s;
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("crack holds no second column");
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 size_t CrackingIndex::NumPieces() const {

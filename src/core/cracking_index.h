@@ -105,13 +105,6 @@ class CrackingIndex : public AdaptiveIndex {
 
   std::string Name() const override { return opts_.name; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   size_t NumPieces() const override;
 
   /// \brief Number of cracks currently in the table of contents.
@@ -131,6 +124,10 @@ class CrackingIndex : public AdaptiveIndex {
   /// tiling, and that every piece's values lie within its bounds (sorted
   /// pieces actually sorted). Requires a quiesced index; O(n).
   bool ValidateStructure() const;
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   /// How a bound resolution may acquire the piece write latch.
@@ -196,9 +193,10 @@ class CrackingIndex : public AdaptiveIndex {
                      const ValueRange& filter, bool needs_latch,
                      QueryContext* ctx, Aggregator* agg);
 
-  /// Shared driver for count/sum/rowids.
+  /// Shared driver for count/sum/rowids/minmax.
   template <typename Aggregator>
-  Status Execute(const ValueRange& range, QueryContext* ctx, Aggregator* agg);
+  Status ExecuteRange(const ValueRange& range, QueryContext* ctx,
+                      Aggregator* agg);
 
   const Column* column_;
   CrackingOptions opts_;

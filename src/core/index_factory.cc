@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "core/partitioned_index.h"
 #include "core/scan_index.h"
 #include "core/sort_index.h"
 
@@ -27,6 +28,13 @@ std::string ToString(IndexMethod method) {
 
 std::string IndexConfigKey(const IndexConfig& config) {
   std::string key = ToString(config.method);
+  // Partitioning changes the physical structure (P independent shards vs.
+  // one monolithic index), so a partitioned and an unpartitioned config on
+  // the same column must denote distinct catalog entries. The pool pointer
+  // stays out: it is an execution resource, not index identity.
+  if (config.partitions > 1) {
+    key += "@P" + std::to_string(config.partitions);
+  }
   // Only the option block the method consults participates — two configs
   // that differ in an unconsulted block denote the same physical index.
   switch (config.method) {
@@ -85,6 +93,9 @@ std::string IndexConfigKey(const IndexConfig& config) {
 
 std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,
                                          const IndexConfig& config) {
+  if (config.partitions > 1) {
+    return std::make_unique<PartitionedIndex>(column, config);
+  }
   switch (config.method) {
     case IndexMethod::kScan:
       return std::make_unique<ScanIndex>(column);

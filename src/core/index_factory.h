@@ -12,6 +12,8 @@
 
 namespace adaptidx {
 
+class ThreadPool;
+
 /// \brief All access methods evaluated in the paper: the two baselines of
 /// Section 6.1, database cracking (Section 5), adaptive merging (in-memory
 /// runs, Figure 3; and its partitioned-B-tree realization, Section 4), and
@@ -31,6 +33,21 @@ std::string ToString(IndexMethod method);
 /// consulted.
 struct IndexConfig {
   IndexMethod method = IndexMethod::kCrack;
+
+  /// Number of range-partitioned shards. 1 (the default) instantiates the
+  /// method directly; >1 wraps it in a `PartitionedIndex` that splits the
+  /// column into `partitions` value ranges, runs one independent inner
+  /// index of `method` per shard (each with its own latch hierarchy), fans
+  /// query fragments out on a thread pool, and merges the partial results.
+  size_t partitions = 1;
+
+  /// Fan-out pool for partitioned execution (not owned; must outlive every
+  /// index built from this config). Null lets the partitioned index lazily
+  /// create its own pool. Execution resource only — deliberately not part
+  /// of `IndexConfigKey`, since it does not change the physical index the
+  /// config denotes.
+  ThreadPool* pool = nullptr;
+
   CrackingOptions cracking;
   MergeOptions merge;
   HybridOptions hybrid;

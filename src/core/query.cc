@@ -1,4 +1,6 @@
-#include "engine/query.h"
+#include "core/query.h"
+
+#include <algorithm>
 
 namespace adaptidx {
 
@@ -12,8 +14,26 @@ std::string ToString(QueryKind kind) {
       return "sum-other";
     case QueryKind::kRowIds:
       return "row-ids";
+    case QueryKind::kMinMax:
+      return "min-max";
   }
   return "unknown";
+}
+
+void QueryResult::Merge(const QueryResult& other) {
+  count += other.count;
+  sum += other.sum;
+  row_ids.insert(row_ids.end(), other.row_ids.begin(), other.row_ids.end());
+  if (other.has_minmax) {
+    if (has_minmax) {
+      min_value = std::min(min_value, other.min_value);
+      max_value = std::max(max_value, other.max_value);
+    } else {
+      min_value = other.min_value;
+      max_value = other.max_value;
+      has_minmax = true;
+    }
+  }
 }
 
 std::vector<Query> ToQueries(const std::string& table,

@@ -1,0 +1,188 @@
+#ifndef ADAPTIDX_CORE_QUERY_H_
+#define ADAPTIDX_CORE_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+#include "workload/workload.h"
+
+namespace adaptidx {
+
+/// \brief The statement kinds of the unified query descriptor. kCount/kSum
+/// are the paper's Q1/Q2 templates; kSumOther is the two-column plan of
+/// Figure 6 (select on one column, positional aggregation of another);
+/// kRowIds materializes the qualifying positions themselves; kMinMax
+/// returns the smallest and largest qualifying value.
+enum class QueryKind {
+  kCount,
+  kSum,
+  kSumOther,
+  kRowIds,
+  kMinMax,
+};
+
+std::string ToString(QueryKind kind);
+
+/// \brief Unified query descriptor — the single currency of the access
+/// method API (`AdaptiveIndex::Execute`) and of `Session` submission.
+///
+/// Every statement of the public API is one of these: a kind, the target
+/// table/column, the half-open predicate range [lo, hi), and — for
+/// kSumOther — the column being aggregated. Descriptors are plain values;
+/// building one performs no catalog access and cannot fail (resolution
+/// errors surface when the query executes). Indexes ignore the name fields
+/// (they are bound to their column); the engine uses them for catalog
+/// resolution.
+struct Query {
+  QueryKind kind = QueryKind::kCount;
+  std::string table;       ///< target table (ignored by direct-index sessions)
+  std::string column;      ///< selection column (the indexed attribute)
+  std::string agg_column;  ///< aggregated column, kSumOther only
+  ValueRange range{0, 0};  ///< predicate: column in [lo, hi)
+
+  // ---- convenience builders -------------------------------------------
+
+  /// \brief `select count(*) from table where lo <= column < hi`.
+  static Query Count(std::string table, std::string column, Value lo,
+                     Value hi) {
+    return Query{QueryKind::kCount, std::move(table), std::move(column), "",
+                 ValueRange{lo, hi}};
+  }
+
+  /// \brief `select sum(column) from table where lo <= column < hi`.
+  static Query Sum(std::string table, std::string column, Value lo, Value hi) {
+    return Query{QueryKind::kSum, std::move(table), std::move(column), "",
+                 ValueRange{lo, hi}};
+  }
+
+  /// \brief `select sum(agg_column) from table where lo <= column < hi`.
+  static Query SumOther(std::string table, std::string column,
+                        std::string agg_column, Value lo, Value hi) {
+    return Query{QueryKind::kSumOther, std::move(table), std::move(column),
+                 std::move(agg_column), ValueRange{lo, hi}};
+  }
+
+  /// \brief Materializes the qualifying rowIDs.
+  static Query RowIds(std::string table, std::string column, Value lo,
+                      Value hi) {
+    return Query{QueryKind::kRowIds, std::move(table), std::move(column), "",
+                 ValueRange{lo, hi}};
+  }
+
+  /// \brief `select min(column), max(column) from table where
+  /// lo <= column < hi`.
+  static Query MinMax(std::string table, std::string column, Value lo,
+                      Value hi) {
+    return Query{QueryKind::kMinMax, std::move(table), std::move(column), "",
+                 ValueRange{lo, hi}};
+  }
+
+  /// \brief Lifts a workload-generator `RangeQuery` into a descriptor.
+  static Query From(std::string table, std::string column,
+                    const RangeQuery& q) {
+    QueryKind kind = QueryKind::kCount;
+    switch (q.type) {
+      case QueryType::kCount:
+        kind = QueryKind::kCount;
+        break;
+      case QueryType::kSum:
+        kind = QueryKind::kSum;
+        break;
+      case QueryType::kMinMax:
+        kind = QueryKind::kMinMax;
+        break;
+    }
+    return Query{kind, std::move(table), std::move(column), "",
+                 ValueRange{q.lo, q.hi}};
+  }
+};
+
+/// \brief Result of one query — a tagged union of mergeable partials.
+///
+/// Exactly the fields selected by `kind` are meaningful: `count` for
+/// kCount (and, as a convenience, the number of materialized ids for
+/// kRowIds), `sum` for kSum/kSumOther, `row_ids` for kRowIds, and
+/// `min_value`/`max_value` (valid iff `has_minmax`) for kMinMax.
+///
+/// Results are designed to be computed per fragment and combined:
+/// `Merge` folds another fragment's partial into this one (counts and sums
+/// add, rowID lists concatenate, min/max combine), which is how
+/// `PartitionedIndex` assembles one answer from per-shard executions.
+/// RowID order after a merge is fragment order; callers needing a canonical
+/// order sort — no index promises one.
+struct QueryResult {
+  QueryKind kind = QueryKind::kCount;
+  uint64_t count = 0;
+  int64_t sum = 0;
+  std::vector<RowId> row_ids;
+  Value min_value = 0;        ///< kMinMax; valid iff has_minmax
+  Value max_value = 0;        ///< kMinMax; valid iff has_minmax
+  bool has_minmax = false;    ///< kMinMax matched at least one row
+
+  /// \brief Clears every partial and stamps the kind; indexes call this at
+  /// the top of Execute so stale fields never leak into a reused result.
+  void Reset(QueryKind k) {
+    kind = k;
+    count = 0;
+    sum = 0;
+    row_ids.clear();
+    min_value = 0;
+    max_value = 0;
+    has_minmax = false;
+  }
+
+  /// \brief Folds another partial of the same kind into this result.
+  void Merge(const QueryResult& other);
+
+  friend bool operator==(const QueryResult& a, const QueryResult& b) {
+    return a.kind == b.kind && a.count == b.count && a.sum == b.sum &&
+           a.row_ids == b.row_ids && a.has_minmax == b.has_minmax &&
+           (!a.has_minmax ||
+            (a.min_value == b.min_value && a.max_value == b.max_value));
+  }
+};
+
+/// \brief Running min/max fold shared by every kMinMax implementation:
+/// feed values (or whole [lo, hi] extremes of a sub-range), then store
+/// into a result. Keeps the "first value initializes, later values
+/// tighten" semantics in exactly one place.
+struct MinMaxAccumulator {
+  Value min = 0;
+  Value max = 0;
+  bool any = false;
+
+  void Feed(Value v) { Feed(v, v); }
+
+  /// \brief Folds in a sub-range already known to span [lo, hi].
+  void Feed(Value lo, Value hi) {
+    if (!any) {
+      min = lo;
+      max = hi;
+      any = true;
+    } else {
+      min = lo < min ? lo : min;
+      max = hi > max ? hi : max;
+    }
+  }
+
+  void Store(QueryResult* result) const {
+    result->has_minmax = any;
+    if (any) {
+      result->min_value = min;
+      result->max_value = max;
+    }
+  }
+};
+
+/// \brief Lifts a whole generated workload into descriptors against one
+/// table/column — the bridge between `WorkloadGenerator` and
+/// `Session::SubmitBatch`.
+std::vector<Query> ToQueries(const std::string& table,
+                             const std::string& column,
+                             const std::vector<RangeQuery>& queries);
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_QUERY_H_

@@ -1,42 +1,51 @@
 #include "core/scan_index.h"
 
+#include <algorithm>
+
 #include "cracking/span_kernels.h"
 #include "util/stopwatch.h"
 
 namespace adaptidx {
 
-Status ScanIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                             uint64_t* count) {
+Status ScanIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                              QueryResult* result) {
+  const ValueRange& range = query.range;
   ScopedTimer read_timer(&ctx->stats.read_ns);
-  *count = ScanCountSpan(column_->data(), 0, column_->size(), range.lo,
-                         range.hi, KernelTier::kAuto);
-  return Status::OK();
-}
-
-Status ScanIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                           int64_t* sum) {
-  ScopedTimer read_timer(&ctx->stats.read_ns);
-  *sum = ScanSumSpan(column_->data(), 0, column_->size(), range.lo, range.hi,
-                     KernelTier::kAuto);
-  return Status::OK();
-}
-
-Status ScanIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                              std::vector<RowId>* row_ids) {
-  ScopedTimer read_timer(&ctx->stats.read_ns);
-  row_ids->clear();
-  if (range.Empty()) return Status::OK();  // width below would wrap
   const Value* data = column_->data();
   const size_t n = column_->size();
-  const uint64_t width =
-      static_cast<uint64_t>(range.hi) - static_cast<uint64_t>(range.lo);
-  for (size_t i = 0; i < n; ++i) {
-    if ((static_cast<uint64_t>(data[i]) - static_cast<uint64_t>(range.lo)) <
-        width) {
-      row_ids->push_back(static_cast<RowId>(i));
+  switch (query.kind) {
+    case QueryKind::kCount:
+      result->count =
+          ScanCountSpan(data, 0, n, range.lo, range.hi, KernelTier::kAuto);
+      return Status::OK();
+    case QueryKind::kSum:
+      result->sum =
+          ScanSumSpan(data, 0, n, range.lo, range.hi, KernelTier::kAuto);
+      return Status::OK();
+    case QueryKind::kRowIds: {
+      if (range.Empty()) return Status::OK();  // width below would wrap
+      const uint64_t width =
+          static_cast<uint64_t>(range.hi) - static_cast<uint64_t>(range.lo);
+      for (size_t i = 0; i < n; ++i) {
+        if ((static_cast<uint64_t>(data[i]) -
+             static_cast<uint64_t>(range.lo)) < width) {
+          result->row_ids.push_back(static_cast<RowId>(i));
+        }
+      }
+      return Status::OK();
     }
+    case QueryKind::kMinMax: {
+      MinMaxAccumulator acc;
+      for (size_t i = 0; i < n; ++i) {
+        if (range.Contains(data[i])) acc.Feed(data[i]);
+      }
+      acc.Store(result);
+      return Status::OK();
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("scan holds no second column");
   }
-  return Status::OK();
+  return Status::InvalidArgument("unknown query kind");
 }
 
 }  // namespace adaptidx

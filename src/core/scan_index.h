@@ -2,7 +2,6 @@
 #define ADAPTIDX_CORE_SCAN_INDEX_H_
 
 #include <string>
-#include <vector>
 
 #include "core/adaptive_index.h"
 #include "storage/column.h"
@@ -21,12 +20,9 @@ class ScanIndex : public AdaptiveIndex {
 
   std::string Name() const override { return "scan"; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   const Column* column_;

@@ -33,37 +33,45 @@ size_t SortIndex::LowerBound(Value v) const {
       sorted_values_.begin());
 }
 
-Status SortIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                             uint64_t* count) {
+Status SortIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                              QueryResult* result) {
+  if (query.kind == QueryKind::kSumOther) {
+    // Rejected before EnsureBuilt: an unanswerable kind must not trigger
+    // the full sorted-copy build.
+    return Status::NotSupported("sort holds no second column");
+  }
   EnsureBuilt(ctx);
   ScopedTimer read_timer(&ctx->stats.read_ns);
-  const size_t lo = LowerBound(range.lo);
-  const size_t hi = LowerBound(range.hi);
-  *count = hi - lo;
-  return Status::OK();
-}
-
-Status SortIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                           int64_t* sum) {
-  EnsureBuilt(ctx);
-  ScopedTimer read_timer(&ctx->stats.read_ns);
-  const size_t lo = LowerBound(range.lo);
-  const size_t hi = LowerBound(range.hi);
-  int64_t s = 0;
-  for (size_t i = lo; i < hi; ++i) s += sorted_values_[i];
-  *sum = s;
-  return Status::OK();
-}
-
-Status SortIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                              std::vector<RowId>* row_ids) {
-  EnsureBuilt(ctx);
-  ScopedTimer read_timer(&ctx->stats.read_ns);
-  const size_t lo = LowerBound(range.lo);
-  const size_t hi = LowerBound(range.hi);
-  row_ids->assign(sorted_row_ids_.begin() + static_cast<long>(lo),
-                  sorted_row_ids_.begin() + static_cast<long>(hi));
-  return Status::OK();
+  const size_t lo = LowerBound(query.range.lo);
+  const size_t hi = LowerBound(query.range.hi);
+  switch (query.kind) {
+    case QueryKind::kCount:
+      result->count = hi - lo;
+      return Status::OK();
+    case QueryKind::kSum: {
+      int64_t s = 0;
+      for (size_t i = lo; i < hi; ++i) s += sorted_values_[i];
+      result->sum = s;
+      return Status::OK();
+    }
+    case QueryKind::kRowIds:
+      result->row_ids.assign(
+          sorted_row_ids_.begin() + static_cast<long>(lo),
+          sorted_row_ids_.begin() + static_cast<long>(hi));
+      return Status::OK();
+    case QueryKind::kMinMax:
+      if (lo < hi) {
+        // Binary search hands min/max over for free: the qualifying stretch
+        // of a sorted array starts at its minimum and ends at its maximum.
+        result->min_value = sorted_values_[lo];
+        result->max_value = sorted_values_[hi - 1];
+        result->has_minmax = true;
+      }
+      return Status::OK();
+    case QueryKind::kSumOther:
+      break;  // rejected above, before the build
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 }  // namespace adaptidx

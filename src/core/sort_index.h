@@ -27,14 +27,11 @@ class SortIndex : public AdaptiveIndex {
 
   std::string Name() const override { return "sort"; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   bool built() const { return built_.load(std::memory_order_acquire); }
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   /// Builds the sorted copy on first use; charges init time to `ctx`.

@@ -47,55 +47,83 @@ void UpdatableIndex::DiffCountSumLocked(const ValueRange& range,
   }
 }
 
-Status UpdatableIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                                  uint64_t* count) {
+Status UpdatableIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                   QueryResult* result) {
+  const ValueRange& range = query.range;
   std::shared_lock<std::shared_mutex> lk(mu_);
-  uint64_t base_count = 0;
-  Status s = index_->RangeCount(range, ctx, &base_count);
-  if (!s.ok()) return s;
-  uint64_t ins_c;
-  int64_t ins_s;
-  uint64_t del_c;
-  int64_t del_s;
-  DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
-  *count = base_count + ins_c - del_c;
-  return Status::OK();
-}
-
-Status UpdatableIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                                int64_t* sum) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  int64_t base_sum = 0;
-  Status s = index_->RangeSum(range, ctx, &base_sum);
-  if (!s.ok()) return s;
-  uint64_t ins_c;
-  int64_t ins_s;
-  uint64_t del_c;
-  int64_t del_s;
-  DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
-  *sum = base_sum + ins_s - del_s;
-  return Status::OK();
-}
-
-Status UpdatableIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                                   std::vector<RowId>* row_ids) {
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  Status s = index_->RangeRowIds(range, ctx, row_ids);
-  if (!s.ok()) return s;
-  if (!anti_matter_.empty()) {
-    // Filter out rows hidden by anti-matter; values come from the base
-    // column (row ids of base rows are positions).
-    auto hidden = [this](RowId id) {
-      return anti_matter_.count({(*base_)[id], id}) > 0;
-    };
-    row_ids->erase(std::remove_if(row_ids->begin(), row_ids->end(), hidden),
-                   row_ids->end());
+  switch (query.kind) {
+    case QueryKind::kCount:
+    case QueryKind::kSum: {
+      QueryResult base;
+      Status s = index_->Execute(query, ctx, &base);
+      if (!s.ok()) return s;
+      uint64_t ins_c;
+      int64_t ins_s;
+      uint64_t del_c;
+      int64_t del_s;
+      DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
+      if (query.kind == QueryKind::kCount) {
+        result->count = base.count + ins_c - del_c;
+      } else {
+        result->sum = base.sum + ins_s - del_s;
+      }
+      return Status::OK();
+    }
+    case QueryKind::kRowIds: {
+      QueryResult base;
+      Status s = index_->Execute(query, ctx, &base);
+      if (!s.ok()) return s;
+      result->row_ids = std::move(base.row_ids);
+      if (!anti_matter_.empty()) {
+        // Filter out rows hidden by anti-matter; values come from the base
+        // column (row ids of base rows are positions).
+        auto hidden = [this](RowId id) {
+          return anti_matter_.count({(*base_)[id], id}) > 0;
+        };
+        result->row_ids.erase(std::remove_if(result->row_ids.begin(),
+                                             result->row_ids.end(), hidden),
+                              result->row_ids.end());
+      }
+      for (auto it = inserts_.lower_bound(range.lo);
+           it != inserts_.end() && it->first < range.hi; ++it) {
+        result->row_ids.push_back(it->second);
+      }
+      return Status::OK();
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAccumulator acc;
+      auto am_it = anti_matter_.lower_bound({range.lo, 0});
+      const bool deletions_in_range =
+          am_it != anti_matter_.end() && am_it->first < range.hi;
+      if (!deletions_in_range) {
+        // The base answer cannot name a deleted extreme; combine it with
+        // the pending insertions directly.
+        QueryResult base;
+        Status s = index_->Execute(query, ctx, &base);
+        if (!s.ok()) return s;
+        if (base.has_minmax) acc.Feed(base.min_value, base.max_value);
+      } else {
+        // A deleted row may have been the extreme; re-derive from the base
+        // column skipping hidden rows. Deletions in the queried range are
+        // the rare case, so the O(n) pass stays off the common path.
+        for (size_t i = 0; i < base_->size(); ++i) {
+          const Value v = (*base_)[i];
+          if (!range.Contains(v)) continue;
+          if (anti_matter_.count({v, static_cast<RowId>(i)}) > 0) continue;
+          acc.Feed(v);
+        }
+      }
+      for (auto it = inserts_.lower_bound(range.lo);
+           it != inserts_.end() && it->first < range.hi; ++it) {
+        acc.Feed(it->first);
+      }
+      acc.Store(result);
+      return Status::OK();
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("updatable index holds no second column");
   }
-  for (auto it = inserts_.lower_bound(range.lo);
-       it != inserts_.end() && it->first < range.hi; ++it) {
-    row_ids->push_back(it->second);
-  }
-  return Status::OK();
+  return Status::InvalidArgument("unknown query kind");
 }
 
 Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {

@@ -50,13 +50,6 @@ class UpdatableIndex : public AdaptiveIndex {
 
   std::string Name() const override;
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   /// \brief Inserts a new tuple with value `v` as user transaction
   /// `ctx->txn_id`; a fresh row id is assigned and returned via `*row_id`
   /// (optional).
@@ -81,6 +74,10 @@ class UpdatableIndex : public AdaptiveIndex {
   AdaptiveIndex* base_index() { return index_.get(); }
 
   size_t NumPieces() const override { return index_->NumPieces(); }
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   /// Re-wires config/lock settings and builds the wrapped index. Requires

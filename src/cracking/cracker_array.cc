@@ -190,6 +190,36 @@ void CrackerArray::MinMax(Position begin, Position end, Value* lo,
   MinMaxSpan(values_.data(), begin, end, lo, hi);
 }
 
+bool CrackerArray::MinMaxFiltered(Position begin, Position end,
+                                  const ValueRange& range, Value* mn,
+                                  Value* mx) const {
+  bool any = false;
+  Value lo = 0;
+  Value hi = 0;
+  auto feed = [&](Value v) {
+    if (v < range.lo || v >= range.hi) return;
+    if (!any) {
+      lo = v;
+      hi = v;
+      any = true;
+    } else {
+      lo = v < lo ? v : lo;
+      hi = v > hi ? v : hi;
+    }
+  };
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    for (Position i = begin; i < end; ++i) feed(pairs_[i].value);
+  } else {
+    const Value* values = values_.data();
+    for (Position i = begin; i < end; ++i) feed(values[i]);
+  }
+  if (any) {
+    *mn = lo;
+    *mx = hi;
+  }
+  return any;
+}
+
 void CrackerArray::CollectRowIds(Position begin, Position end,
                                  std::vector<RowId>* out) const {
   out->reserve(out->size() + (end - begin));

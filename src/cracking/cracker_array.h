@@ -164,6 +164,13 @@ class CrackerArray {
   /// \brief Min and max value in [begin, end); requires begin < end.
   void MinMax(Position begin, Position end, Value* lo, Value* hi) const;
 
+  /// \brief Min and max of values in [range.lo, range.hi) within
+  /// [begin, end); returns false when no value qualifies (then `*mn`/`*mx`
+  /// are untouched). The filtered companion of MinMax, used by the kMinMax
+  /// query kind on boundary pieces that are not yet cracked on the bounds.
+  bool MinMaxFiltered(Position begin, Position end, const ValueRange& range,
+                      Value* mn, Value* mx) const;
+
   /// \brief Appends rowIDs of [begin, end) to `out` (positional fetch).
   void CollectRowIds(Position begin, Position end,
                      std::vector<RowId>* out) const;

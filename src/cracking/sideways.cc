@@ -127,31 +127,45 @@ void SidewaysIndex::CrackSelect(const ValueRange& range, QueryContext* ctx,
   latch_.WriteUnlock();
 }
 
-Status SidewaysIndex::RangeCount(const ValueRange& range, QueryContext* ctx,
-                                 uint64_t* count) {
-  *count = 0;
-  if (range.Empty()) return Status::OK();
+Status SidewaysIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                  QueryResult* result) {
+  const ValueRange& range = query.range;  // non-empty: Execute() guards
   EnsureInitialized(ctx);
   Position lo;
   Position hi;
   CrackSelect(range, ctx, &lo, &hi);
-  *count = hi - lo;  // crack positions are immutable facts
-  return Status::OK();
-}
-
-Status SidewaysIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                               int64_t* sum) {
-  *sum = 0;
-  if (range.Empty()) return Status::OK();
-  EnsureInitialized(ctx);
-  Position lo;
-  Position hi;
-  CrackSelect(range, ctx, &lo, &hi);
+  if (query.kind == QueryKind::kCount) {
+    result->count = hi - lo;  // crack positions are immutable facts
+    return Status::OK();
+  }
   LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
   latch_.ReadLock(lat);
   {
     ScopedTimer t(&ctx->stats.read_ns);
-    for (Position i = lo; i < hi; ++i) *sum += entries_[i].a;
+    switch (query.kind) {
+      case QueryKind::kSum:
+        for (Position i = lo; i < hi; ++i) result->sum += entries_[i].a;
+        break;
+      case QueryKind::kSumOther:
+        // The payoff: B is read sequentially from the map, no positional
+        // fetches into the base column.
+        for (Position i = lo; i < hi; ++i) result->sum += entries_[i].b;
+        break;
+      case QueryKind::kRowIds:
+        result->row_ids.reserve(hi - lo);
+        for (Position i = lo; i < hi; ++i) {
+          result->row_ids.push_back(entries_[i].row_id);
+        }
+        break;
+      case QueryKind::kMinMax: {
+        MinMaxAccumulator acc;
+        for (Position i = lo; i < hi; ++i) acc.Feed(entries_[i].a);
+        acc.Store(result);
+        break;
+      }
+      case QueryKind::kCount:
+        break;  // handled above
+    }
   }
   latch_.ReadUnlock();
   return Status::OK();
@@ -159,38 +173,10 @@ Status SidewaysIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
 
 Status SidewaysIndex::RangeSumOther(const ValueRange& range,
                                     QueryContext* ctx, int64_t* sum_b) {
-  *sum_b = 0;
-  if (range.Empty()) return Status::OK();
-  EnsureInitialized(ctx);
-  Position lo;
-  Position hi;
-  CrackSelect(range, ctx, &lo, &hi);
-  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
-  latch_.ReadLock(lat);
-  {
-    // The payoff: B is read sequentially from the map, no positional
-    // fetches into the base column.
-    ScopedTimer t(&ctx->stats.read_ns);
-    for (Position i = lo; i < hi; ++i) *sum_b += entries_[i].b;
-  }
-  latch_.ReadUnlock();
-  return Status::OK();
-}
-
-Status SidewaysIndex::RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                                  std::vector<RowId>* row_ids) {
-  row_ids->clear();
-  if (range.Empty()) return Status::OK();
-  EnsureInitialized(ctx);
-  Position lo;
-  Position hi;
-  CrackSelect(range, ctx, &lo, &hi);
-  LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
-  latch_.ReadLock(lat);
-  row_ids->reserve(hi - lo);
-  for (Position i = lo; i < hi; ++i) row_ids->push_back(entries_[i].row_id);
-  latch_.ReadUnlock();
-  return Status::OK();
+  QueryResult r;
+  Status s = Execute(Query::SumOther("", "", "", range.lo, range.hi), ctx, &r);
+  if (s.ok()) *sum_b = r.sum;
+  return s;
 }
 
 size_t SidewaysIndex::NumPieces() const {

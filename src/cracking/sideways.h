@@ -44,19 +44,10 @@ class SidewaysIndex : public AdaptiveIndex {
 
   std::string Name() const override { return name_; }
 
-  /// \brief count(*) where lo <= A < hi (positional between cracks).
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-
-  /// \brief sum(A) where lo <= A < hi.
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   /// \brief The cracker-map specialty: sum(B) where lo <= A < hi, read
-  /// contiguously from the map.
+  /// contiguously from the map. Unlike single-column methods, the map holds
+  /// its second column, so kSumOther executes natively through `Execute`;
+  /// this wrapper mirrors the base class's per-kind conveniences.
   Status RangeSumOther(const ValueRange& range, QueryContext* ctx,
                        int64_t* sum_b);
 
@@ -68,6 +59,10 @@ class SidewaysIndex : public AdaptiveIndex {
 
   /// \brief Structural invariants; requires a quiesced index.
   bool ValidateStructure() const;
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   /// Accessor over the map entries for the shared crack kernels; cracks

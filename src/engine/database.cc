@@ -44,10 +44,18 @@ std::shared_ptr<AdaptiveIndex> Database::GetOrCreateIndex(
   if (t == nullptr) return nullptr;
   const Column* col = t->GetColumn(column);
   if (col == nullptr) return nullptr;
+  // Partitioned indexes fan query fragments out on the database's shared
+  // pool (claim-based, so a pool-resident query fanning out to the same
+  // pool cannot deadlock); the pool pointer is an execution resource and
+  // deliberately not part of the catalog key.
+  IndexConfig effective = config;
+  if (effective.partitions > 1 && effective.pool == nullptr) {
+    effective.pool = pool();
+  }
   auto entry = catalog_.GetOrCreateIndexEntry(
-      IndexKey(table, column, config),
-      [col, &config]() -> std::shared_ptr<void> {
-        return std::shared_ptr<void>(MakeIndex(col, config).release(),
+      IndexKey(table, column, effective),
+      [col, &effective]() -> std::shared_ptr<void> {
+        return std::shared_ptr<void>(MakeIndex(col, effective).release(),
                                      [](void* p) {
                                        delete static_cast<AdaptiveIndex*>(p);
                                      });
@@ -59,38 +67,6 @@ std::shared_ptr<AdaptiveIndex> Database::GetOrCreateIndex(
 bool Database::DropIndex(const std::string& table, const std::string& column,
                          const IndexConfig& config) {
   return catalog_.DropIndexEntry(IndexKey(table, column, config));
-}
-
-// The legacy one-shot statements are shims over a single-query session:
-// open, pin the config, execute synchronously, close.
-
-Status Database::Count(const std::string& table, const std::string& column,
-                       Value lo, Value hi, const IndexConfig& config,
-                       uint64_t* out, QueryStats* stats) {
-  SessionOptions sopts;
-  sopts.config = config;
-  return OpenSession(std::move(sopts))->Count(table, column, lo, hi, out,
-                                              stats);
-}
-
-Status Database::Sum(const std::string& table, const std::string& column,
-                     Value lo, Value hi, const IndexConfig& config,
-                     int64_t* out, QueryStats* stats) {
-  SessionOptions sopts;
-  sopts.config = config;
-  return OpenSession(std::move(sopts))->Sum(table, column, lo, hi, out,
-                                            stats);
-}
-
-Status Database::SumOther(const std::string& table,
-                          const std::string& sel_column,
-                          const std::string& agg_column, Value lo, Value hi,
-                          const IndexConfig& config, int64_t* out,
-                          QueryStats* stats) {
-  SessionOptions sopts;
-  sopts.config = config;
-  return OpenSession(std::move(sopts))
-      ->SumOther(table, sel_column, agg_column, lo, hi, out, stats);
 }
 
 }  // namespace adaptidx

@@ -24,8 +24,9 @@ namespace adaptidx {
 /// owns client/transaction identity, pins an access-method configuration,
 /// and submits `Query` descriptors asynchronously (`Submit`/`SubmitBatch`,
 /// executed on the database's shared thread pool) or synchronously via
-/// typed wrappers. The legacy one-shot `Count`/`Sum`/`SumOther` methods are
-/// deprecated shims over a single-query session.
+/// typed wrappers. (The pre-session one-shot `Count`/`Sum`/`SumOther`
+/// shims are gone; the build enforces `-Werror=deprecated-declarations` so
+/// retired APIs cannot linger at call sites.)
 ///
 /// Index life cycle follows Section 5.3: query execution latches the catalog
 /// (the global structure) only to locate or register the index for a column,
@@ -63,30 +64,6 @@ class Database {
   /// time" (Section 4.2).
   bool DropIndex(const std::string& table, const std::string& column,
                  const IndexConfig& config);
-
-  /// \brief `select count(*) from table where lo <= column < hi`.
-  /// \deprecated One-shot shim over a single-query session; open a Session
-  /// and use `Session::Count` (or `Submit(Query::Count(...))`).
-  [[deprecated("open a Session and use Session::Count / Submit")]]
-  Status Count(const std::string& table, const std::string& column, Value lo,
-               Value hi, const IndexConfig& config, uint64_t* out,
-               QueryStats* stats = nullptr);
-
-  /// \brief `select sum(column) from table where lo <= column < hi`.
-  /// \deprecated See `Count`; use `Session::Sum`.
-  [[deprecated("open a Session and use Session::Sum / Submit")]]
-  Status Sum(const std::string& table, const std::string& column, Value lo,
-             Value hi, const IndexConfig& config, int64_t* out,
-             QueryStats* stats = nullptr);
-
-  /// \brief `select sum(agg_column) from table where lo <= sel_column < hi`
-  /// — the two-column plan of Figure 6.
-  /// \deprecated See `Count`; use `Session::SumOther`.
-  [[deprecated("open a Session and use Session::SumOther / Submit")]]
-  Status SumOther(const std::string& table, const std::string& sel_column,
-                  const std::string& agg_column, Value lo, Value hi,
-                  const IndexConfig& config, int64_t* out,
-                  QueryStats* stats = nullptr);
 
   Catalog* catalog() { return &catalog_; }
   LockManager* lock_manager() { return &lock_manager_; }

@@ -1,32 +1,48 @@
 #include "engine/operators.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace adaptidx {
 
 Status ExecuteQuery(AdaptiveIndex* index, const RangeQuery& query,
                     QueryContext* ctx, QueryResult* result) {
-  result->type = query.type;
-  const ValueRange range{query.lo, query.hi};
-  if (query.type == QueryType::kCount) {
-    return index->RangeCount(range, ctx, &result->count);
+  return index->Execute(Query::From("", "", query), ctx, result);
+}
+
+QueryResult OracleExecute(const Column& column, const Query& query,
+                          const Column* agg) {
+  QueryResult r;
+  r.Reset(query.kind);
+  MinMaxAccumulator acc;
+  for (size_t i = 0; i < column.size(); ++i) {
+    const Value v = column[i];
+    if (!query.range.Contains(v)) continue;
+    switch (query.kind) {
+      case QueryKind::kCount:
+        ++r.count;
+        break;
+      case QueryKind::kSum:
+        r.sum += v;
+        break;
+      case QueryKind::kSumOther:
+        r.sum += (*agg)[i];
+        break;
+      case QueryKind::kRowIds:
+        r.row_ids.push_back(static_cast<RowId>(i));
+        ++r.count;
+        break;
+      case QueryKind::kMinMax:
+        acc.Feed(v);
+        break;
+    }
   }
-  return index->RangeSum(range, ctx, &result->sum);
+  if (query.kind == QueryKind::kMinMax) acc.Store(&r);
+  return r;
 }
 
 QueryResult OracleExecute(const Column& column, const RangeQuery& query) {
-  QueryResult r;
-  r.type = query.type;
-  for (size_t i = 0; i < column.size(); ++i) {
-    const Value v = column[i];
-    if (v >= query.lo && v < query.hi) {
-      ++r.count;
-      r.sum += v;
-    }
-  }
-  if (query.type == QueryType::kCount) r.sum = 0;
-  if (query.type == QueryType::kSum) r.count = 0;
-  return r;
+  return OracleExecute(column, Query::From("", "", query));
 }
 
 Status FetchSum(AdaptiveIndex* a_index, const Column& b_column,

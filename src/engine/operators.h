@@ -5,32 +5,25 @@
 #include <vector>
 
 #include "core/adaptive_index.h"
+#include "core/query.h"
 #include "storage/column.h"
 #include "workload/workload.h"
 
 namespace adaptidx {
 
-/// \brief Result of one query: `count`/`sum` for the aggregate kinds,
-/// `row_ids` for QueryKind::kRowIds submissions (empty otherwise).
-struct QueryResult {
-  QueryType type = QueryType::kCount;
-  uint64_t count = 0;
-  int64_t sum = 0;
-  std::vector<RowId> row_ids;
-
-  friend bool operator==(const QueryResult& a, const QueryResult& b) {
-    return a.type == b.type && a.count == b.count && a.sum == b.sum &&
-           a.row_ids == b.row_ids;
-  }
-};
-
-/// \brief Bulk select-(project)-aggregate execution of one query over an
-/// index (Figure 6's operator-at-a-time plan collapsed into the index's
-/// count/sum entry points).
+/// \brief Bulk select-(project)-aggregate execution of one workload query
+/// over an index — a thin lift of `RangeQuery` onto the index's unified
+/// `Execute` entry point (the per-kind dispatch lives inside the index).
 Status ExecuteQuery(AdaptiveIndex* index, const RangeQuery& query,
                     QueryContext* ctx, QueryResult* result);
 
-/// \brief Index-free oracle used to verify results in tests and examples.
+/// \brief Index-free oracle over the base column for any query kind
+/// (kSumOther aggregates `agg` — pass the second column; null otherwise);
+/// used to verify results in tests and examples.
+QueryResult OracleExecute(const Column& column, const Query& query,
+                          const Column* agg = nullptr);
+
+/// \brief Workload-query oracle (count/sum/minmax template).
 QueryResult OracleExecute(const Column& column, const RangeQuery& query);
 
 /// \brief The two-column plan of Figure 6: `select sum(B) from R where

@@ -1,88 +1,9 @@
 #ifndef ADAPTIDX_ENGINE_QUERY_H_
 #define ADAPTIDX_ENGINE_QUERY_H_
 
-#include <string>
-#include <vector>
-
-#include "storage/types.h"
-#include "workload/workload.h"
-
-namespace adaptidx {
-
-/// \brief The statement kinds of the unified query descriptor. kCount/kSum
-/// are the paper's Q1/Q2 templates; kSumOther is the two-column plan of
-/// Figure 6 (select on one column, positional aggregation of another);
-/// kRowIds materializes the qualifying positions themselves.
-enum class QueryKind {
-  kCount,
-  kSum,
-  kSumOther,
-  kRowIds,
-};
-
-std::string ToString(QueryKind kind);
-
-/// \brief Unified query descriptor submitted through a `Session`.
-///
-/// Every statement of the public API is one of these: a kind, the target
-/// table/column, the half-open predicate range [lo, hi), and — for
-/// kSumOther — the column being aggregated. Descriptors are plain values;
-/// building one performs no catalog access and cannot fail (resolution
-/// errors surface on the ticket when the query executes).
-struct Query {
-  QueryKind kind = QueryKind::kCount;
-  std::string table;       ///< target table (ignored by direct-index sessions)
-  std::string column;      ///< selection column (the indexed attribute)
-  std::string agg_column;  ///< aggregated column, kSumOther only
-  ValueRange range{0, 0};  ///< predicate: column in [lo, hi)
-
-  // ---- convenience builders -------------------------------------------
-
-  /// \brief `select count(*) from table where lo <= column < hi`.
-  static Query Count(std::string table, std::string column, Value lo,
-                     Value hi) {
-    return Query{QueryKind::kCount, std::move(table), std::move(column), "",
-                 ValueRange{lo, hi}};
-  }
-
-  /// \brief `select sum(column) from table where lo <= column < hi`.
-  static Query Sum(std::string table, std::string column, Value lo, Value hi) {
-    return Query{QueryKind::kSum, std::move(table), std::move(column), "",
-                 ValueRange{lo, hi}};
-  }
-
-  /// \brief `select sum(agg_column) from table where lo <= column < hi`.
-  static Query SumOther(std::string table, std::string column,
-                        std::string agg_column, Value lo, Value hi) {
-    return Query{QueryKind::kSumOther, std::move(table), std::move(column),
-                 std::move(agg_column), ValueRange{lo, hi}};
-  }
-
-  /// \brief Materializes the qualifying rowIDs.
-  static Query RowIds(std::string table, std::string column, Value lo,
-                      Value hi) {
-    return Query{QueryKind::kRowIds, std::move(table), std::move(column), "",
-                 ValueRange{lo, hi}};
-  }
-
-  /// \brief Lifts a workload-generator `RangeQuery` into a descriptor
-  /// (kCount/kSum depending on the query's type).
-  static Query From(std::string table, std::string column,
-                    const RangeQuery& q) {
-    return Query{q.type == QueryType::kCount ? QueryKind::kCount
-                                             : QueryKind::kSum,
-                 std::move(table), std::move(column), "",
-                 ValueRange{q.lo, q.hi}};
-  }
-};
-
-/// \brief Lifts a whole generated workload into descriptors against one
-/// table/column — the bridge between `WorkloadGenerator` and
-/// `Session::SubmitBatch`.
-std::vector<Query> ToQueries(const std::string& table,
-                             const std::string& column,
-                             const std::vector<RangeQuery>& queries);
-
-}  // namespace adaptidx
+// The unified query descriptor moved into the core layer so the access
+// method interface itself (`AdaptiveIndex::Execute`) is expressed in terms
+// of it; this forwarding header keeps engine-level includes working.
+#include "core/query.h"
 
 #endif  // ADAPTIDX_ENGINE_QUERY_H_

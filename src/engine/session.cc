@@ -122,13 +122,12 @@ size_t Session::in_flight() const {
 Status Session::ExecuteWithContext(const Query& query, QueryContext* ctx,
                                    QueryResult* result) {
   // kSumOther validates its second column before any index is resolved, so
-  // a mistyped statement cannot register (and leak) a catalog entry.
+  // a mistyped statement cannot register (and leak) a catalog entry. On
+  // direct-index sessions there is no catalog; the descriptor goes straight
+  // to the bound index, which answers natively when it holds the second
+  // column (sideways cracker maps) and NotSupported otherwise.
   const Column* agg = nullptr;
-  if (query.kind == QueryKind::kSumOther) {
-    if (db_ == nullptr) {
-      return Status::NotSupported(
-          "kSumOther requires a database session (second column lookup)");
-    }
+  if (query.kind == QueryKind::kSumOther && db_ != nullptr) {
     Table* t = db_->GetTable(query.table);
     if (t == nullptr) {
       return Status::NotFound("no such table: " + query.table);
@@ -163,26 +162,17 @@ Status Session::ExecuteWithContext(const Query& query, QueryContext* ctx,
     }
     index = pinned.get();
   }
-  Status s;
-  switch (query.kind) {
-    case QueryKind::kCount:
-      result->type = QueryType::kCount;
-      return index->RangeCount(query.range, ctx, &result->count);
-    case QueryKind::kSum:
-      result->type = QueryType::kSum;
-      return index->RangeSum(query.range, ctx, &result->sum);
-    case QueryKind::kRowIds:
-      result->type = QueryType::kCount;
-      s = index->RangeRowIds(query.range, ctx, &result->row_ids);
-      result->count = result->row_ids.size();
-      return s;
-    case QueryKind::kSumOther: {
-      result->type = QueryType::kSum;
-      RangeQuery rq{query.range.lo, query.range.hi, QueryType::kSum};
-      return FetchSum(index, *agg, rq, ctx, &result->sum);
-    }
+  // The unified entry point: every single-column kind is one virtual call
+  // into the index. The two-column plan (kSumOther) is the sole exception —
+  // it composes the index's rowID fragment with a positional fetch of the
+  // second column, operator-at-a-time style, unless the index answers it
+  // natively (a sideways cracker map would).
+  if (query.kind == QueryKind::kSumOther && agg != nullptr) {
+    result->Reset(query.kind);
+    RangeQuery rq{query.range.lo, query.range.hi, QueryType::kSum};
+    return FetchSum(index, *agg, rq, ctx, &result->sum);
   }
-  return Status::InvalidArgument("unknown query kind");
+  return index->Execute(query, ctx, result);
 }
 
 QueryTicket Session::Submit(Query query) {
@@ -280,6 +270,20 @@ Status Session::RowIds(const std::string& table, const std::string& column,
   QueryResult result;
   Status s = Execute(Query::RowIds(table, column, lo, hi), &result, stats);
   if (s.ok()) *out = std::move(result.row_ids);
+  return s;
+}
+
+Status Session::MinMax(const std::string& table, const std::string& column,
+                       Value lo, Value hi, Value* min, Value* max,
+                       bool* found, QueryStats* stats) {
+  QueryResult result;
+  Status s = Execute(Query::MinMax(table, column, lo, hi), &result, stats);
+  if (!s.ok()) return s;
+  *found = result.has_minmax;
+  if (result.has_minmax) {
+    *min = result.min_value;
+    *max = result.max_value;
+  }
   return s;
 }
 

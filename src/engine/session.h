@@ -109,9 +109,10 @@ class Session {
 
   /// \brief Opens a session directly over one index, bypassing catalog
   /// resolution — the driver's and benchmarks' path. Table/column names in
-  /// descriptors are ignored; kSumOther is not supported (no second column).
-  /// `pool` may be null for synchronous-only use — async submissions then
-  /// fail their tickets with InvalidArgument.
+  /// descriptors are ignored; kSumOther reaches the bound index directly
+  /// (answered natively by indexes holding a second column, NotSupported
+  /// otherwise). `pool` may be null for synchronous-only use — async
+  /// submissions then fail their tickets with InvalidArgument.
   static std::unique_ptr<Session> OnIndex(AdaptiveIndex* index,
                                           ThreadPool* pool,
                                           SessionOptions opts = {});
@@ -153,6 +154,13 @@ class Session {
   /// \brief Materializes qualifying rowIDs.
   Status RowIds(const std::string& table, const std::string& column, Value lo,
                 Value hi, std::vector<RowId>* out,
+                QueryStats* stats = nullptr);
+
+  /// \brief `select min(column), max(column) from table where
+  /// lo <= column < hi`. `*found` reports whether any row qualified;
+  /// `*min`/`*max` are written only when it did.
+  Status MinMax(const std::string& table, const std::string& column, Value lo,
+                Value hi, Value* min, Value* max, bool* found,
                 QueryStats* stats = nullptr);
 
   // ---- updates as session operations ----------------------------------

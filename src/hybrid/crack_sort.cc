@@ -30,6 +30,15 @@ struct RowIdAgg {
   }
 };
 
+struct MinMaxAgg {
+  MinMaxAccumulator acc;
+  void Covered(const SegmentStore::CoveredPart& p) {
+    Value lo;
+    Value hi;
+    if (SegmentStore::MinMaxIn(p, &lo, &hi)) acc.Feed(lo, hi);
+  }
+};
+
 }  // namespace
 
 HybridCrackSortIndex::HybridCrackSortIndex(const Column* column,
@@ -144,8 +153,8 @@ void HybridCrackSortIndex::MergeGapLocked(Value lo, Value hi,
 }
 
 template <typename Agg>
-Status HybridCrackSortIndex::Execute(const ValueRange& range,
-                                     QueryContext* ctx, Agg* agg) {
+Status HybridCrackSortIndex::ExecuteRange(const ValueRange& range,
+                                          QueryContext* ctx, Agg* agg) {
   if (range.Empty()) return Status::OK();
   EnsureInitialized(ctx);
   const Value lo = std::max(range.lo, domain_lo_);
@@ -191,28 +200,35 @@ Status HybridCrackSortIndex::Execute(const ValueRange& range,
   return Status::OK();
 }
 
-Status HybridCrackSortIndex::RangeCount(const ValueRange& range,
-                                        QueryContext* ctx, uint64_t* count) {
-  CountAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *count = agg.result;
-  return s;
-}
-
-Status HybridCrackSortIndex::RangeSum(const ValueRange& range,
-                                      QueryContext* ctx, int64_t* sum) {
-  SumAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *sum = agg.result;
-  return s;
-}
-
-Status HybridCrackSortIndex::RangeRowIds(const ValueRange& range,
-                                         QueryContext* ctx,
-                                         std::vector<RowId>* row_ids) {
-  row_ids->clear();
-  RowIdAgg agg{row_ids};
-  return Execute(range, ctx, &agg);
+Status HybridCrackSortIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                         QueryResult* result) {
+  switch (query.kind) {
+    case QueryKind::kCount: {
+      CountAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->count = agg.result;
+      return s;
+    }
+    case QueryKind::kSum: {
+      SumAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->sum = agg.result;
+      return s;
+    }
+    case QueryKind::kRowIds: {
+      RowIdAgg agg{&result->row_ids};
+      return ExecuteRange(query.range, ctx, &agg);
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      agg.acc.Store(result);
+      return s;
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("hybrid holds no second column");
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 size_t HybridCrackSortIndex::NumPieces() const {

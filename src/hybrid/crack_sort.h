@@ -42,13 +42,6 @@ class HybridCrackSortIndex : public AdaptiveIndex {
 
   std::string Name() const override { return opts_.name; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   /// \brief Initial partitions + final segments.
   size_t NumPieces() const override;
 
@@ -63,6 +56,10 @@ class HybridCrackSortIndex : public AdaptiveIndex {
 
   /// \brief Structural invariants; requires a quiesced index.
   bool ValidateStructure() const;
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   /// An unsorted initial partition with a local table of contents of the
@@ -89,7 +86,7 @@ class HybridCrackSortIndex : public AdaptiveIndex {
   void MergeGapLocked(Value lo, Value hi, QueryContext* ctx);
 
   template <typename Agg>
-  Status Execute(const ValueRange& range, QueryContext* ctx, Agg* agg);
+  Status ExecuteRange(const ValueRange& range, QueryContext* ctx, Agg* agg);
 
   const Column* column_;
   const HybridOptions opts_;

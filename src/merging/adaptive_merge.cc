@@ -40,6 +40,19 @@ struct RowIdAgg {
   }
 };
 
+struct MinMaxAgg {
+  MinMaxAccumulator acc;
+  void Covered(const SegmentStore::CoveredPart& p) {
+    Value lo;
+    Value hi;
+    if (SegmentStore::MinMaxIn(p, &lo, &hi)) acc.Feed(lo, hi);
+  }
+  void RunPart(const std::vector<CrackerEntry>& entries, size_t b, size_t e) {
+    // Runs are sorted by value, so the range extremes sit at the ends.
+    acc.Feed(entries[b].value, entries[e - 1].value);
+  }
+};
+
 }  // namespace
 
 AdaptiveMergeIndex::AdaptiveMergeIndex(const Column* column, MergeOptions opts)
@@ -183,8 +196,8 @@ void AdaptiveMergeIndex::MergeGapMvcc(const ValueRange& gap,
 }
 
 template <typename Agg>
-Status AdaptiveMergeIndex::Execute(const ValueRange& range, QueryContext* ctx,
-                                   Agg* agg) {
+Status AdaptiveMergeIndex::ExecuteRange(const ValueRange& range,
+                                        QueryContext* ctx, Agg* agg) {
   if (range.Empty()) return Status::OK();
   EnsureInitialized(ctx);
   const Value lo = std::max(range.lo, domain_lo_);
@@ -272,28 +285,35 @@ Status AdaptiveMergeIndex::Execute(const ValueRange& range, QueryContext* ctx,
   return Status::OK();
 }
 
-Status AdaptiveMergeIndex::RangeCount(const ValueRange& range,
-                                      QueryContext* ctx, uint64_t* count) {
-  CountAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *count = agg.result;
-  return s;
-}
-
-Status AdaptiveMergeIndex::RangeSum(const ValueRange& range, QueryContext* ctx,
-                                    int64_t* sum) {
-  SumAgg agg;
-  Status s = Execute(range, ctx, &agg);
-  *sum = agg.result;
-  return s;
-}
-
-Status AdaptiveMergeIndex::RangeRowIds(const ValueRange& range,
-                                       QueryContext* ctx,
-                                       std::vector<RowId>* row_ids) {
-  row_ids->clear();
-  RowIdAgg agg{row_ids};
-  return Execute(range, ctx, &agg);
+Status AdaptiveMergeIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
+                                       QueryResult* result) {
+  switch (query.kind) {
+    case QueryKind::kCount: {
+      CountAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->count = agg.result;
+      return s;
+    }
+    case QueryKind::kSum: {
+      SumAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      result->sum = agg.result;
+      return s;
+    }
+    case QueryKind::kRowIds: {
+      RowIdAgg agg{&result->row_ids};
+      return ExecuteRange(query.range, ctx, &agg);
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAgg agg;
+      Status s = ExecuteRange(query.range, ctx, &agg);
+      agg.acc.Store(result);
+      return s;
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("merge holds no second column");
+  }
+  return Status::InvalidArgument("unknown query kind");
 }
 
 size_t AdaptiveMergeIndex::NumPieces() const {

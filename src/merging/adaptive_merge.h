@@ -68,13 +68,6 @@ class AdaptiveMergeIndex : public AdaptiveIndex {
 
   std::string Name() const override { return opts_.name; }
 
-  Status RangeCount(const ValueRange& range, QueryContext* ctx,
-                    uint64_t* count) override;
-  Status RangeSum(const ValueRange& range, QueryContext* ctx,
-                  int64_t* sum) override;
-  Status RangeRowIds(const ValueRange& range, QueryContext* ctx,
-                     std::vector<RowId>* row_ids) override;
-
   /// \brief Runs + final segments.
   size_t NumPieces() const override;
 
@@ -91,6 +84,10 @@ class AdaptiveMergeIndex : public AdaptiveIndex {
   /// \brief Structural invariants (sorted runs, valid segment store);
   /// requires a quiesced index.
   bool ValidateStructure() const;
+
+ protected:
+  Status ExecuteImpl(const Query& query, QueryContext* ctx,
+                     QueryResult* result) override;
 
  private:
   struct Run {
@@ -121,7 +118,7 @@ class AdaptiveMergeIndex : public AdaptiveIndex {
 
   /// Shared driver; `Agg` consumes covered parts and (read-only) run ranges.
   template <typename Agg>
-  Status Execute(const ValueRange& range, QueryContext* ctx, Agg* agg);
+  Status ExecuteRange(const ValueRange& range, QueryContext* ctx, Agg* agg);
 
   const Column* column_;
   const MergeOptions opts_;

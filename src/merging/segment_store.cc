@@ -92,6 +92,15 @@ int64_t SegmentStore::SumIn(const CoveredPart& part) {
   return PositionalSumEntries(part.segment->entries.data(), b, e);
 }
 
+bool SegmentStore::MinMaxIn(const CoveredPart& part, Value* mn, Value* mx) {
+  const size_t b = LowerBound(*part.segment, part.lo);
+  const size_t e = LowerBound(*part.segment, part.hi);
+  if (b >= e) return false;
+  *mn = part.segment->entries[b].value;
+  *mx = part.segment->entries[e - 1].value;
+  return true;
+}
+
 void SegmentStore::CollectRowIds(const CoveredPart& part,
                                  std::vector<RowId>* out) {
   const size_t b = LowerBound(*part.segment, part.lo);

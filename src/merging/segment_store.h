@@ -60,6 +60,11 @@ class SegmentStore {
   /// \brief Appends rowIDs of entries with value in [part.lo, part.hi).
   static void CollectRowIds(const CoveredPart& part, std::vector<RowId>* out);
 
+  /// \brief Min and max entry value in [part.lo, part.hi); false when the
+  /// part holds no entry. O(log n): segment entries are sorted, so the
+  /// extremes sit at the ends of the qualifying stretch.
+  static bool MinMaxIn(const CoveredPart& part, Value* mn, Value* mx);
+
   size_t num_segments() const { return segments_.size(); }
   size_t num_entries() const;
 

@@ -7,7 +7,15 @@
 namespace adaptidx {
 
 std::string ToString(QueryType type) {
-  return type == QueryType::kCount ? "count" : "sum";
+  switch (type) {
+    case QueryType::kCount:
+      return "count";
+    case QueryType::kSum:
+      return "sum";
+    case QueryType::kMinMax:
+      return "min-max";
+  }
+  return "unknown";
 }
 
 std::string ToString(QueryDistribution dist) {

@@ -10,10 +10,12 @@
 
 namespace adaptidx {
 
-/// \brief The paper's two query templates (Section 6):
-///   Q1: select count(*) from R where v1 < A < v2
-///   Q2: select sum(A)   from R where v1 < A < v2
-enum class QueryType { kCount, kSum };
+/// \brief The paper's two query templates (Section 6) plus a min/max
+/// variant exercising the unified execution path:
+///   Q1: select count(*)        from R where v1 < A < v2
+///   Q2: select sum(A)          from R where v1 < A < v2
+///   Q3: select min(A), max(A)  from R where v1 < A < v2
+enum class QueryType { kCount, kSum, kMinMax };
 
 std::string ToString(QueryType type);
 

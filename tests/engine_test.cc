@@ -113,6 +113,7 @@ TEST(WorkloadTest, TypePropagates) {
 TEST(WorkloadTest, ToStringNames) {
   EXPECT_EQ(ToString(QueryType::kCount), "count");
   EXPECT_EQ(ToString(QueryType::kSum), "sum");
+  EXPECT_EQ(ToString(QueryType::kMinMax), "min-max");
   EXPECT_EQ(ToString(QueryDistribution::kUniform), "uniform");
   EXPECT_EQ(ToString(QueryDistribution::kSkewed), "skewed");
   EXPECT_EQ(ToString(QueryDistribution::kSequential), "sequential");
@@ -135,6 +136,83 @@ TEST(OperatorsTest, ExecuteQueryDispatchesOnType) {
                            &ctx, &result)
                   .ok());
   EXPECT_EQ(result.sum, 145);
+  ASSERT_TRUE(ExecuteQuery(index.get(), RangeQuery{10, 20, QueryType::kMinMax},
+                           &ctx, &result)
+                  .ok());
+  EXPECT_TRUE(result.has_minmax);
+  EXPECT_EQ(result.min_value, 10);
+  EXPECT_EQ(result.max_value, 19);
+}
+
+TEST(OperatorsTest, MinMaxAcrossAllMethods) {
+  // kMinMax is answered by every access method through the unified Execute
+  // path; each must agree with the oracle, including on empty ranges.
+  Column col = Column::UniqueRandom("A", 4000, 77);
+  const IndexMethod methods[] = {
+      IndexMethod::kScan,   IndexMethod::kSort,
+      IndexMethod::kCrack,  IndexMethod::kAdaptiveMerge,
+      IndexMethod::kHybrid, IndexMethod::kBTreeMerge,
+  };
+  for (IndexMethod m : methods) {
+    IndexConfig config;
+    config.method = m;
+    config.merge.run_size = 1u << 9;
+    config.btree.run_size = 1u << 9;
+    auto index = MakeIndex(&col, config);
+    QueryContext ctx;
+    QueryResult result;
+    const Query q = Query::MinMax("", "", 500, 1500);
+    ASSERT_TRUE(index->Execute(q, &ctx, &result).ok()) << ToString(m);
+    const QueryResult want = OracleExecute(col, q);
+    ASSERT_TRUE(result.has_minmax) << ToString(m);
+    EXPECT_EQ(result.min_value, want.min_value) << ToString(m);
+    EXPECT_EQ(result.max_value, want.max_value) << ToString(m);
+    // Non-empty range matching no rows (domain is [0, 4000)).
+    QueryResult empty;
+    ASSERT_TRUE(
+        index->Execute(Query::MinMax("", "", 5000, 6000), &ctx, &empty).ok())
+        << ToString(m);
+    EXPECT_FALSE(empty.has_minmax) << ToString(m);
+  }
+}
+
+TEST(OperatorsTest, QueryResultMergeCombinesPartials) {
+  QueryResult a;
+  a.Reset(QueryKind::kMinMax);
+  a.count = 3;
+  a.sum = 10;
+  a.row_ids = {1, 2};
+  a.min_value = 5;
+  a.max_value = 9;
+  a.has_minmax = true;
+  QueryResult b;
+  b.Reset(QueryKind::kMinMax);
+  b.count = 2;
+  b.sum = 7;
+  b.row_ids = {7};
+  b.min_value = 2;
+  b.max_value = 6;
+  b.has_minmax = true;
+  a.Merge(b);
+  EXPECT_EQ(a.count, 5u);
+  EXPECT_EQ(a.sum, 17);
+  EXPECT_EQ(a.row_ids, (std::vector<RowId>{1, 2, 7}));
+  EXPECT_EQ(a.min_value, 2);
+  EXPECT_EQ(a.max_value, 9);
+  // Merging an empty partial changes nothing.
+  QueryResult none;
+  none.Reset(QueryKind::kMinMax);
+  a.Merge(none);
+  EXPECT_EQ(a.min_value, 2);
+  EXPECT_EQ(a.max_value, 9);
+  EXPECT_TRUE(a.has_minmax);
+  // An empty result adopts the first non-empty partial's extremes.
+  QueryResult fresh;
+  fresh.Reset(QueryKind::kMinMax);
+  fresh.Merge(b);
+  EXPECT_TRUE(fresh.has_minmax);
+  EXPECT_EQ(fresh.min_value, 2);
+  EXPECT_EQ(fresh.max_value, 6);
 }
 
 TEST(OperatorsTest, OracleExecuteMatchesByHand) {
@@ -337,11 +415,18 @@ TEST(IndexFactoryTest, MethodNames) {
 
 // ------------------------------------------------------------- Database
 //
-// These tests deliberately exercise the deprecated one-shot shims
-// (the acceptance contract is that legacy call sites keep passing);
-// session_test.cc covers the replacement Session API.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// All statements flow through sessions; a fresh single-query session per
+// statement reproduces the old one-shot behavior where tests relied on it.
+
+namespace {
+
+std::unique_ptr<Session> OneShot(Database* db, const IndexConfig& config) {
+  SessionOptions sopts;
+  sopts.config = config;
+  return db->OpenSession(std::move(sopts));
+}
+
+}  // namespace
 
 TEST(DatabaseTest, CreateTableAndQuery) {
   Database db;
@@ -350,10 +435,10 @@ TEST(DatabaseTest, CreateTableAndQuery) {
   ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
   IndexConfig config;
   uint64_t count = 0;
-  ASSERT_TRUE(db.Count("R", "A", 100, 300, config, &count).ok());
+  ASSERT_TRUE(OneShot(&db, config)->Count("R", "A", 100, 300, &count).ok());
   EXPECT_EQ(count, 200u);
   int64_t sum = 0;
-  ASSERT_TRUE(db.Sum("R", "A", 100, 300, config, &sum).ok());
+  ASSERT_TRUE(OneShot(&db, config)->Sum("R", "A", 100, 300, &sum).ok());
   EXPECT_EQ(sum, (100 + 299) * 200 / 2);
 }
 
@@ -361,11 +446,13 @@ TEST(DatabaseTest, MissingTableOrColumn) {
   Database db;
   IndexConfig config;
   uint64_t count;
-  EXPECT_TRUE(db.Count("nope", "A", 0, 1, config, &count).IsNotFound());
+  EXPECT_TRUE(
+      OneShot(&db, config)->Count("nope", "A", 0, 1, &count).IsNotFound());
   std::vector<Column> cols;
   cols.push_back(Column("A", {1, 2, 3}));
   ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
-  EXPECT_TRUE(db.Count("R", "B", 0, 1, config, &count).IsNotFound());
+  EXPECT_TRUE(
+      OneShot(&db, config)->Count("R", "B", 0, 1, &count).IsNotFound());
 }
 
 TEST(DatabaseTest, IndexSharedAcrossQueries) {
@@ -377,8 +464,10 @@ TEST(DatabaseTest, IndexSharedAcrossQueries) {
   uint64_t count;
   QueryStats s1;
   QueryStats s2;
-  ASSERT_TRUE(db.Count("R", "A", 100, 200, config, &count, &s1).ok());
-  ASSERT_TRUE(db.Count("R", "A", 100, 200, config, &count, &s2).ok());
+  ASSERT_TRUE(
+      OneShot(&db, config)->Count("R", "A", 100, 200, &count, &s1).ok());
+  ASSERT_TRUE(
+      OneShot(&db, config)->Count("R", "A", 100, 200, &count, &s2).ok());
   EXPECT_GT(s1.init_ns, 0);
   EXPECT_EQ(s2.init_ns, 0);  // same index reused
   EXPECT_EQ(db.catalog()->num_indexes(), 1u);
@@ -395,8 +484,8 @@ TEST(DatabaseTest, MethodsCoexistOnSameColumn) {
   sort.method = IndexMethod::kSort;
   uint64_t c1;
   uint64_t c2;
-  ASSERT_TRUE(db.Count("R", "A", 50, 150, crack, &c1).ok());
-  ASSERT_TRUE(db.Count("R", "A", 50, 150, sort, &c2).ok());
+  ASSERT_TRUE(OneShot(&db, crack)->Count("R", "A", 50, 150, &c1).ok());
+  ASSERT_TRUE(OneShot(&db, sort)->Count("R", "A", 50, 150, &c2).ok());
   EXPECT_EQ(c1, c2);
   EXPECT_EQ(db.catalog()->num_indexes(), 2u);
 }
@@ -408,11 +497,11 @@ TEST(DatabaseTest, DropIndex) {
   ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
   IndexConfig config;
   uint64_t count;
-  ASSERT_TRUE(db.Count("R", "A", 0, 50, config, &count).ok());
+  ASSERT_TRUE(OneShot(&db, config)->Count("R", "A", 0, 50, &count).ok());
   EXPECT_TRUE(db.DropIndex("R", "A", config));
   EXPECT_FALSE(db.DropIndex("R", "A", config));
   // Next query transparently rebuilds.
-  ASSERT_TRUE(db.Count("R", "A", 0, 50, config, &count).ok());
+  ASSERT_TRUE(OneShot(&db, config)->Count("R", "A", 0, 50, &count).ok());
   EXPECT_EQ(count, 50u);
 }
 
@@ -429,7 +518,8 @@ TEST(DatabaseTest, SumOtherTwoColumnPlan) {
   ASSERT_TRUE(db.CreateTable("R", std::move(cols)).ok());
   IndexConfig config;
   int64_t sum = 0;
-  ASSERT_TRUE(db.SumOther("R", "A", "B", 100, 500, config, &sum).ok());
+  ASSERT_TRUE(
+      OneShot(&db, config)->SumOther("R", "A", "B", 100, 500, &sum).ok());
   EXPECT_EQ(sum, OracleFetchSum(a_copy, b_copy,
                                 RangeQuery{100, 500, QueryType::kSum}));
 }
@@ -466,6 +556,24 @@ TEST(DatabaseTest, ConfigsDifferingOnlyInOptionsGetDistinctEntries) {
   EXPECT_EQ(db.catalog()->num_indexes(), 1u);
   EXPECT_EQ(db.GetOrCreateIndex("R", "A", piece).get(), a.get());
 
+  // Partitioning is physical-structure identity: a partitioned and an
+  // unpartitioned config on the same column are distinct entries, and so
+  // are different partition counts.
+  IndexConfig partitioned = piece;
+  partitioned.partitions = 4;
+  auto part_idx = db.GetOrCreateIndex("R", "A", partitioned);
+  ASSERT_NE(part_idx, nullptr);
+  EXPECT_NE(part_idx.get(), a.get());
+  EXPECT_NE(IndexConfigKey(piece), IndexConfigKey(partitioned));
+  IndexConfig partitioned8 = partitioned;
+  partitioned8.partitions = 8;
+  EXPECT_NE(IndexConfigKey(partitioned), IndexConfigKey(partitioned8));
+  // The fan-out pool is an execution resource, not index identity.
+  IndexConfig pooled = partitioned;
+  pooled.pool = db.pool();
+  EXPECT_EQ(IndexConfigKey(partitioned), IndexConfigKey(pooled));
+  EXPECT_TRUE(db.DropIndex("R", "A", partitioned));
+
   // Other option blocks distinguish their methods too.
   IndexConfig merge_a;
   merge_a.method = IndexMethod::kAdaptiveMerge;
@@ -492,13 +600,12 @@ TEST(DatabaseTest, LockManagerIntegration) {
   ASSERT_TRUE(db.lock_manager()->Acquire(5, "R/A", LockMode::kS).ok());
   uint64_t count;
   QueryStats stats;
-  ASSERT_TRUE(db.Count("R", "A", 200, 400, config, &count, &stats).ok());
+  ASSERT_TRUE(
+      OneShot(&db, config)->Count("R", "A", 200, 400, &count, &stats).ok());
   EXPECT_EQ(count, 200u);
   EXPECT_TRUE(stats.refinement_skipped);
   db.lock_manager()->ReleaseAll(5);
 }
-
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace adaptidx

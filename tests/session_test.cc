@@ -83,6 +83,18 @@ TEST(SessionTest, SyncWrappersMatchOracle) {
   ASSERT_TRUE(session->RowIds("R", "A", 100, 900, &ids).ok());
   EXPECT_EQ(ids.size(), oracle.Count(100, 900));
 
+  // kMinMax: unique values 0..4999, so the extremes of [100, 900) are the
+  // bounds themselves.
+  Value mn = 0;
+  Value mx = 0;
+  bool found = false;
+  ASSERT_TRUE(session->MinMax("R", "A", 100, 900, &mn, &mx, &found).ok());
+  EXPECT_TRUE(found);
+  EXPECT_EQ(mn, 100);
+  EXPECT_EQ(mx, 899);
+  ASSERT_TRUE(session->MinMax("R", "A", 700, 700, &mn, &mx, &found).ok());
+  EXPECT_FALSE(found);
+
   // A mistyped SumOther fails before any index is registered.
   int64_t sum_b = 0;
   const size_t indexes_before = db.catalog()->num_indexes();
@@ -360,21 +372,34 @@ TEST(SessionPlanTest, DirectSessionRejectsPlans) {
   EXPECT_TRUE(s.IsInvalidArgument());
 }
 
-// ----------------------------------------------------------- legacy shims
+// ------------------------------------------------- one-shot replacement
+//
+// The deprecated Database::Count/Sum shims are gone (the build runs with
+// -Werror=deprecated-declarations, so they could not linger at call
+// sites); a throwaway single-query session is the idiom that replaces
+// them.
 
-TEST(SessionShimTest, DeprecatedDatabaseCallsStillAnswer) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(SessionShimTest, SingleQuerySessionsReplaceOneShotCalls) {
   Database db;
   FillDb(&db, 1000, 52);
   IndexConfig config;
   uint64_t count = 0;
-  ASSERT_TRUE(db.Count("R", "A", 100, 300, config, &count).ok());
+  {
+    SessionOptions sopts;
+    sopts.config = config;
+    ASSERT_TRUE(
+        db.OpenSession(std::move(sopts))->Count("R", "A", 100, 300, &count)
+            .ok());
+  }
   EXPECT_EQ(count, 200u);
   int64_t sum = 0;
-  ASSERT_TRUE(db.Sum("R", "A", 100, 300, config, &sum).ok());
+  {
+    SessionOptions sopts;
+    sopts.config = config;
+    ASSERT_TRUE(
+        db.OpenSession(std::move(sopts))->Sum("R", "A", 100, 300, &sum).ok());
+  }
   EXPECT_EQ(sum, (100 + 299) * 200 / 2);
-#pragma GCC diagnostic pop
 }
 
 }  // namespace
