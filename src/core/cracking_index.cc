@@ -1,8 +1,11 @@
 #include "core/cracking_index.h"
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <thread>
 
+#include "cracking/optimistic_kernels.h"
 #include "lock/lock_manager.h"
 #include "util/stopwatch.h"
 
@@ -16,6 +19,10 @@ std::string ToString(ConcurrencyMode mode) {
       return "column-latch";
     case ConcurrencyMode::kPieceLatch:
       return "piece-latch";
+    case ConcurrencyMode::kOptimistic:
+      return "optimistic";
+    case ConcurrencyMode::kAdaptive:
+      return "adaptive";
   }
   return "unknown";
 }
@@ -73,9 +80,16 @@ struct PieceSnapshot {
   bool sorted = false;
 };
 
+// Each aggregator offers the latched bulk entry points (Positional /
+// Filtered), their latch-free optimistic twins (*Opt, routed through the
+// uninstrumented kernels of optimistic_kernels.h), and a one-deep
+// checkpoint/rollback so a read that fails seqlock validation can be
+// discarded without corrupting the running aggregate.
+
 struct CountAggregator {
   static constexpr bool kNeedsRead = false;
   uint64_t result = 0;
+  uint64_t saved = 0;
   void Positional(const CrackerArray& a, Position b, Position e) {
     (void)a;
     result += e - b;
@@ -84,11 +98,21 @@ struct CountAggregator {
                 const ValueRange& r) {
     result += a.ScanCountRange(b, e, r.lo, r.hi);
   }
+  void PositionalOpt(const CrackerArray& a, Position b, Position e) {
+    Positional(a, b, e);
+  }
+  void FilteredOpt(const CrackerArray& a, Position b, Position e,
+                   const ValueRange& r) {
+    result += optkern::CountFiltered(a, b, e, r);
+  }
+  void Checkpoint() { saved = result; }
+  void Rollback() { result = saved; }
 };
 
 struct SumAggregator {
   static constexpr bool kNeedsRead = true;
   int64_t result = 0;
+  int64_t saved = 0;
   void Positional(const CrackerArray& a, Position b, Position e) {
     result += a.PositionalSumRange(b, e);
   }
@@ -96,11 +120,21 @@ struct SumAggregator {
                 const ValueRange& r) {
     result += a.ScanSumRange(b, e, r.lo, r.hi);
   }
+  void PositionalOpt(const CrackerArray& a, Position b, Position e) {
+    result += optkern::SumPositional(a, b, e);
+  }
+  void FilteredOpt(const CrackerArray& a, Position b, Position e,
+                   const ValueRange& r) {
+    result += optkern::SumFiltered(a, b, e, r);
+  }
+  void Checkpoint() { saved = result; }
+  void Rollback() { result = saved; }
 };
 
 struct RowIdAggregator {
   static constexpr bool kNeedsRead = true;
   std::vector<RowId>* out;
+  size_t saved = 0;
   void Positional(const CrackerArray& a, Position b, Position e) {
     a.CollectRowIds(b, e, out);
   }
@@ -108,11 +142,21 @@ struct RowIdAggregator {
                 const ValueRange& r) {
     a.CollectRowIdsFiltered(b, e, r, out);
   }
+  void PositionalOpt(const CrackerArray& a, Position b, Position e) {
+    optkern::CollectRowIds(a, b, e, out);
+  }
+  void FilteredOpt(const CrackerArray& a, Position b, Position e,
+                   const ValueRange& r) {
+    optkern::CollectRowIdsFiltered(a, b, e, r, out);
+  }
+  void Checkpoint() { saved = out->size(); }
+  void Rollback() { out->resize(saved); }
 };
 
 struct MinMaxAggregator {
   static constexpr bool kNeedsRead = true;
   MinMaxAccumulator acc;
+  MinMaxAccumulator saved;
   void Positional(const CrackerArray& a, Position b, Position e) {
     Value lo;
     Value hi;
@@ -125,6 +169,20 @@ struct MinMaxAggregator {
     Value hi;
     if (a.MinMaxFiltered(b, e, r, &lo, &hi)) acc.Feed(lo, hi);
   }
+  void PositionalOpt(const CrackerArray& a, Position b, Position e) {
+    Value lo;
+    Value hi;
+    optkern::MinMaxPositional(a, b, e, &lo, &hi);
+    acc.Feed(lo, hi);
+  }
+  void FilteredOpt(const CrackerArray& a, Position b, Position e,
+                   const ValueRange& r) {
+    Value lo;
+    Value hi;
+    if (optkern::MinMaxFiltered(a, b, e, r, &lo, &hi)) acc.Feed(lo, hi);
+  }
+  void Checkpoint() { saved = acc; }
+  void Rollback() { acc = saved; }
 };
 
 struct Region {
@@ -212,6 +270,16 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
     snap.sorted = piece->sorted;
   }
 
+  // Open the seqlock odd window before the first data movement. The
+  // publication below also changes the piece's extent, and extent changes
+  // must be inside the window too — otherwise an optimistic reader could
+  // pair a stale extent with an unchanged version and stray into a
+  // successor piece whose cracks this piece's version does not observe.
+  // The sorted fast path moves no data but still publishes (extent change),
+  // so it bumps as well.
+  const bool bump_version = OptimisticMode();
+  if (bump_version) piece->version.fetch_add(1, std::memory_order_acq_rel);
+
   // Cracks produced in this step: (value, position), published atomically.
   // Publication safety: the target bound v satisfies v in
   // [snap.lo_value, snap.hi_value); extra cracks are filtered to the open
@@ -259,7 +327,7 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
     local.emplace(v, target_pos);
     ++ctx->stats.cracks;
 
-    if (opts_.group_crack && opts_.mode == ConcurrencyMode::kPieceLatch) {
+    if (opts_.group_crack && PieceLatchedMode()) {
       // Section 7 "Dynamic Algorithms": refine for the queries queued on
       // this piece in the same step, so they find their crack ready.
       std::vector<Value> pending = piece->latch.PendingWriterBounds();
@@ -290,6 +358,10 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
     if (mark_sorted) piece->sorted = true;  // before splits: halves inherit
     for (const auto& [cv, cp] : local) PublishCrackLocked(cv, cp);
   }
+  // Close the odd window only after publication: pieces split off above are
+  // born stable (their data moved before they became findable), and this
+  // piece's extent is final again.
+  if (bump_version) piece->version.fetch_add(1, std::memory_order_release);
   return target_pos;
 }
 
@@ -339,7 +411,7 @@ CrackingIndex::BoundResult CrackingIndex::ResolveBound(Value v,
     const RefinementDirective directive = policy_.OnCrack(piece_size);
     const bool use_try = attempt != Attempt::kBlocking || directive.try_only;
 
-    if (opts_.mode == ConcurrencyMode::kPieceLatch) {
+    if (PieceLatchedMode()) {
       if (use_try) {
         if (!piece->latch.TryWriteLock(lat)) {
           policy_.OnConflict();
@@ -431,7 +503,7 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     return false;  // lazy/active handling goes through per-bound resolution
   }
 
-  if (opts_.mode == ConcurrencyMode::kPieceLatch) {
+  if (PieceLatchedMode()) {
     piece->latch.WriteLock(range.lo, lat);
   }
 
@@ -451,9 +523,14 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     }
   }
   if (!valid) {
-    if (opts_.mode == ConcurrencyMode::kPieceLatch) piece->latch.WriteUnlock();
+    if (PieceLatchedMode()) piece->latch.WriteUnlock();
     return false;
   }
+
+  // Seqlock odd window around data movement and extent publication (same
+  // argument as in CrackPieceLocked).
+  const bool bump_version = OptimisticMode();
+  if (bump_version) piece->version.fetch_add(1, std::memory_order_acq_rel);
 
   Position p1;
   Position p2;
@@ -471,7 +548,8 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     PublishCrackLocked(range.lo, p1);
     PublishCrackLocked(range.hi, p2);
   }
-  if (opts_.mode == ConcurrencyMode::kPieceLatch) piece->latch.WriteUnlock();
+  if (bump_version) piece->version.fetch_add(1, std::memory_order_release);
+  if (PieceLatchedMode()) piece->latch.WriteUnlock();
   policy_.OnSuccess();
 
   lo->exact = true;
@@ -492,8 +570,7 @@ void CrackingIndex::ResolveBounds(const ValueRange& range, QueryContext* ctx,
   if (opts_.use_crack_in_three && TryCrackInThree(range, ctx, lo, hi)) {
     return;
   }
-  if (opts_.mode == ConcurrencyMode::kPieceLatch &&
-      opts_.swap_bound_on_conflict) {
+  if (PieceLatchedMode() && opts_.swap_bound_on_conflict) {
     // Section 5.3 optimization: if the first bound's piece is busy, proceed
     // with the second bound first, then come back.
     BoundResult first =
@@ -511,12 +588,42 @@ void CrackingIndex::ResolveBounds(const ValueRange& range, QueryContext* ctx,
   *hi = ResolveBound(range.hi, ctx, Attempt::kBlocking, true);
 }
 
+bool CrackingIndex::UseOptimisticRead(Piece* piece) {
+  if (opts_.mode == ConcurrencyMode::kOptimistic) return true;
+  // kAdaptive: pieces whose measured retry rate crossed the threshold read
+  // pessimistically, except for a periodic probe that lets them re-promote
+  // once the cracking front has moved on.
+  const int32_t c = piece->contention.load(std::memory_order_relaxed);
+  if (!opts_.optimistic.Demoted(c)) return true;
+  const uint32_t tick =
+      piece->probe_ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+  return opts_.optimistic.ProbeNow(tick);
+}
+
+void CrackingIndex::NoteOptimisticSuccess(Piece* piece) {
+  if (opts_.mode != ConcurrencyMode::kAdaptive) return;
+  int32_t c = piece->contention.load(std::memory_order_relaxed);
+  if (c <= 0) return;
+  // Single-shot CAS: a lost race just delays the decay by one read.
+  piece->contention.compare_exchange_weak(c, opts_.optimistic.AfterSuccess(c),
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed);
+}
+
+void CrackingIndex::NoteOptimisticFallback(Piece* piece) {
+  if (opts_.mode != ConcurrencyMode::kAdaptive) return;
+  int32_t c = piece->contention.load(std::memory_order_relaxed);
+  piece->contention.compare_exchange_weak(c, opts_.optimistic.AfterFallback(c),
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed);
+}
+
 template <typename Aggregator>
 void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
-                                  const ValueRange& filter, bool needs_latch,
+                                  const ValueRange& filter, bool needs_guard,
                                   QueryContext* ctx, Aggregator* agg) {
   if (b >= e) return;
-  if (!needs_latch) {
+  if (!needs_guard) {
     ScopedTimer t(&ctx->stats.read_ns);
     if (filtered) {
       agg->Filtered(*array_, b, e, filter);
@@ -526,6 +633,13 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
     ++ctx->stats.pieces_touched;
     return;
   }
+  const bool optimistic = OptimisticMode();
+  const int max_retries = opts_.optimistic.max_retries;
+  // Batched per region walk so the latch-free fast path pays one atomic
+  // round into the global stats instead of one per piece.
+  uint64_t opt_attempts = 0;
+  uint64_t opt_retries = 0;
+  uint64_t opt_fallbacks = 0;
   LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
   Position pos = b;
   while (pos < e) {
@@ -534,6 +648,66 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
       MaybeSharedLock sl(&structure_mu_, true);
       piece = pieces_->FindByPosition(pos);
     }
+
+    if (optimistic && UseOptimisticRead(piece.get())) {
+      // Seqlock read (protocol in piece_map.h): version, then extent, then
+      // data, then version again. An unchanged even version proves the
+      // extent was stable and nothing in [pos, upto) moved during the read.
+      bool accepted = false;
+      bool stale_piece = false;
+      int failures = 0;
+      while (failures < max_retries) {
+        const uint64_t v1 = piece->version.load(std::memory_order_acquire);
+        if ((v1 & 1) != 0) {
+          // A crack is reorganizing the piece right now: an attempt that
+          // failed before any data was read. Counting it in both attempts
+          // and retries keeps retries/attempts a true failure rate.
+          ++failures;
+          ++opt_attempts;
+          ++opt_retries;
+          std::this_thread::yield();
+          continue;
+        }
+        const Position piece_end = piece->end.load(std::memory_order_acquire);
+        if (piece_end <= pos) {
+          // The piece split before we arrived; our position now belongs to
+          // a successor. Not contention — re-resolve the piece.
+          stale_piece = true;
+          break;
+        }
+        const Position upto = std::min(piece_end, e);
+        ++opt_attempts;
+        agg->Checkpoint();
+        {
+          ScopedTimer t(&ctx->stats.read_ns);
+          if (filtered) {
+            agg->FilteredOpt(*array_, pos, upto, filter);
+          } else {
+            agg->PositionalOpt(*array_, pos, upto);
+          }
+        }
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (piece->version.load(std::memory_order_relaxed) == v1) {
+          NoteOptimisticSuccess(piece.get());
+          ++ctx->stats.pieces_touched;
+          pos = upto;
+          accepted = true;
+          break;
+        }
+        // A crack raced the read: the aggregate may have seen a value
+        // twice or not at all. Discard and retry.
+        agg->Rollback();
+        ++failures;
+        ++opt_retries;
+      }
+      if (accepted) continue;
+      if (stale_piece) continue;  // re-lookup, no penalty
+      // Retry budget exhausted: a cracker is hammering this piece. Degrade
+      // to the latched read so writers cannot livelock us.
+      ++opt_fallbacks;
+      NoteOptimisticFallback(piece.get());
+    }
+
     piece->latch.ReadLock(lat);
     const Position piece_end = piece->end;  // stable under the read latch
     if (pos >= piece_end) {
@@ -553,6 +727,10 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
     piece->latch.ReadUnlock();
     ++ctx->stats.pieces_touched;
     pos = upto;
+  }
+  if (optimistic) {
+    latch_stats_.RecordOptimisticReads(opt_attempts, opt_retries,
+                                       opt_fallbacks);
   }
 }
 
@@ -637,10 +815,12 @@ Status CrackingIndex::ExecuteRange(const ValueRange& range, QueryContext* ctx,
   }
 
   for (int i = 0; i < num_regions; ++i) {
-    const bool needs_latch = opts_.mode == ConcurrencyMode::kPieceLatch &&
+    // Data-touching reads need a guard in every piece-latched mode; the
+    // optimistic modes then satisfy it latch-free inside ProcessRegion.
+    const bool needs_guard = PieceLatchedMode() &&
                              (Aggregator::kNeedsRead || regions[i].filtered);
     ProcessRegion(regions[i].begin, regions[i].end, regions[i].filtered,
-                  range, needs_latch, ctx, agg);
+                  range, needs_guard, ctx, agg);
   }
   return Status::OK();
 }

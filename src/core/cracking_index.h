@@ -19,7 +19,8 @@ namespace adaptidx {
 
 class LockManager;
 
-/// \brief Concurrency control mode for the cracking index (Section 5.3).
+/// \brief Concurrency control mode for the cracking index (Section 5.3,
+/// plus the optimistic extensions layered on the piece-latch protocol).
 enum class ConcurrencyMode {
   /// No latching at all — only valid for single-threaded execution; used to
   /// measure the administrative overhead of concurrency control (Figure 13).
@@ -30,6 +31,19 @@ enum class ConcurrencyMode {
   /// A read-write latch per piece ("Piece-wise latches"): queries crack
   /// different pieces concurrently and aggregate within pieces concurrently.
   kPieceLatch,
+  /// Piece-wise latches for crackers, but aggregation readers take NO latch
+  /// at all: each piece carries a seqlock-style version counter (even =
+  /// stable, odd = crack in progress) that writers bump around every
+  /// reorganization; readers validate version and extent after reading and
+  /// retry on mismatch, falling back to the latched path after
+  /// OptimisticReadPolicy::max_retries failures so writers cannot livelock
+  /// them. Removes both read-latch mutex round-trips from the dominant
+  /// aggregation path (the Figure 13 admin cost).
+  kOptimistic,
+  /// Starts as kOptimistic and demotes individual hot pieces to latched
+  /// reads when their measured retry rate crosses the policy threshold,
+  /// re-promoting once contention subsides (periodic probing).
+  kAdaptive,
 };
 
 std::string ToString(ConcurrencyMode mode);
@@ -72,6 +86,10 @@ struct CrackingOptions {
   /// robust against adversarial query sequences.
   bool stochastic = false;
   size_t stochastic_min_piece = 1u << 16;
+
+  /// Retry/fallback bounds and kAdaptive demotion thresholds of the
+  /// optimistic read path; consulted only under kOptimistic/kAdaptive.
+  OptimisticReadPolicy optimistic;
 
   /// When set, refinement first verifies that no user transaction holds a
   /// conflicting lock (Section 3.3, "Conflict Avoidance") on
@@ -186,11 +204,40 @@ class CrackingIndex : public AdaptiveIndex {
   /// refinement (Section 3.3's verification step).
   bool UserLockConflict(QueryContext* ctx) const;
 
-  /// Streams the positional region [b, e) into `agg` piece by piece under
-  /// read latches (`needs_latch`), retrying on pieces that split under us.
+  /// True for every mode that cracks under per-piece write latches
+  /// (kPieceLatch and the optimistic modes, whose writers keep the latched
+  /// protocol and only the read side changes).
+  bool PieceLatchedMode() const {
+    return opts_.mode == ConcurrencyMode::kPieceLatch ||
+           opts_.mode == ConcurrencyMode::kOptimistic ||
+           opts_.mode == ConcurrencyMode::kAdaptive;
+  }
+
+  /// True when piece versions must be maintained and readers may go
+  /// latch-free.
+  bool OptimisticMode() const {
+    return opts_.mode == ConcurrencyMode::kOptimistic ||
+           opts_.mode == ConcurrencyMode::kAdaptive;
+  }
+
+  /// Whether this guarded read of `piece` should attempt the optimistic
+  /// path (always under kOptimistic; contention-gated with periodic probing
+  /// under kAdaptive).
+  bool UseOptimisticRead(Piece* piece);
+
+  /// kAdaptive bookkeeping after a validated / retry-exhausted read.
+  void NoteOptimisticSuccess(Piece* piece);
+  void NoteOptimisticFallback(Piece* piece);
+
+  /// Streams the positional region [b, e) into `agg` piece by piece,
+  /// guarding each piece read per the mode — read latch (kPieceLatch),
+  /// version-validated latch-free read with latched fallback
+  /// (kOptimistic/kAdaptive) — and retrying on pieces that split under us.
+  /// `needs_guard` is false when the aggregation touches no data (positional
+  /// counts), which skips all guarding.
   template <typename Aggregator>
   void ProcessRegion(Position b, Position e, bool filtered,
-                     const ValueRange& filter, bool needs_latch,
+                     const ValueRange& filter, bool needs_guard,
                      QueryContext* ctx, Aggregator* agg);
 
   /// Shared driver for count/sum/rowids/minmax.

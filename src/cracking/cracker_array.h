@@ -134,6 +134,14 @@ class CrackerArray {
     return layout_ == ArrayLayout::kPairOfArrays ? row_ids_.data() : nullptr;
   }
 
+  /// \brief Dense entry span of the rowID-value-pairs layout; nullptr for
+  /// the pair-of-arrays layout. Companion of ValuesSpan/RowIdsSpan so
+  /// layout-dispatching code outside this class (the optimistic read
+  /// kernels) can reach the raw storage for either layout.
+  const CrackerEntry* PairsSpan() const {
+    return layout_ == ArrayLayout::kRowIdValuePairs ? pairs_.data() : nullptr;
+  }
+
   /// \brief Two-way crack over [begin, end); see CrackInTwo in
   /// crack_kernels.h. Dispatches once on layout and tier, then runs the
   /// tight kernel.

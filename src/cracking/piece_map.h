@@ -1,6 +1,7 @@
 #ifndef ADAPTIDX_CRACKING_PIECE_MAP_H_
 #define ADAPTIDX_CRACKING_PIECE_MAP_H_
 
+#include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,9 +22,29 @@ namespace adaptidx {
 ///  - `end`, `hi_value`, `lo_value`, `sorted` change only while holding both
 ///    the owning index's structure latch (exclusive) and this piece's write
 ///    latch; readers see them stably while holding either the structure
-///    latch (shared) or this piece's read latch.
+///    latch (shared) or this piece's read latch. `end` is additionally
+///    atomic so optimistic readers can re-check the extent latch-free.
 ///  - The piece object outlives map removal via shared_ptr, so a waiter
 ///    blocked on `latch` can safely wake after the piece has been split.
+///
+/// Optimistic (seqlock) protocol — ConcurrencyMode::kOptimistic/kAdaptive:
+///  - `version` is even while the piece is stable and odd while a crack is
+///    reorganizing it. Writers (who additionally hold the piece write latch,
+///    so versions never interleave) bump it odd *before* the first data
+///    movement or extent change and even again only *after* the cracks are
+///    published — every extent change is therefore inside an odd window.
+///  - Readers: load `version` (acquire; odd means a crack is in flight),
+///    then load `end` (acquire), read the data with no latch at all, and
+///    re-load `version`. An unchanged even version proves both that the data
+///    did not move during the read and that `end` was the stable extent for
+///    the whole window — so the read never leaked into a successor piece
+///    whose own cracks this piece's version would not observe. On mismatch
+///    the read is discarded and retried; after a bounded number of failures
+///    the reader falls back to the piece read latch so continuous cracking
+///    cannot livelock it.
+///  - `contention` / `probe_ticks` carry the kAdaptive per-piece demotion
+///    state (see OptimisticReadPolicy in core/strategies.h); both are
+///    relaxed-atomic heuristics, never correctness-bearing.
 struct Piece {
   Piece(Position begin_pos, Position end_pos, Value lo, Value hi,
         SchedulingPolicy policy)
@@ -33,12 +54,23 @@ struct Piece {
         hi_value(hi),
         latch(policy) {}
 
-  const Position begin;  ///< first position of the piece (immutable)
-  Position end;          ///< one past the last position; shrinks on split
+  const Position begin;       ///< first position of the piece (immutable)
+  std::atomic<Position> end;  ///< one past the last position; shrinks on
+                              ///< split (atomic for optimistic extent checks)
   Value lo_value;        ///< inclusive lower bound on values in the piece
   Value hi_value;        ///< exclusive upper bound on values in the piece
   bool sorted = false;   ///< piece known fully sorted (active strategy)
   WaitQueueLatch latch;  ///< piece latch
+
+  /// Seqlock version: even = stable, odd = crack in progress. Maintained by
+  /// writers only under the optimistic concurrency modes.
+  std::atomic<uint64_t> version{0};
+  /// kAdaptive demotion score: raised by optimistic fallbacks, decayed by
+  /// validated reads; at or above the policy threshold readers latch.
+  std::atomic<int32_t> contention{0};
+  /// kAdaptive probe clock for demoted pieces: every Nth guarded read
+  /// re-attempts the optimistic path so the piece can re-promote.
+  std::atomic<uint32_t> probe_ticks{0};
 
   size_t size() const { return end - begin; }
 };

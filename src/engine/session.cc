@@ -137,30 +137,10 @@ Status Session::ExecuteWithContext(const Query& query, QueryContext* ctx,
       return Status::NotFound("no such column: " + query.agg_column);
     }
   }
-  // Resolve the query's index: the bound index for direct sessions, a
-  // catalog lookup under the pinned config otherwise — memoized per
-  // (table, column) so the hot path skips the config-key construction and
-  // the catalog latch after the first query; the cached shared_ptr keeps
-  // the index alive across a concurrent DropIndex.
-  std::shared_ptr<AdaptiveIndex> pinned;
-  AdaptiveIndex* index = direct_;
+  AdaptiveIndex* index = ResolveIndex(query.table, query.column);
   if (index == nullptr) {
-    const std::string cache_key = query.table + "." + query.column;
-    {
-      std::lock_guard<std::mutex> lk(resolve_mu_);
-      auto it = resolved_.find(cache_key);
-      if (it != resolved_.end()) pinned = it->second;
-    }
-    if (pinned == nullptr) {
-      pinned = db_->GetOrCreateIndex(query.table, query.column, opts_.config);
-      if (pinned == nullptr) {
-        return Status::NotFound("no such table/column: " + query.table + "." +
-                                query.column);
-      }
-      std::lock_guard<std::mutex> lk(resolve_mu_);
-      resolved_.emplace(cache_key, pinned);
-    }
-    index = pinned.get();
+    return Status::NotFound("no such table/column: " + query.table + "." +
+                            query.column);
   }
   // The unified entry point: every single-column kind is one virtual call
   // into the index. The two-column plan (kSumOther) is the sole exception —
@@ -173,6 +153,35 @@ Status Session::ExecuteWithContext(const Query& query, QueryContext* ctx,
     return FetchSum(index, *agg, rq, ctx, &result->sum);
   }
   return index->Execute(query, ctx, result);
+}
+
+AdaptiveIndex* Session::ResolveIndex(const std::string& table,
+                                     const std::string& column) {
+  // The bound index for direct sessions, a catalog lookup under the pinned
+  // config otherwise — memoized per (table, column) so the hot path skips
+  // the config-key construction and the catalog latch after the first
+  // query; the cached shared_ptr keeps the index alive across a concurrent
+  // DropIndex.
+  if (direct_ != nullptr) return direct_;
+  if (db_ == nullptr) return nullptr;
+  const std::string cache_key = table + "." + column;
+  {
+    std::lock_guard<std::mutex> lk(resolve_mu_);
+    auto it = resolved_.find(cache_key);
+    if (it != resolved_.end()) return it->second.get();
+  }
+  std::shared_ptr<AdaptiveIndex> pinned =
+      db_->GetOrCreateIndex(table, column, opts_.config);
+  if (pinned == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lk(resolve_mu_);
+  auto it = resolved_.emplace(cache_key, std::move(pinned)).first;
+  return it->second.get();
+}
+
+const LatchStats* Session::IndexLatchStats(const std::string& table,
+                                           const std::string& column) {
+  AdaptiveIndex* index = ResolveIndex(table, column);
+  return index != nullptr ? &index->latch_stats() : nullptr;
 }
 
 QueryTicket Session::Submit(Query query) {

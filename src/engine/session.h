@@ -188,6 +188,17 @@ class Session {
   /// sessions.
   Database* database() const { return db_; }
 
+  /// \brief Latch statistics of the index this session resolves
+  /// (table, column) to under its pinned config — including the optimistic
+  /// attempt/retry/fallback counters of ConcurrencyMode::kOptimistic /
+  /// kAdaptive, so per-mode concurrency cost is observable through the
+  /// session layer. Direct-index sessions ignore the names and report the
+  /// bound index. Resolving may create the index (like a query would);
+  /// returns null when the table/column does not exist. The pointer stays
+  /// valid for the session's lifetime.
+  const LatchStats* IndexLatchStats(const std::string& table,
+                                    const std::string& column);
+
   /// \brief Queries submitted over the session's lifetime (async + sync).
   size_t queries_submitted() const;
 
@@ -204,6 +215,13 @@ class Session {
   /// session identity; timing fields are managed by the caller.
   Status ExecuteWithContext(const Query& query, QueryContext* ctx,
                             QueryResult* result);
+
+  /// Resolves (table, column) to the session's index under the pinned
+  /// config: the bound index for direct sessions, a memoized catalog lookup
+  /// otherwise. Null when the table/column does not exist; the returned
+  /// pointer stays valid for the session's lifetime (the cache pins it).
+  AdaptiveIndex* ResolveIndex(const std::string& table,
+                              const std::string& column);
 
   Database* db_;               ///< null for direct-index sessions
   AdaptiveIndex* direct_;      ///< non-null for direct-index sessions

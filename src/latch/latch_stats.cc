@@ -5,18 +5,22 @@
 namespace adaptidx {
 
 std::string LatchStats::ToString() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(
       buf, sizeof(buf),
       "reads=%llu (blocked %llu, %.3f ms) writes=%llu (blocked %llu, "
-      "%.3f ms) try_failures=%llu",
+      "%.3f ms) try_failures=%llu optimistic=%llu (retries %llu, "
+      "fallbacks %llu)",
       static_cast<unsigned long long>(read_acquires()),
       static_cast<unsigned long long>(read_conflicts()),
       static_cast<double>(read_wait_ns()) / 1e6,
       static_cast<unsigned long long>(write_acquires()),
       static_cast<unsigned long long>(write_conflicts()),
       static_cast<double>(write_wait_ns()) / 1e6,
-      static_cast<unsigned long long>(try_failures()));
+      static_cast<unsigned long long>(try_failures()),
+      static_cast<unsigned long long>(optimistic_attempts()),
+      static_cast<unsigned long long>(optimistic_retries()),
+      static_cast<unsigned long long>(optimistic_fallbacks()));
   return std::string(buf);
 }
 

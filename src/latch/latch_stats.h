@@ -36,11 +36,39 @@ class LatchStats {
     try_failures_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// \brief Accounts a batch of optimistic (latch-free, version-validated)
+  /// piece reads: `attempts` reads were tried, `retries` of them failed —
+  /// either aborted on an odd (crack-in-flight) version before reading or
+  /// discarded on post-read validation mismatch — and `fallbacks` exhausted
+  /// their retry budget and degraded to the latched read path. Retries are
+  /// a subset of attempts, so retries/attempts is the optimistic failure
+  /// rate. Batched per region walk so the optimistic fast path pays one
+  /// atomic round instead of one per piece — these counters keep the
+  /// fig14/fig15 wait breakdowns meaningful when no read latch is ever
+  /// acquired.
+  void RecordOptimisticReads(uint64_t attempts, uint64_t retries,
+                             uint64_t fallbacks) {
+    if (attempts > 0) {
+      optimistic_attempts_.fetch_add(attempts, std::memory_order_relaxed);
+    }
+    if (retries > 0) {
+      optimistic_retries_.fetch_add(retries, std::memory_order_relaxed);
+    }
+    if (fallbacks > 0) {
+      optimistic_fallbacks_.fetch_add(fallbacks, std::memory_order_relaxed);
+    }
+  }
+
   uint64_t read_acquires() const { return read_acquires_.load(); }
   uint64_t write_acquires() const { return write_acquires_.load(); }
   uint64_t read_conflicts() const { return read_conflicts_.load(); }
   uint64_t write_conflicts() const { return write_conflicts_.load(); }
   uint64_t try_failures() const { return try_failures_.load(); }
+  uint64_t optimistic_attempts() const { return optimistic_attempts_.load(); }
+  uint64_t optimistic_retries() const { return optimistic_retries_.load(); }
+  uint64_t optimistic_fallbacks() const {
+    return optimistic_fallbacks_.load();
+  }
   int64_t read_wait_ns() const { return read_wait_ns_.load(); }
   int64_t write_wait_ns() const { return write_wait_ns_.load(); }
 
@@ -55,6 +83,9 @@ class LatchStats {
     read_conflicts_ = 0;
     write_conflicts_ = 0;
     try_failures_ = 0;
+    optimistic_attempts_ = 0;
+    optimistic_retries_ = 0;
+    optimistic_fallbacks_ = 0;
     read_wait_ns_ = 0;
     write_wait_ns_ = 0;
   }
@@ -67,6 +98,9 @@ class LatchStats {
   std::atomic<uint64_t> read_conflicts_;
   std::atomic<uint64_t> write_conflicts_;
   std::atomic<uint64_t> try_failures_;
+  std::atomic<uint64_t> optimistic_attempts_;
+  std::atomic<uint64_t> optimistic_retries_;
+  std::atomic<uint64_t> optimistic_fallbacks_;
   std::atomic<int64_t> read_wait_ns_;
   std::atomic<int64_t> write_wait_ns_;
 };

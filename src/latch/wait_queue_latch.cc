@@ -30,28 +30,52 @@ void RecordWrite(const LatchAcquireContext& ctx, int64_t wait_ns,
 
 WaitQueueLatch::WaitQueueLatch(SchedulingPolicy policy) : policy_(policy) {}
 
+bool WaitQueueLatch::WriterOverdueLocked() const {
+  return !writer_queue_.empty() &&
+         readers_admitted_past_writer_ >= kWriterStarvationReaderLimit;
+}
+
+bool WaitQueueLatch::CanAdmitReaderLocked() const {
+  return !active_writer_ && !WriterOverdueLocked();
+}
+
 void WaitQueueLatch::ReadLock(const LatchAcquireContext& ctx) {
   std::unique_lock<std::mutex> lk(mu_);
-  if (!active_writer_) {
+  if (CanAdmitReaderLocked()) {
     ++active_readers_;
+    if (!writer_queue_.empty()) ++readers_admitted_past_writer_;
     RecordRead(ctx, 0, /*blocked=*/false);
     return;
   }
   const int64_t start = NowNanos();
   ++waiting_readers_;
-  cv_.wait(lk, [this] { return !active_writer_; });
+  // Only a batch published AFTER we enqueued may admit us: a reader queued
+  // behind an overdue writer must not consume a grant meant for the
+  // already-waiting batch (that would both strand a batch member and slip
+  // this reader past the starvation backstop).
+  const uint64_t my_generation = grant_generation_;
+  cv_.wait(lk, [this, my_generation] {
+    return (granted_readers_ > 0 && grant_generation_ > my_generation) ||
+           CanAdmitReaderLocked();
+  });
   --waiting_readers_;
+  // Consume one grant of the batch (if any); batch admissions were already
+  // counted against the starvation limit when the batch was granted.
+  if (granted_readers_ > 0 && grant_generation_ > my_generation) {
+    --granted_readers_;
+  }
   ++active_readers_;
   RecordRead(ctx, NowNanos() - start, /*blocked=*/true);
 }
 
 bool WaitQueueLatch::TryReadLock(const LatchAcquireContext& ctx) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (active_writer_) {
+  if (!CanAdmitReaderLocked()) {
     if (ctx.global != nullptr) ctx.global->RecordTryFailure();
     return false;
   }
   ++active_readers_;
+  if (!writer_queue_.empty()) ++readers_admitted_past_writer_;
   RecordRead(ctx, 0, /*blocked=*/false);
   return true;
 }
@@ -64,9 +88,13 @@ void WaitQueueLatch::ReadUnlock() {
 
 void WaitQueueLatch::WriteLock(Value bound, const LatchAcquireContext& ctx) {
   std::unique_lock<std::mutex> lk(mu_);
-  if (!active_writer_ && active_readers_ == 0) {
-    // Latch free implies nobody queued (grants always drain the queue when
-    // the latch frees up), so barging is impossible here.
+  // Barging guard: active holds alone do not prove the latch is claimable.
+  // After a reader-batch grant the woken readers have not yet converted
+  // their grants into active holds (granted_readers_ > 0), and queued
+  // writers must not be bypassed — the fast path would otherwise steal the
+  // batch's grant and jump the kMiddleOut schedule.
+  if (!active_writer_ && active_readers_ == 0 && granted_readers_ == 0 &&
+      writer_queue_.empty()) {
     active_writer_ = true;
     RecordWrite(ctx, 0, /*blocked=*/false);
     return;
@@ -89,7 +117,10 @@ void WaitQueueLatch::WriteLock(Value bound, const LatchAcquireContext& ctx) {
 
 bool WaitQueueLatch::TryWriteLock(const LatchAcquireContext& ctx) {
   std::lock_guard<std::mutex> lk(mu_);
-  if (active_writer_ || active_readers_ > 0) {
+  // Same barging guard as WriteLock's fast path: an outstanding reader-batch
+  // grant or a queued writer means the latch is spoken for.
+  if (active_writer_ || active_readers_ > 0 || granted_readers_ > 0 ||
+      !writer_queue_.empty()) {
     if (ctx.global != nullptr) ctx.global->RecordTryFailure();
     return false;
   }
@@ -105,10 +136,20 @@ void WaitQueueLatch::WriteUnlock() {
 }
 
 void WaitQueueLatch::GrantLocked() {
-  if (active_writer_ || active_readers_ > 0) return;
-  if (waiting_readers_ > 0) {
+  // An outstanding reader-batch grant counts as a hold: the latch is only
+  // re-grantable after every woken reader has converted its grant.
+  if (active_writer_ || active_readers_ > 0 || granted_readers_ > 0) return;
+  if (waiting_readers_ > 0 && !WriterOverdueLocked()) {
     // Reader batch: all waiting readers proceed together; writers keep
     // waiting (Figure 8: Q1 and Q2 aggregate in parallel while Q3 waits).
+    // Publishing the batch size here (before any reader has re-acquired
+    // mu_) closes the exclusive fast path for the whole wakeup window.
+    granted_readers_ = waiting_readers_;
+    ++grant_generation_;
+    if (!writer_queue_.empty()) {
+      readers_admitted_past_writer_ +=
+          static_cast<uint64_t>(waiting_readers_);
+    }
     cv_.notify_all();
     return;
   }
@@ -118,6 +159,7 @@ void WaitQueueLatch::GrantLocked() {
     writer_queue_.erase(writer_queue_.begin() + static_cast<long>(idx));
     w->granted = true;
     active_writer_ = true;
+    readers_admitted_past_writer_ = 0;
     cv_.notify_all();
   }
 }

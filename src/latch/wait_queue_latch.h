@@ -35,11 +35,24 @@ enum class SchedulingPolicy {
 ///    is active, and on write release *all* waiting readers are granted as a
 ///    batch before the next writer. In the paper's column-latch example, Q1
 ///    and Q2 aggregate in parallel while writer Q3 keeps waiting. Writer
-///    starvation is not a practical concern because every cracking query
-///    performs one short write burst followed by reads.
+///    starvation is rare in the paper's workload (every cracking query
+///    performs one short write burst followed by reads), but a pure reader
+///    stream can still starve a queued writer indefinitely, so a backstop
+///    applies: once `kWriterStarvationReaderLimit` readers have been
+///    admitted past a queued writer, new readers queue instead of sharing
+///    and the writer is granted at the next release.
 ///  - Writers register the crack *bound* they intend to apply; under
 ///    kMiddleOut the queue is maintained sorted by bound via insertion sort
 ///    and the median waiter is granted on release.
+///
+/// Grant protocol: a reader batch is granted by publishing the batch size in
+/// `granted_readers_` before the wakeup; each woken reader converts one
+/// grant into an active hold. Until every grant is converted the latch is
+/// NOT free — the exclusive fast paths (`WriteLock`, `TryWriteLock`) refuse
+/// whenever `granted_readers_ > 0` or writers are queued, otherwise a writer
+/// arriving in the window between the wakeup and the readers' re-acquisition
+/// of the internal mutex would silently steal the grant (and bypass queued
+/// writers, breaking kMiddleOut's median scheduling).
 ///
 /// Each acquisition may carry a LatchAcquireContext so that wait time and
 /// conflicts are attributed both globally and to the acquiring query.
@@ -93,11 +106,27 @@ class WaitQueueLatch {
     bool granted = false;
   };
 
+  /// Writer-starvation backstop: after this many reader admissions slip past
+  /// a queued writer, new readers queue instead of sharing so the writer is
+  /// admitted at the next release. Large enough that the paper's Figure 8
+  /// reader sharing (a handful of aggregations overlapping one waiting
+  /// writer) is never curtailed, small enough that a continuous reader
+  /// stream cannot starve a writer for more than a bounded number of reads.
+  static constexpr uint64_t kWriterStarvationReaderLimit = 64;
+
   /// Grants waiters after a release. Caller holds mu_.
   void GrantLocked();
 
   /// Picks the index of the next writer in writer_queue_. Caller holds mu_.
   size_t PickWriterLocked() const;
+
+  /// True when the head writer has waited through the starvation limit and
+  /// must be admitted before any further readers. Caller holds mu_.
+  bool WriterOverdueLocked() const;
+
+  /// True when a reader may be admitted immediately (no active writer, no
+  /// overdue queued writer). Caller holds mu_.
+  bool CanAdmitReaderLocked() const;
 
   const SchedulingPolicy policy_;
 
@@ -106,7 +135,18 @@ class WaitQueueLatch {
   int active_readers_ = 0;
   bool active_writer_ = false;
   int waiting_readers_ = 0;
-  int granted_readers_ = 0;  // readers woken but not yet accounted active
+  /// Readers woken by a batch grant but not yet accounted in
+  /// active_readers_; the latch is not free while any grant is outstanding.
+  int granted_readers_ = 0;
+  /// Incremented on every reader-batch grant. A waiting reader may consume
+  /// a grant only if it enqueued before the batch was published (its
+  /// recorded generation is older) — otherwise a reader that queued behind
+  /// an overdue writer could steal a grant meant for the batch and stride
+  /// past the starvation backstop.
+  uint64_t grant_generation_ = 0;
+  /// Readers admitted (shared) while at least one writer was queued; reset
+  /// on every writer grant. Feeds the starvation backstop.
+  uint64_t readers_admitted_past_writer_ = 0;
   uint64_t next_ticket_ = 0;
   std::vector<WriterWaiter*> writer_queue_;  // sorted by bound under
                                              // kMiddleOut, arrival order

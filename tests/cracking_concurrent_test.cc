@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -17,8 +18,9 @@ constexpr size_t kRows = 20000;
 constexpr int kThreads = 6;
 constexpr int kQueriesPerThread = 150;
 
-/// Runs `kThreads` clients of mixed count/sum queries against `index`,
-/// checking every result against the oracle. Returns false on any mismatch.
+/// Runs `kThreads` clients of mixed count/sum/rowid/minmax queries against
+/// `index`, checking every result against the oracle. Returns false on any
+/// mismatch.
 bool RunConcurrentQueries(CrackingIndex* index, const RangeOracle& oracle,
                           uint64_t seed) {
   std::atomic<bool> ok{true};
@@ -32,17 +34,49 @@ bool RunConcurrentQueries(CrackingIndex* index, const RangeOracle& oracle,
         if (lo > hi) std::swap(lo, hi);
         QueryContext ctx;
         ctx.client_id = static_cast<uint32_t>(t);
-        if (i % 2 == 0) {
-          uint64_t count = 0;
-          if (!index->RangeCount(ValueRange{lo, hi}, &ctx, &count).ok() ||
-              count != oracle.Count(lo, hi)) {
-            ok.store(false);
+        switch (i % 4) {
+          case 0: {
+            uint64_t count = 0;
+            if (!index->RangeCount(ValueRange{lo, hi}, &ctx, &count).ok() ||
+                count != oracle.Count(lo, hi)) {
+              ok.store(false);
+            }
+            break;
           }
-        } else {
-          int64_t sum = 0;
-          if (!index->RangeSum(ValueRange{lo, hi}, &ctx, &sum).ok() ||
-              sum != oracle.Sum(lo, hi)) {
-            ok.store(false);
+          case 1: {
+            int64_t sum = 0;
+            if (!index->RangeSum(ValueRange{lo, hi}, &ctx, &sum).ok() ||
+                sum != oracle.Sum(lo, hi)) {
+              ok.store(false);
+            }
+            break;
+          }
+          case 2: {
+            // RowID materialization is the most allocation-heavy kind;
+            // shrink the range so the differential stays fast.
+            const Value rhi = std::min<Value>(hi, lo + 2000);
+            std::vector<RowId> ids;
+            if (!index->RangeRowIds(ValueRange{lo, rhi}, &ctx, &ids).ok() ||
+                !oracle.CheckRowIds(lo, rhi, ids)) {
+              ok.store(false);
+            }
+            break;
+          }
+          default: {
+            Value mn = 0;
+            Value mx = 0;
+            bool found = false;
+            Value omn = 0;
+            Value omx = 0;
+            const bool ofound = oracle.MinMax(lo, hi, &omn, &omx);
+            if (!index
+                     ->RangeMinMax(ValueRange{lo, hi}, &ctx, &mn, &mx,
+                                   &found)
+                     .ok() ||
+                found != ofound || (found && (mn != omn || mx != omx))) {
+              ok.store(false);
+            }
+            break;
           }
         }
       }
@@ -132,7 +166,27 @@ INSTANTIATE_TEST_SUITE_P(
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
                         RefinementStrategy::kStandard, false, true,
-                        "piece_stochastic"}),
+                        "piece_stochastic"},
+        ConcurrentParam{ConcurrencyMode::kOptimistic,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, false, false,
+                        "optimistic_middleout"},
+        ConcurrentParam{ConcurrencyMode::kOptimistic,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kActive, false, false,
+                        "optimistic_active_sorts"},
+        ConcurrentParam{ConcurrencyMode::kOptimistic,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, true, false,
+                        "optimistic_groupcrack"},
+        ConcurrentParam{ConcurrencyMode::kAdaptive,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, false, false,
+                        "adaptive_middleout"},
+        ConcurrentParam{ConcurrencyMode::kAdaptive,
+                        SchedulingPolicy::kFifo,
+                        RefinementStrategy::kStandard, false, true,
+                        "adaptive_fifo_stochastic"}),
     [](const auto& info) { return info.param.name; });
 
 // ------------------------------------------------------- Specific races

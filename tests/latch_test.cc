@@ -259,6 +259,156 @@ TEST(WaitQueueLatchTest, FifoWakesArrivalOrder) {
   EXPECT_EQ(order[0], 90);  // arrival order preserved
 }
 
+TEST(WaitQueueLatchTest, WriterCannotBargeOnGrantedReaderBatch) {
+  // Regression for the grant-steal race: WriteUnlock wakes a waiting reader
+  // batch, but the woken readers only become "active" after they re-acquire
+  // the internal mutex. The old fast path read that window — no active
+  // writer, zero active readers — as a free latch and barged in, stealing
+  // the batch's grant. The fix publishes the batch size in
+  // granted_readers_ at grant time, so an exclusive acquisition attempted
+  // anywhere in the window must refuse: either the reader already converted
+  // its grant (active) or the grant is still outstanding (granted > 0).
+  // Loop to hit the window under many interleavings; under the fix the
+  // check below is deterministic in every one of them.
+  for (int iter = 0; iter < 200; ++iter) {
+    WaitQueueLatch latch;
+    latch.WriteLock(0);
+    std::atomic<bool> reader_held{false};
+    std::thread reader([&] {
+      latch.ReadLock();
+      // Stored while still holding the latch, so a later successful
+      // exclusive acquisition is ordered after this store.
+      reader_held.store(true);
+      latch.ReadUnlock();
+    });
+    while (!latch.HasWaiters()) std::this_thread::yield();
+    latch.WriteUnlock();  // grants the reader batch
+    // We are now (very likely) inside the wakeup window: the reader was
+    // granted but has not necessarily re-acquired the mutex yet. An
+    // exclusive claim may only succeed after the reader actually held and
+    // released its grant — claiming while reader_held is still false is
+    // exactly the old steal.
+    if (latch.TryWriteLock()) {
+      EXPECT_TRUE(reader_held.load())
+          << "exclusive fast path stole a granted reader batch (iter "
+          << iter << ")";
+      latch.WriteUnlock();
+    }
+    reader.join();
+    EXPECT_TRUE(reader_held.load());
+    // After the batch fully drained the latch really is free.
+    EXPECT_TRUE(latch.TryWriteLock());
+    latch.WriteUnlock();
+  }
+}
+
+TEST(WaitQueueLatchTest, FastPathDoesNotBypassQueuedWriters) {
+  // A free-looking latch with a non-empty writer queue must not be claimed
+  // by a newcomer: that would jump the kMiddleOut schedule. Construct the
+  // state via the grant window: writer queued behind a reader batch.
+  for (int iter = 0; iter < 100; ++iter) {
+    WaitQueueLatch latch(SchedulingPolicy::kMiddleOut);
+    latch.WriteLock(0);
+    std::thread reader([&] {
+      latch.ReadLock();
+      latch.ReadUnlock();
+    });
+    while (!latch.HasWaiters()) std::this_thread::yield();
+    std::atomic<bool> w_done{false};
+    std::thread queued_writer([&] {
+      latch.WriteLock(42);
+      w_done.store(true);
+      latch.WriteUnlock();
+    });
+    while (latch.PendingWriterBounds().empty()) std::this_thread::yield();
+    latch.WriteUnlock();  // batch-grants the reader; writer stays queued
+    // No newcomer may claim the latch while the writer is queued. A
+    // successful claim is legitimate only if the queued writer had already
+    // acquired AND released first — in which case its w_done store is
+    // ordered before our acquisition.
+    if (latch.TryWriteLock()) {
+      EXPECT_TRUE(w_done.load())
+          << "fast path bypassed a queued writer (iter " << iter << ")";
+      latch.WriteUnlock();
+    }
+    reader.join();
+    queued_writer.join();
+  }
+}
+
+TEST(WaitQueueLatchTest, WriterNotStarvedByContinuousReaderStream) {
+  // Reader preference is the paper's policy, but a continuous stream of
+  // overlapping readers must not starve a writer forever: after the
+  // starvation limit of reader admissions, new readers queue and the writer
+  // is admitted.
+  WaitQueueLatch latch;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_acquired{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        latch.ReadLock();
+        // Hold briefly so reader holds overlap and the latch never drains
+        // on its own.
+        for (volatile int spin = 0; spin < 50; ++spin) {
+        }
+        latch.ReadUnlock();
+      }
+    });
+  }
+  std::this_thread::sleep_for(10ms);  // stream is flowing
+  std::thread writer([&] {
+    latch.WriteLock(7);
+    writer_acquired.store(true);
+    latch.WriteUnlock();
+  });
+  // The backstop admits the writer after at most ~64 reader admissions slip
+  // past it; seconds of wall clock is orders of magnitude more than needed.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (!writer_acquired.load() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  stop.store(true);
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_TRUE(writer_acquired.load())
+      << "writer starved by a continuous reader stream";
+}
+
+TEST(WaitQueueLatchTest, MiddleOutGrantOrderPinsMedianSemantics) {
+  // Pins PickWriterLocked: with the queue sorted by bound, the grant always
+  // picks index size/2. For bounds {10,20,30,40} queued together the full
+  // grant order is therefore 30 (of 4), 20 (of {10,20,40}), 40 (of
+  // {10,40}), 10.
+  WaitQueueLatch latch(SchedulingPolicy::kMiddleOut);
+  latch.WriteLock(0);
+  std::mutex order_mu;
+  std::vector<Value> order;
+  std::vector<std::thread> writers;
+  for (Value b : {40, 10, 30, 20}) {  // arrival order irrelevant: sorted
+    writers.emplace_back([&, b] {
+      latch.WriteLock(b);
+      {
+        std::lock_guard<std::mutex> g(order_mu);
+        order.push_back(b);
+      }
+      latch.WriteUnlock();
+    });
+  }
+  while (latch.PendingWriterBounds().size() < 4) {
+    std::this_thread::sleep_for(1ms);
+  }
+  latch.WriteUnlock();
+  for (auto& t : writers) t.join();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 30);
+  EXPECT_EQ(order[1], 20);
+  EXPECT_EQ(order[2], 40);
+  EXPECT_EQ(order[3], 10);
+}
+
 TEST(WaitQueueLatchTest, GuardsReleaseOnScopeExit) {
   WaitQueueLatch latch;
   {

@@ -1,0 +1,353 @@
+/// \file Differential and protocol tests for the optimistic
+/// (seqlock-validated, latch-free) piece-read path:
+/// ConcurrencyMode::kOptimistic / kAdaptive. Complements
+/// cracking_concurrent_test.cc (raw-index races) with session-level
+/// differentials across all five modes, the optimistic stats counters, and
+/// the deterministic kAdaptive demotion arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cracking_index.h"
+#include "core/index_factory.h"
+#include "engine/session.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace adaptidx {
+namespace {
+
+constexpr size_t kRows = 20000;
+
+CrackingOptions OptionsFor(ConcurrencyMode mode) {
+  CrackingOptions opts;
+  opts.mode = mode;
+  return opts;
+}
+
+// ------------------------------------------------- five-mode differential
+
+/// All five concurrency modes must agree with the scan oracle on every
+/// query kind. kNone is only valid single-threaded; the latched and
+/// optimistic modes run under concurrent sessions submitting batches onto a
+/// shared pool.
+TEST(OptimisticDifferentialTest, FiveModesAgreeWithOracleUnderSessions) {
+  Column column = Column::UniqueRandom("A", kRows, 4242);
+  RangeOracle oracle(column);
+  ThreadPool pool(4);
+
+  const ConcurrencyMode modes[] = {
+      ConcurrencyMode::kNone, ConcurrencyMode::kColumnLatch,
+      ConcurrencyMode::kPieceLatch, ConcurrencyMode::kOptimistic,
+      ConcurrencyMode::kAdaptive};
+  for (ConcurrencyMode mode : modes) {
+    SCOPED_TRACE(ToString(mode));
+    CrackingIndex index(&column, OptionsFor(mode));
+    const bool concurrent = mode != ConcurrencyMode::kNone;
+
+    auto run_session = [&](uint64_t seed) {
+      auto session =
+          Session::OnIndex(&index, concurrent ? &pool : nullptr);
+      Rng rng(seed);
+      std::vector<Query> batch;
+      for (int i = 0; i < 120; ++i) {
+        Value lo = rng.UniformRange(0, kRows);
+        Value hi = rng.UniformRange(0, kRows);
+        if (lo > hi) std::swap(lo, hi);
+        switch (i % 4) {
+          case 0:
+            batch.push_back(Query::Count("", "", lo, hi));
+            break;
+          case 1:
+            batch.push_back(Query::Sum("", "", lo, hi));
+            break;
+          case 2:
+            batch.push_back(
+                Query::RowIds("", "", lo, std::min<Value>(hi, lo + 2000)));
+            break;
+          default:
+            batch.push_back(Query::MinMax("", "", lo, hi));
+            break;
+        }
+      }
+      std::vector<QueryTicket> tickets;
+      if (concurrent) {
+        tickets = session->SubmitBatch(batch);
+      }
+      bool ok = true;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        QueryResult result;
+        if (concurrent) {
+          if (!tickets[i].status().ok()) {
+            ok = false;
+            continue;
+          }
+          result = tickets[i].result();
+        } else {
+          if (!session->Execute(batch[i], &result).ok()) {
+            ok = false;
+            continue;
+          }
+        }
+        const Value lo = batch[i].range.lo;
+        const Value hi = batch[i].range.hi;
+        switch (batch[i].kind) {
+          case QueryKind::kCount:
+            ok &= result.count == oracle.Count(lo, hi);
+            break;
+          case QueryKind::kSum:
+            ok &= result.sum == oracle.Sum(lo, hi);
+            break;
+          case QueryKind::kRowIds:
+            ok &= oracle.CheckRowIds(lo, hi, result.row_ids);
+            break;
+          case QueryKind::kMinMax: {
+            Value omn = 0;
+            Value omx = 0;
+            const bool ofound = oracle.MinMax(lo, hi, &omn, &omx);
+            ok &= result.has_minmax == ofound &&
+                  (!ofound || (result.min_value == omn &&
+                               result.max_value == omx));
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      return ok;
+    };
+
+    if (concurrent) {
+      std::atomic<bool> all_ok{true};
+      std::vector<std::thread> clients;
+      for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&, c] {
+          if (!run_session(1000 + static_cast<uint64_t>(c) * 131)) {
+            all_ok.store(false);
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      EXPECT_TRUE(all_ok.load());
+    } else {
+      EXPECT_TRUE(run_session(1000));
+    }
+    EXPECT_TRUE(index.ValidateStructure());
+  }
+}
+
+// --------------------------------------------------- optimistic counters
+
+TEST(OptimisticStatsTest, SingleThreadedReadsNeverLatchNeverRetry) {
+  // Uncontended: every optimistic read validates on the first try, no
+  // fallback ever fires, and — the point of the mode — the aggregation path
+  // performs no read-latch acquisitions at all, while the piece-latch mode
+  // pays one per piece touched.
+  Column column = Column::UniqueRandom("A", kRows, 7);
+  RangeOracle oracle(column);
+
+  CrackingIndex opt(&column, OptionsFor(ConcurrencyMode::kOptimistic));
+  CrackingIndex pess(&column, OptionsFor(ConcurrencyMode::kPieceLatch));
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Value lo = rng.UniformRange(0, kRows);
+    Value hi = rng.UniformRange(0, kRows);
+    if (lo > hi) std::swap(lo, hi);
+    QueryContext c1;
+    QueryContext c2;
+    int64_t s1 = 0;
+    int64_t s2 = 0;
+    ASSERT_TRUE(opt.RangeSum(ValueRange{lo, hi}, &c1, &s1).ok());
+    ASSERT_TRUE(pess.RangeSum(ValueRange{lo, hi}, &c2, &s2).ok());
+    ASSERT_EQ(s1, oracle.Sum(lo, hi));
+    ASSERT_EQ(s2, s1);
+  }
+  const LatchStats& so = opt.latch_stats();
+  const LatchStats& sp = pess.latch_stats();
+  EXPECT_GT(so.optimistic_attempts(), 0u);
+  EXPECT_EQ(so.optimistic_retries(), 0u);
+  EXPECT_EQ(so.optimistic_fallbacks(), 0u);
+  EXPECT_GT(sp.read_acquires(), 0u);
+  // Optimistic reads take no read latch; the only shared-latch traffic left
+  // is on the write (crack) side.
+  EXPECT_EQ(so.read_acquires(), 0u);
+  EXPECT_EQ(sp.optimistic_attempts(), 0u);
+}
+
+TEST(OptimisticStatsTest, CountersConsistentUnderContention) {
+  // Readers hammer a hot range while crackers keep refining inside it.
+  // Whatever the interleaving, results stay exact and the counters stay
+  // consistent (attempts count completed reads; retries/fallbacks only
+  // happen when crackers actually interleave).
+  Column column = Column::UniqueRandom("A", kRows, 11);
+  RangeOracle oracle(column);
+  CrackingIndex index(&column, OptionsFor(ConcurrencyMode::kOptimistic));
+  {
+    QueryContext ctx;
+    uint64_t n = 0;
+    ASSERT_TRUE(index.RangeCount(ValueRange{1000, 19000}, &ctx, &n).ok());
+  }
+  const int64_t hot_sum = oracle.Sum(1000, 19000);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(500 + t);
+      for (int i = 0; i < 150 && ok.load(); ++i) {
+        QueryContext ctx;
+        if (t % 2 == 0) {
+          int64_t sum = 0;
+          if (!index.RangeSum(ValueRange{1000, 19000}, &ctx, &sum).ok() ||
+              sum != hot_sum) {
+            ok.store(false);
+          }
+        } else {
+          const Value lo = rng.UniformRange(1000, 18000);
+          uint64_t count = 0;
+          if (!index.RangeCount(ValueRange{lo, lo + 250}, &ctx, &count)
+                   .ok() ||
+              count != oracle.Count(lo, lo + 250)) {
+            ok.store(false);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+  const LatchStats& s = index.latch_stats();
+  EXPECT_GT(s.optimistic_attempts(), 0u);
+  // Fallbacks imply at least max_retries failed validations each.
+  CrackingOptions defaults;
+  EXPECT_GE(s.optimistic_retries(),
+            s.optimistic_fallbacks() *
+                static_cast<uint64_t>(defaults.optimistic.max_retries));
+}
+
+// ------------------------------------------------ kAdaptive policy rules
+
+TEST(OptimisticPolicyTest, DemotionAndRepromotionArithmetic) {
+  OptimisticReadPolicy p;  // defaults: threshold 8, penalty 4, cap 32
+  EXPECT_FALSE(p.Demoted(0));
+  EXPECT_FALSE(p.Demoted(p.demote_threshold - 1));
+  EXPECT_TRUE(p.Demoted(p.demote_threshold));
+
+  // Two fallbacks demote from a cold start.
+  int32_t c = 0;
+  c = p.AfterFallback(c);
+  EXPECT_FALSE(p.Demoted(c));
+  c = p.AfterFallback(c);
+  EXPECT_TRUE(p.Demoted(c));
+
+  // The cap bounds how deep a burst can dig.
+  for (int i = 0; i < 100; ++i) c = p.AfterFallback(c);
+  EXPECT_EQ(c, p.contention_cap);
+
+  // Successes decay back below the threshold: re-promotion.
+  int decays = 0;
+  while (p.Demoted(c)) {
+    c = p.AfterSuccess(c);
+    ++decays;
+    ASSERT_LT(decays, 1000);
+  }
+  EXPECT_EQ(c, p.demote_threshold - 1);
+  EXPECT_EQ(p.AfterSuccess(0), 0);  // floor
+
+  // Demoted pieces probe every Nth read; period 0 disables probing.
+  EXPECT_FALSE(p.ProbeNow(1));
+  EXPECT_TRUE(p.ProbeNow(p.probe_period));
+  EXPECT_TRUE(p.ProbeNow(2 * p.probe_period));
+  OptimisticReadPolicy never;
+  never.probe_period = 0;
+  EXPECT_FALSE(never.ProbeNow(1));
+  EXPECT_FALSE(never.ProbeNow(0));
+}
+
+TEST(OptimisticPolicyTest, AdaptiveModeStaysCorrectWithTinyThresholds) {
+  // Aggressive demotion settings force the adaptive machinery (demote,
+  // probe, re-promote) to actually cycle during a contended run; the
+  // differential then proves the transitions never compromise answers.
+  Column column = Column::UniqueRandom("A", kRows, 13);
+  RangeOracle oracle(column);
+  CrackingOptions opts;
+  opts.mode = ConcurrencyMode::kAdaptive;
+  opts.optimistic.max_retries = 1;
+  opts.optimistic.demote_threshold = 1;
+  opts.optimistic.fallback_penalty = 1;
+  opts.optimistic.probe_period = 2;
+  CrackingIndex index(&column, opts);
+  std::atomic<bool> ok{true};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(700 + t);
+      for (int i = 0; i < 150 && ok.load(); ++i) {
+        Value lo = rng.UniformRange(0, kRows - 400);
+        QueryContext ctx;
+        int64_t sum = 0;
+        if (!index.RangeSum(ValueRange{lo, lo + 400}, &ctx, &sum).ok() ||
+            sum != oracle.Sum(lo, lo + 400)) {
+          ok.store(false);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_TRUE(index.ValidateStructure());
+}
+
+// ------------------------------------------------------ session plumbing
+
+TEST(OptimisticSessionTest, LatchStatsVisibleThroughSession) {
+  Column column = Column::UniqueRandom("A", kRows, 17);
+  RangeOracle oracle(column);
+  CrackingOptions opts;
+  opts.mode = ConcurrencyMode::kOptimistic;
+  CrackingIndex index(&column, opts);
+  auto session = Session::OnIndex(&index, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    int64_t sum = 0;
+    ASSERT_TRUE(
+        session->Sum("", "", i * 100, i * 100 + 5000, &sum).ok());
+    ASSERT_EQ(sum, oracle.Sum(i * 100, i * 100 + 5000));
+  }
+  const LatchStats* stats = session->IndexLatchStats("", "");
+  ASSERT_NE(stats, nullptr);
+  EXPECT_GT(stats->optimistic_attempts(), 0u);
+  EXPECT_EQ(stats->optimistic_fallbacks(), 0u);
+  EXPECT_EQ(stats->read_acquires(), 0u);
+}
+
+TEST(OptimisticSessionTest, ConfigKeyDistinguishesOptimisticModes) {
+  // Optimistic configs are distinct physical indexes: mode always keys, and
+  // the policy block keys only when consulted.
+  IndexConfig piece;
+  piece.cracking.mode = ConcurrencyMode::kPieceLatch;
+  IndexConfig optimistic;
+  optimistic.cracking.mode = ConcurrencyMode::kOptimistic;
+  IndexConfig adaptive;
+  adaptive.cracking.mode = ConcurrencyMode::kAdaptive;
+  EXPECT_NE(IndexConfigKey(piece), IndexConfigKey(optimistic));
+  EXPECT_NE(IndexConfigKey(optimistic), IndexConfigKey(adaptive));
+
+  IndexConfig tuned = optimistic;
+  tuned.cracking.optimistic.max_retries = 9;
+  EXPECT_NE(IndexConfigKey(optimistic), IndexConfigKey(tuned));
+
+  // Under a latched mode the policy block is never consulted and must not
+  // split catalog entries.
+  IndexConfig piece_tuned = piece;
+  piece_tuned.cracking.optimistic.max_retries = 9;
+  EXPECT_EQ(IndexConfigKey(piece), IndexConfigKey(piece_tuned));
+}
+
+}  // namespace
+}  // namespace adaptidx

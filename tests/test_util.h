@@ -16,7 +16,8 @@ namespace adaptidx {
 class RangeOracle {
  public:
   explicit RangeOracle(const Column& column)
-      : sorted_(column.values().begin(), column.values().end()) {
+      : sorted_(column.values().begin(), column.values().end()),
+        values_(column.values().begin(), column.values().end()) {
     std::sort(sorted_.begin(), sorted_.end());
     prefix_.resize(sorted_.size() + 1, 0);
     for (size_t i = 0; i < sorted_.size(); ++i) {
@@ -34,6 +35,37 @@ class RangeOracle {
     return prefix_[Index(hi)] - prefix_[Index(lo)];
   }
 
+  /// \brief True when any value qualifies; then `*mn`/`*mx` are the range's
+  /// min and max.
+  bool MinMax(Value lo, Value hi, Value* mn, Value* mx) const {
+    if (lo >= hi) return false;
+    const size_t ilo = Index(lo);
+    const size_t ihi = Index(hi);
+    if (ilo >= ihi) return false;
+    *mn = sorted_[ilo];
+    *mx = sorted_[ihi - 1];
+    return true;
+  }
+
+  /// \brief Verifies a materialized rowID answer: rowIDs are unique, so the
+  /// answer is exactly the qualifying set iff it has the oracle's
+  /// cardinality and every returned id's value qualifies.
+  bool CheckRowIds(Value lo, Value hi,
+                   const std::vector<RowId>& row_ids) const {
+    if (row_ids.size() != Count(lo, hi)) return false;
+    std::vector<RowId> dedup(row_ids);
+    std::sort(dedup.begin(), dedup.end());
+    if (std::adjacent_find(dedup.begin(), dedup.end()) != dedup.end()) {
+      return false;
+    }
+    for (RowId r : row_ids) {
+      if (r >= values_.size()) return false;
+      const Value v = values_[r];
+      if (v < lo || v >= hi) return false;
+    }
+    return true;
+  }
+
  private:
   size_t Index(Value v) const {
     return static_cast<size_t>(
@@ -42,6 +74,7 @@ class RangeOracle {
   }
 
   std::vector<Value> sorted_;
+  std::vector<Value> values_;
   std::vector<int64_t> prefix_;
 };
 
