@@ -3,16 +3,67 @@
 /// Shows the paper's transactional split in action: updates are user
 /// transactions under the lock manager; index refinement is a latch-only
 /// system transaction that politely steps aside while conflicting user
-/// locks exist.
+/// locks exist. The final phase contrasts latched reads with MVCC
+/// snapshot reads (docs/CONCURRENCY.md): a long scan concurrent with an
+/// update stream, printing how much side-table blocking each read mode
+/// inflicts on the writers.
 ///
 ///   $ ./build/examples/read_write_mix
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
 #include "core/updatable_index.h"
 #include "storage/column.h"
 
 using namespace adaptidx;
+
+namespace {
+
+/// Phase 5 worker: one analyst loops full-range sums (with or without
+/// snapshot reads) while one updater streams inserts; returns the
+/// side-table writer blocked-wait the updater accumulated.
+double MeasureInterferenceMs(bool snapshot_reads) {
+  constexpr size_t kRows = 500'000;
+  constexpr int kUpdates = 1'500;
+  IndexConfig config;
+  config.method = IndexMethod::kScan;   // every read = full O(n) scan
+  config.snapshot_reads = true;         // maintain the version chain
+  UpdatableIndex orders(Column::UniqueRandom("amount", kRows, 7), config);
+
+  std::atomic<bool> stop{false};
+  std::thread analyst([&] {
+    QueryContext ctx;
+    ctx.snapshot_reads = snapshot_reads;
+    while (!stop.load(std::memory_order_acquire)) {
+      int64_t sum = 0;
+      (void)orders.RangeSum(ValueRange{0, static_cast<Value>(2 * kRows)},
+                            &ctx, &sum);
+    }
+  });
+  QueryContext uctx;
+  for (int i = 0; i < kUpdates; ++i) {
+    uctx.txn_id = 100 + static_cast<uint64_t>(i);
+    (void)orders.Insert(static_cast<Value>(kRows + i), &uctx);
+  }
+  stop.store(true, std::memory_order_release);
+  analyst.join();
+  std::printf("  %-8s reads: updater blocked %7.3f ms on the side-table "
+              "latch (%llu blocked acquisitions, %llu snapshot reads, "
+              "max epoch lag %llu)\n",
+              snapshot_reads ? "snapshot" : "latched",
+              static_cast<double>(orders.latch_stats().write_wait_ns()) / 1e6,
+              static_cast<unsigned long long>(
+                  orders.latch_stats().write_conflicts()),
+              static_cast<unsigned long long>(
+                  orders.latch_stats().snapshot_reads()),
+              static_cast<unsigned long long>(
+                  orders.latch_stats().snapshot_max_epoch_lag()));
+  return static_cast<double>(orders.latch_stats().write_wait_ns()) / 1e6;
+}
+
+}  // namespace
 
 int main() {
   constexpr size_t kRows = 500'000;
@@ -77,5 +128,17 @@ int main() {
   std::printf("\nafter checkpoint: rows=%zu pending=0, count = %llu "
               "(index rebuilt, re-cracks on demand)\n",
               orders.num_rows(), static_cast<unsigned long long>(count));
+
+  // 5. MVCC snapshot reads: a long analytical scan beside an update
+  //    stream. Latched reads hold the side-table latch for the whole scan,
+  //    so every in-flight scan blocks the writers; snapshot reads pin an
+  //    epoch in O(1) and read latch-free, so the writers never wait on a
+  //    reader (docs/CONCURRENCY.md, "MVCC snapshot reads").
+  std::printf("\nlong scan vs update stream (500k-row scans, 1500 "
+              "inserts):\n");
+  const double latched_ms = MeasureInterferenceMs(false);
+  const double snapshot_ms = MeasureInterferenceMs(true);
+  std::printf("  -> snapshot reads removed %.3f ms of writer blocking\n",
+              latched_ms - snapshot_ms);
   return 0;
 }

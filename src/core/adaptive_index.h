@@ -60,6 +60,12 @@ struct QueryContext {
   uint32_t client_id = 0;
   uint64_t txn_id = 0;
   uint32_t session_id = 0;  ///< issuing session; 0 outside the session API
+  /// MVCC read hint: an `UpdatableIndex` answers this query against a
+  /// per-query epoch snapshot of its differential side stores (no
+  /// side-table latch held during the read) instead of the latched shared
+  /// path. Stamped by sessions opened with `SessionOptions::snapshot_reads`;
+  /// ignored by indexes without a differential layer.
+  bool snapshot_reads = false;
 
   /// \brief A context carrying this one's identity with fresh stats — the
   /// per-fragment context of partitioned execution.
@@ -68,6 +74,7 @@ struct QueryContext {
     ctx.client_id = client_id;
     ctx.txn_id = txn_id;
     ctx.session_id = session_id;
+    ctx.snapshot_reads = snapshot_reads;
     return ctx;
   }
 
@@ -172,8 +179,9 @@ class AdaptiveIndex {
   /// 1 for non-adaptive methods. Diagnostics only.
   virtual size_t NumPieces() const { return 1; }
 
-  /// \brief Index-wide latch statistics.
+  /// \brief Index-wide latch statistics (thread-safe relaxed atomics).
   const LatchStats& latch_stats() const { return latch_stats_; }
+  /// \brief Mutable access for implementations wiring acquisition sinks.
   LatchStats* mutable_latch_stats() { return &latch_stats_; }
 
  protected:

@@ -35,6 +35,12 @@ std::string IndexConfigKey(const IndexConfig& config) {
   if (config.partitions > 1) {
     key += "@P" + std::to_string(config.partitions);
   }
+  // The maintained version chain of the differential layer is physical
+  // state: a snapshot-enabled and a plain updatable wrapper over the same
+  // method must denote distinct entries.
+  if (config.snapshot_reads) {
+    key += "+snap";
+  }
   // Only the option block the method consults participates — two configs
   // that differ in an unconsulted block denote the same physical index.
   switch (config.method) {

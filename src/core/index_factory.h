@@ -27,10 +27,15 @@ enum class IndexMethod {
   kBTreeMerge,
 };
 
+/// \brief Display name of an access method ("scan", "crack", ...).
 std::string ToString(IndexMethod method);
 
 /// \brief Aggregate configuration; only the block matching `method` is
 /// consulted.
+///
+/// Thread-safety: a plain value type — configure it before handing it to
+/// `MakeIndex`/`SessionOptions`; the engine copies it and never mutates a
+/// caller's instance.
 struct IndexConfig {
   IndexMethod method = IndexMethod::kCrack;
 
@@ -47,6 +52,15 @@ struct IndexConfig {
   /// of `IndexConfigKey`, since it does not change the physical index the
   /// config denotes.
   ThreadPool* pool = nullptr;
+
+  /// Differential-layer option, consulted by `UpdatableIndex` only: when
+  /// true the write path maintains an epoch-stamped copy-on-write version
+  /// chain of the side stores (`core/snapshot.h`), making snapshot capture
+  /// O(1) so reads requesting `QueryContext::snapshot_reads` never hold the
+  /// side-table latch for the duration of the read. Costs one O(pending)
+  /// copy per committed update; keep checkpoints frequent. Participates in
+  /// `IndexConfigKey` (the maintained chain is physical state).
+  bool snapshot_reads = false;
 
   CrackingOptions cracking;
   MergeOptions merge;

@@ -23,6 +23,7 @@ enum class QueryKind {
   kMinMax,
 };
 
+/// \brief Display name of a query kind ("count", "sum", ...).
 std::string ToString(QueryKind kind);
 
 /// \brief Unified query descriptor — the single currency of the access
@@ -35,6 +36,9 @@ std::string ToString(QueryKind kind);
 /// errors surface when the query executes). Indexes ignore the name fields
 /// (they are bound to their column); the engine uses them for catalog
 /// resolution.
+///
+/// Thread-safety: a plain value type with no shared state — confine each
+/// instance to one thread or copy freely.
 struct Query {
   QueryKind kind = QueryKind::kCount;
   std::string table;       ///< target table (ignored by direct-index sessions)
@@ -112,6 +116,9 @@ struct Query {
 /// `PartitionedIndex` assembles one answer from per-shard executions.
 /// RowID order after a merge is fragment order; callers needing a canonical
 /// order sort — no index promises one.
+///
+/// Thread-safety: a plain value type with no shared state — confine each
+/// instance to one thread or copy freely.
 struct QueryResult {
   QueryKind kind = QueryKind::kCount;
   uint64_t count = 0;
@@ -136,6 +143,7 @@ struct QueryResult {
   /// \brief Folds another partial of the same kind into this result.
   void Merge(const QueryResult& other);
 
+  /// \brief Field-wise equality; min/max only compared when valid.
   friend bool operator==(const QueryResult& a, const QueryResult& b) {
     return a.kind == b.kind && a.count == b.count && a.sum == b.sum &&
            a.row_ids == b.row_ids && a.has_minmax == b.has_minmax &&
@@ -153,6 +161,7 @@ struct MinMaxAccumulator {
   Value max = 0;
   bool any = false;
 
+  /// \brief Folds in one qualifying value.
   void Feed(Value v) { Feed(v, v); }
 
   /// \brief Folds in a sub-range already known to span [lo, hi].
@@ -167,6 +176,7 @@ struct MinMaxAccumulator {
     }
   }
 
+  /// \brief Writes the fold into a result (`has_minmax` = any fed).
   void Store(QueryResult* result) const {
     result->has_minmax = any;
     if (any) {

@@ -1,0 +1,214 @@
+#include "core/snapshot.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adaptidx {
+
+namespace {
+
+/// First element of a (value, rowID)-sorted vector with value >= lo.
+std::vector<std::pair<Value, RowId>>::const_iterator LowerBound(
+    const std::vector<std::pair<Value, RowId>>& entries, Value lo) {
+  return std::lower_bound(entries.begin(), entries.end(),
+                          std::make_pair(lo, RowId{0}));
+}
+
+void CountSumIn(const std::vector<std::pair<Value, RowId>>& entries,
+                const ValueRange& range, uint64_t* count, int64_t* sum) {
+  *count = 0;
+  *sum = 0;
+  for (auto it = LowerBound(entries, range.lo);
+       it != entries.end() && it->first < range.hi; ++it) {
+    ++*count;
+    *sum += it->first;
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------ SideStoreVersion
+
+void SideStoreVersion::InsertCountSum(const ValueRange& range,
+                                      uint64_t* count, int64_t* sum) const {
+  CountSumIn(inserts, range, count, sum);
+}
+
+void SideStoreVersion::AntiMatterCountSum(const ValueRange& range,
+                                          uint64_t* count,
+                                          int64_t* sum) const {
+  CountSumIn(anti_matter, range, count, sum);
+}
+
+bool SideStoreVersion::HidesRow(Value v, RowId id) const {
+  return std::binary_search(anti_matter.begin(), anti_matter.end(),
+                            std::make_pair(v, id));
+}
+
+size_t SideStoreVersion::FirstInsertAtOrAbove(Value lo) const {
+  return static_cast<size_t>(LowerBound(inserts, lo) - inserts.begin());
+}
+
+bool SideStoreVersion::AnyAntiMatterIn(const ValueRange& range) const {
+  auto it = LowerBound(anti_matter, range.lo);
+  return it != anti_matter.end() && it->first < range.hi;
+}
+
+// -------------------------------------------------------------- Snapshot
+
+Snapshot& Snapshot::operator=(Snapshot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mgr_ = other.mgr_;
+    version_ = std::move(other.version_);
+    base_generation_ = other.base_generation_;
+    other.mgr_ = nullptr;
+    other.version_ = nullptr;
+  }
+  return *this;
+}
+
+void Snapshot::Release() {
+  if (mgr_ != nullptr && version_ != nullptr) {
+    mgr_->Release(version_->epoch);
+  }
+  mgr_ = nullptr;
+  version_ = nullptr;
+}
+
+// ------------------------------------------------------- SnapshotManager
+
+SnapshotManager::SnapshotManager()
+    : current_(std::make_shared<SideStoreVersion>()) {}
+
+void SnapshotManager::Publish(std::shared_ptr<const SideStoreVersion> version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  assert(version->epoch >= current_->epoch);
+  retired_.push_back(std::move(current_));
+  ++retired_total_;
+  current_ = std::move(version);
+  ++published_;
+  ReclaimLocked();
+}
+
+Snapshot SnapshotManager::Acquire() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return !rebasing_; });
+  ++active_[current_->epoch];
+  return Snapshot(this, current_, base_generation_);
+}
+
+Snapshot SnapshotManager::TryAcquireMaterialized(
+    std::shared_ptr<const SideStoreVersion> version) {
+  std::lock_guard<std::mutex> lk(mu_);
+  // Refuse rather than wait: the caller materialized under the index latch
+  // and the rebasing thread is about to need it exclusively.
+  if (rebasing_) return Snapshot();
+  ++active_[version->epoch];
+  return Snapshot(this, std::move(version), base_generation_);
+}
+
+void SnapshotManager::AwaitRebaseComplete() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [this] { return !rebasing_; });
+}
+
+void SnapshotManager::BeginRebase() {
+  std::unique_lock<std::mutex> lk(mu_);
+  // One rebase at a time: a second checkpoint parks here until the first
+  // completes, then establishes its own drain.
+  cv_.wait(lk, [this] { return !rebasing_; });
+  rebasing_ = true;
+  cv_.wait(lk, [this] { return active_.empty(); });
+}
+
+void SnapshotManager::CompleteRebase(
+    std::shared_ptr<const SideStoreVersion> version) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The retired chain belongs to the pre-checkpoint base generation; no
+    // snapshot can reference it anymore (the drain guaranteed that), so it
+    // is reclaimed wholesale rather than epoch by epoch.
+    reclaimed_ += retired_.size();
+    retired_.clear();
+    current_ = std::move(version);
+    ++published_;
+    ++base_generation_;
+    rebasing_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SnapshotManager::Release(uint64_t epoch) {
+  bool drained = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = active_.find(epoch);
+    assert(it != active_.end());
+    if (--it->second == 0) active_.erase(it);
+    ReclaimLocked();
+    drained = active_.empty();
+  }
+  // A draining BeginRebase only cares about the registry emptying.
+  if (drained) cv_.notify_all();
+}
+
+void SnapshotManager::ReclaimLocked() {
+  // Keep only retired versions whose epoch an active snapshot still pins.
+  // The pin's own shared_ptr keeps its version alive regardless, so
+  // holding unpinned intermediates would be pure retention: a long-held
+  // snapshot beside a fast update stream must not accumulate one full
+  // side-store copy per commit.
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    if (active_.count((*it)->epoch) > 0) {
+      ++it;
+    } else {
+      it = retired_.erase(it);
+      ++reclaimed_;
+    }
+  }
+}
+
+uint64_t SnapshotManager::base_generation() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return base_generation_;
+}
+
+uint64_t SnapshotManager::current_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return current_->epoch;
+}
+
+size_t SnapshotManager::active_snapshots() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [epoch, pins] : active_) n += pins;
+  return n;
+}
+
+uint64_t SnapshotManager::oldest_active_epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_.empty() ? current_->epoch : active_.begin()->first;
+}
+
+uint64_t SnapshotManager::versions_published() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return published_;
+}
+
+uint64_t SnapshotManager::versions_retired() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_total_;
+}
+
+uint64_t SnapshotManager::versions_reclaimed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return reclaimed_;
+}
+
+size_t SnapshotManager::retired_chain_length() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return retired_.size();
+}
+
+}  // namespace adaptidx

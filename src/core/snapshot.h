@@ -1,0 +1,251 @@
+#ifndef ADAPTIDX_CORE_SNAPSHOT_H_
+#define ADAPTIDX_CORE_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace adaptidx {
+
+/// \brief One immutable, epoch-stamped copy of the differential side
+/// stores of an `UpdatableIndex` (pending inserts + anti-matter) — the
+/// multi-version representation behind snapshot reads.
+///
+/// The paper's Section 4.2/4.3 design treats adaptive merging's
+/// differential files as the natural place for multi-version concurrency:
+/// the base column is immutable between checkpoints, so versioning the
+/// *differentials* versions the whole logical column. Every committed
+/// `Insert`/`Delete` builds the next version under the writer's exclusive
+/// latch (copy-on-write — versions share nothing and are never mutated
+/// after publication); readers that captured an earlier version keep
+/// reading it latch-free while writers race ahead.
+///
+/// Thread-safety: immutable after construction; any number of threads may
+/// read one version concurrently without synchronization.
+struct SideStoreVersion {
+  /// The commit epoch this version materializes: the state after the
+  /// `epoch`-th committed update (epoch 0 = pristine base).
+  uint64_t epoch = 0;
+  /// Pending insertions, sorted by (value, rowID).
+  std::vector<std::pair<Value, RowId>> inserts;
+  /// Anti-matter (deletion markers against base rows), sorted by
+  /// (value, rowID).
+  std::vector<std::pair<Value, RowId>> anti_matter;
+
+  /// \brief Count and sum of pending inserts falling in [range.lo,
+  /// range.hi).
+  void InsertCountSum(const ValueRange& range, uint64_t* count,
+                      int64_t* sum) const;
+
+  /// \brief Count and sum of anti-matter markers falling in [range.lo,
+  /// range.hi).
+  void AntiMatterCountSum(const ValueRange& range, uint64_t* count,
+                          int64_t* sum) const;
+
+  /// \brief Whether base row (`v`, `id`) is hidden by an anti-matter
+  /// marker in this version.
+  bool HidesRow(Value v, RowId id) const;
+
+  /// \brief Index of the first pending insert with value >= `lo`
+  /// (for in-range iteration: advance while `inserts[i].first < hi`).
+  size_t FirstInsertAtOrAbove(Value lo) const;
+
+  /// \brief True when at least one anti-matter marker falls in the range —
+  /// the predicate that decides whether a min/max answer from the base
+  /// index can be trusted.
+  bool AnyAntiMatterIn(const ValueRange& range) const;
+};
+
+class SnapshotManager;
+
+/// \brief A pinned, consistent view of an `UpdatableIndex` at one commit
+/// epoch and base generation — the read end of the MVCC layer.
+///
+/// A snapshot is captured in O(1) (a short pin on the manager, no
+/// side-table latch) and holds exactly the differential state of its
+/// `epoch()`: updates committed after capture are invisible, so re-running
+/// a query against the same snapshot always returns the identical answer
+/// (repeatable read). The base column/index referenced by
+/// `base_generation()` is guaranteed stable while the snapshot is held:
+/// `UpdatableIndex::Checkpoint()` drains (waits for) every outstanding
+/// snapshot before swapping the base.
+///
+/// Because checkpoints — and the index destructor — wait on outstanding
+/// snapshots, a thread must never call `Checkpoint()` on, or destroy, the
+/// index while itself holding one of its snapshots (self-deadlock).
+/// Release (destroy) snapshots promptly; a pin held by another thread
+/// simply blocks the checkpoint/destruction until released, it never
+/// dangles.
+///
+/// Thread-safety: a Snapshot is a move-only value owned by one thread;
+/// concurrent snapshots of the same index are independent and may be
+/// captured/read/released from any number of threads.
+class Snapshot {
+ public:
+  /// \brief An empty (invalid) snapshot; pins nothing.
+  Snapshot() = default;
+
+  /// \brief Releases the pin (unblocking a draining checkpoint and making
+  /// retired versions reclaimable).
+  ~Snapshot() { Release(); }
+
+  Snapshot(Snapshot&& other) noexcept { *this = std::move(other); }
+  Snapshot& operator=(Snapshot&& other) noexcept;
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  /// \brief False for default-constructed or released snapshots.
+  bool valid() const { return version_ != nullptr; }
+
+  /// \brief The commit epoch this snapshot reads at.
+  uint64_t epoch() const { return version_ != nullptr ? version_->epoch : 0; }
+
+  /// \brief The base-column generation (bumped by every checkpoint) this
+  /// snapshot's rowIDs and base answers are expressed against.
+  uint64_t base_generation() const { return base_generation_; }
+
+  /// \brief The pinned immutable differential state. Requires `valid()`.
+  const SideStoreVersion& version() const { return *version_; }
+
+  /// \brief Explicitly drops the pin early (idempotent).
+  void Release();
+
+ private:
+  friend class SnapshotManager;
+  friend class UpdatableIndex;  ///< validates snapshot/index pairing
+
+  Snapshot(SnapshotManager* mgr,
+           std::shared_ptr<const SideStoreVersion> version,
+           uint64_t base_generation)
+      : mgr_(mgr),
+        version_(std::move(version)),
+        base_generation_(base_generation) {}
+
+  SnapshotManager* mgr_ = nullptr;
+  std::shared_ptr<const SideStoreVersion> version_;
+  uint64_t base_generation_ = 0;
+};
+
+/// \brief Publishes, pins, drains, and reclaims `SideStoreVersion`s — the
+/// version-chain bookkeeping of the MVCC layer.
+///
+/// Writer protocol: after mutating the side stores under the index's
+/// exclusive latch, the writer calls `Publish` with the next version; the
+/// previous current version is *retired* (it may still be pinned by
+/// readers). Reader protocol: `Acquire` pins the current version under a
+/// short internal mutex — the "short pin" — and the returned `Snapshot`
+/// releases it on destruction. Checkpoint protocol: `BeginRebase` blocks
+/// new acquisitions and waits until every outstanding snapshot is
+/// released, the caller swaps the base, then `CompleteRebase` installs the
+/// post-checkpoint version under the next base generation and re-admits
+/// readers.
+///
+/// Reclamation is epoch-based: a retired version is dropped from the chain
+/// as soon as no active snapshot pins its epoch — immediately on
+/// retirement in the common no-reader case. A pinned version stays alive
+/// through the snapshot's own reference regardless, so the chain holds at
+/// most one entry per actively pinned epoch and a long-held snapshot
+/// beside a fast update stream retains O(pinned epochs), not O(commits),
+/// versions. The `versions_*` counters make retirement/reclamation
+/// observable to tests.
+///
+/// Thread-safety: fully synchronized internally; all methods may be called
+/// from any thread. `BeginRebase`/`CompleteRebase` must be paired and are
+/// mutually exclusive with each other (the index's exclusive latch
+/// provides that).
+class SnapshotManager {
+ public:
+  SnapshotManager();
+
+  /// \brief Installs `version` as current (its epoch must be monotonically
+  /// increasing); the previous current version is retired and reclamation
+  /// runs.
+  void Publish(std::shared_ptr<const SideStoreVersion> version);
+
+  /// \brief Pins the current version. Blocks while a rebase (checkpoint
+  /// drain) is in progress.
+  Snapshot Acquire();
+
+  /// \brief Pins an externally materialized version (the capture path of an
+  /// index that does not maintain the chain, see
+  /// `IndexConfig::snapshot_reads`) — the version joins the active registry
+  /// so checkpoint drains account for it. Returns an *invalid* snapshot
+  /// instead of blocking when a rebase is in progress: the caller typically
+  /// holds the index latch while materializing, and waiting under it would
+  /// deadlock against the rebase. Drop the latch, `AwaitRebaseComplete`,
+  /// re-materialize, retry.
+  Snapshot TryAcquireMaterialized(
+      std::shared_ptr<const SideStoreVersion> version);
+
+  /// \brief Blocks while a rebase is in progress. Must be called WITHOUT
+  /// holding any latch the rebasing thread needs.
+  void AwaitRebaseComplete();
+
+  /// \brief Checkpoint entry: serializes against other rebases, blocks new
+  /// acquisitions, then waits until no snapshot is active. Must be called
+  /// WITHOUT holding the index latch — snapshot holders may need it to
+  /// finish the read their pin protects (see `UpdatableIndex::Checkpoint`
+  /// for the ordering).
+  void BeginRebase();
+
+  /// \brief Checkpoint exit: installs the post-checkpoint `version`, bumps
+  /// the base generation, drops the (now meaningless) retired chain, and
+  /// re-admits readers.
+  void CompleteRebase(std::shared_ptr<const SideStoreVersion> version);
+
+  /// \brief Generation of the base column current snapshots read against;
+  /// bumped by every `CompleteRebase`.
+  uint64_t base_generation() const;
+
+  /// \brief Epoch of the currently published version.
+  uint64_t current_epoch() const;
+
+  /// \brief Number of snapshots currently pinned.
+  size_t active_snapshots() const;
+
+  /// \brief Oldest epoch pinned by an active snapshot; `current_epoch()`
+  /// when none is active.
+  uint64_t oldest_active_epoch() const;
+
+  // ---- reclamation observability (tests/benchmarks) --------------------
+
+  uint64_t versions_published() const;  ///< `Publish`/`CompleteRebase` calls
+  uint64_t versions_retired() const;    ///< versions superseded while current
+  uint64_t versions_reclaimed() const;  ///< retired versions dropped again
+  size_t retired_chain_length() const;  ///< retired versions still held
+
+ private:
+  friend class Snapshot;
+
+  /// Unpins one snapshot at `epoch`; runs reclamation and wakes a draining
+  /// rebase when the registry empties.
+  void Release(uint64_t epoch);
+
+  /// Drops every retired version whose epoch no active snapshot pins.
+  /// Requires mu_ held.
+  void ReclaimLocked();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< drain progress + rebase completion
+  bool rebasing_ = false;
+  std::shared_ptr<const SideStoreVersion> current_;
+  uint64_t base_generation_ = 0;
+  /// Pin counts per epoch of every active snapshot.
+  std::map<uint64_t, size_t> active_;
+  /// Superseded versions whose epoch is still pinned, oldest first.
+  std::deque<std::shared_ptr<const SideStoreVersion>> retired_;
+  uint64_t published_ = 0;
+  uint64_t retired_total_ = 0;
+  uint64_t reclaimed_ = 0;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_CORE_SNAPSHOT_H_

@@ -2,7 +2,183 @@
 
 #include <algorithm>
 
+#include "util/stopwatch.h"
+
 namespace adaptidx {
+
+namespace {
+
+/// Acquires `mu` (shared or exclusive per the lock type) and accounts the
+/// acquisition on `stats`: uncontended fast path via try-lock, otherwise the
+/// blocked wait is timed. This makes reader/writer interference on the side
+/// tables observable — the quantity the snapshot-read ablation measures.
+template <typename Lock, typename Mutex>
+Lock AccountedLock(Mutex& mu, void (LatchStats::*record)(int64_t, bool),
+                   LatchStats* stats) {
+  Lock lk(mu, std::try_to_lock);
+  if (lk.owns_lock()) {
+    (stats->*record)(0, false);
+    return lk;
+  }
+  const int64_t t0 = NowNanos();
+  lk.lock();
+  (stats->*record)(NowNanos() - t0, true);
+  return lk;
+}
+
+// The two differential views the shared combine logic below runs against.
+// Latched reads walk the live ordered containers (under the shared
+// side-table latch); snapshot reads walk an immutable SideStoreVersion's
+// sorted vectors (no latch). Keeping ONE combine implementation over both
+// is what guarantees the two paths can never diverge semantically.
+
+/// Live side stores (mu_ held, shared suffices).
+struct MapDiffView {
+  const std::multimap<Value, RowId>& inserts;
+  const std::set<std::pair<Value, RowId>>& anti_matter;
+
+  void InsertCountSum(const ValueRange& range, uint64_t* count,
+                      int64_t* sum) const {
+    *count = 0;
+    *sum = 0;
+    for (auto it = inserts.lower_bound(range.lo);
+         it != inserts.end() && it->first < range.hi; ++it) {
+      ++*count;
+      *sum += it->first;
+    }
+  }
+  void AntiMatterCountSum(const ValueRange& range, uint64_t* count,
+                          int64_t* sum) const {
+    *count = 0;
+    *sum = 0;
+    for (auto it = anti_matter.lower_bound({range.lo, 0});
+         it != anti_matter.end() && it->first < range.hi; ++it) {
+      ++*count;
+      *sum += it->first;
+    }
+  }
+  bool AnyAntiMatter() const { return !anti_matter.empty(); }
+  bool AnyAntiMatterIn(const ValueRange& range) const {
+    auto it = anti_matter.lower_bound({range.lo, 0});
+    return it != anti_matter.end() && it->first < range.hi;
+  }
+  bool HidesRow(Value v, RowId id) const {
+    return anti_matter.count({v, id}) > 0;
+  }
+  template <typename Fn>
+  void ForEachInsertIn(const ValueRange& range, Fn fn) const {
+    for (auto it = inserts.lower_bound(range.lo);
+         it != inserts.end() && it->first < range.hi; ++it) {
+      fn(it->first, it->second);
+    }
+  }
+};
+
+/// Pinned immutable version (no latch needed).
+struct VersionDiffView {
+  const SideStoreVersion& v;
+
+  void InsertCountSum(const ValueRange& range, uint64_t* count,
+                      int64_t* sum) const {
+    v.InsertCountSum(range, count, sum);
+  }
+  void AntiMatterCountSum(const ValueRange& range, uint64_t* count,
+                          int64_t* sum) const {
+    v.AntiMatterCountSum(range, count, sum);
+  }
+  bool AnyAntiMatter() const { return !v.anti_matter.empty(); }
+  bool AnyAntiMatterIn(const ValueRange& range) const {
+    return v.AnyAntiMatterIn(range);
+  }
+  bool HidesRow(Value value, RowId id) const { return v.HidesRow(value, id); }
+  template <typename Fn>
+  void ForEachInsertIn(const ValueRange& range, Fn fn) const {
+    for (size_t i = v.FirstInsertAtOrAbove(range.lo);
+         i < v.inserts.size() && v.inserts[i].first < range.hi; ++i) {
+      fn(v.inserts[i].first, v.inserts[i].second);
+    }
+  }
+};
+
+/// THE query evaluation of the differential layer — shared verbatim by the
+/// latched and snapshot paths: combines the base index/column answer with
+/// one differential view. The caller guarantees `diff`, `base`, and
+/// `index` stay valid for the duration (shared latch or snapshot pin).
+template <typename DiffView>
+Status CombineWithDifferentials(const Query& query, const DiffView& diff,
+                                const Column& base, AdaptiveIndex* index,
+                                QueryContext* ctx, QueryResult* result) {
+  const ValueRange& range = query.range;
+  switch (query.kind) {
+    case QueryKind::kCount:
+    case QueryKind::kSum: {
+      QueryResult base_result;
+      Status s = index->Execute(query, ctx, &base_result);
+      if (!s.ok()) return s;
+      uint64_t ins_c;
+      int64_t ins_s;
+      uint64_t del_c;
+      int64_t del_s;
+      diff.InsertCountSum(range, &ins_c, &ins_s);
+      diff.AntiMatterCountSum(range, &del_c, &del_s);
+      if (query.kind == QueryKind::kCount) {
+        result->count = base_result.count + ins_c - del_c;
+      } else {
+        result->sum = base_result.sum + ins_s - del_s;
+      }
+      return Status::OK();
+    }
+    case QueryKind::kRowIds: {
+      QueryResult base_result;
+      Status s = index->Execute(query, ctx, &base_result);
+      if (!s.ok()) return s;
+      result->row_ids = std::move(base_result.row_ids);
+      if (diff.AnyAntiMatter()) {
+        // Filter out rows hidden by anti-matter; values come from the base
+        // column (row ids of base rows are positions).
+        auto hidden = [&](RowId id) { return diff.HidesRow(base[id], id); };
+        result->row_ids.erase(std::remove_if(result->row_ids.begin(),
+                                             result->row_ids.end(), hidden),
+                              result->row_ids.end());
+      }
+      diff.ForEachInsertIn(range, [&](Value, RowId id) {
+        result->row_ids.push_back(id);
+      });
+      return Status::OK();
+    }
+    case QueryKind::kMinMax: {
+      MinMaxAccumulator acc;
+      if (!diff.AnyAntiMatterIn(range)) {
+        // The base answer cannot name a deleted extreme; combine it with
+        // the pending insertions directly.
+        QueryResult base_result;
+        Status s = index->Execute(query, ctx, &base_result);
+        if (!s.ok()) return s;
+        if (base_result.has_minmax) {
+          acc.Feed(base_result.min_value, base_result.max_value);
+        }
+      } else {
+        // A deleted row may have been the extreme; re-derive from the base
+        // column skipping hidden rows. Deletions in the queried range are
+        // the rare case, so the O(n) pass stays off the common path.
+        for (size_t i = 0; i < base.size(); ++i) {
+          const Value v = base[i];
+          if (!range.Contains(v)) continue;
+          if (diff.HidesRow(v, static_cast<RowId>(i))) continue;
+          acc.Feed(v);
+        }
+      }
+      diff.ForEachInsertIn(range, [&](Value v, RowId) { acc.Feed(v); });
+      acc.Store(result);
+      return Status::OK();
+    }
+    case QueryKind::kSumOther:
+      return Status::NotSupported("updatable index holds no second column");
+  }
+  return Status::InvalidArgument("unknown query kind");
+}
+
+}  // namespace
 
 UpdatableIndex::UpdatableIndex(Column base, IndexConfig config,
                                LockManager* lock_manager,
@@ -13,6 +189,15 @@ UpdatableIndex::UpdatableIndex(Column base, IndexConfig config,
       base_(std::make_unique<Column>(std::move(base))),
       next_row_id_(static_cast<RowId>(base_->size())) {
   RebuildIndexLocked();
+}
+
+UpdatableIndex::~UpdatableIndex() {
+  // Drain: block new captures and wait for every outstanding pin, exactly
+  // as a checkpoint would. Once the registry is empty every Snapshot
+  // handle has run Release() (which nulls its manager pointer), so no
+  // destructor of a surviving handle can reach back into freed memory.
+  // The rebase deliberately never completes — the manager dies rebasing.
+  snapshots_.BeginRebase();
 }
 
 void UpdatableIndex::RebuildIndexLocked() {
@@ -27,103 +212,86 @@ std::string UpdatableIndex::Name() const {
   return "updatable(" + index_->Name() + ")";
 }
 
-void UpdatableIndex::DiffCountSumLocked(const ValueRange& range,
-                                        uint64_t* ins_count, int64_t* ins_sum,
-                                        uint64_t* del_count,
-                                        int64_t* del_sum) const {
-  *ins_count = 0;
-  *ins_sum = 0;
-  *del_count = 0;
-  *del_sum = 0;
-  for (auto it = inserts_.lower_bound(range.lo);
-       it != inserts_.end() && it->first < range.hi; ++it) {
-    ++*ins_count;
-    *ins_sum += it->first;
+std::shared_ptr<SideStoreVersion> UpdatableIndex::MaterializeVersionLocked()
+    const {
+  auto v = std::make_shared<SideStoreVersion>();
+  v->epoch = commit_epoch_.load(std::memory_order_relaxed);
+  // Both copies come out (value, rowID)-sorted: the multimap preserves
+  // insertion order within equal values and row ids are assigned
+  // monotonically, so equal-value runs are rowID-ascending; the anti-matter
+  // set is ordered by the pair directly.
+  v->inserts.assign(inserts_.begin(), inserts_.end());
+  v->anti_matter.assign(anti_matter_.begin(), anti_matter_.end());
+  return v;
+}
+
+void UpdatableIndex::CommitEpochLocked() {
+  commit_epoch_.fetch_add(1, std::memory_order_release);
+  if (config_.snapshot_reads) {
+    snapshots_.Publish(MaterializeVersionLocked());
   }
-  for (auto it = anti_matter_.lower_bound({range.lo, 0});
-       it != anti_matter_.end() && it->first < range.hi; ++it) {
-    ++*del_count;
-    *del_sum += it->first;
+}
+
+Snapshot UpdatableIndex::CaptureSnapshot() const {
+  if (config_.snapshot_reads) {
+    // The chain is maintained by the write path: the capture is one short
+    // pin on the manager, no side-table latch at all.
+    return snapshots_.Acquire();
   }
+  // Chain not maintained: materialize a consistent one-off version under
+  // the shared latch (O(pending)); it still registers with the manager so
+  // checkpoint drains account for it. The pin must never be awaited while
+  // mu_ is held — a draining checkpoint is about to take mu_ exclusively —
+  // so a rebase collision drops the latch and retries after the rebase.
+  for (;;) {
+    snapshots_.AwaitRebaseComplete();
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    Snapshot snapshot =
+        snapshots_.TryAcquireMaterialized(MaterializeVersionLocked());
+    if (snapshot.valid()) return snapshot;
+  }
+}
+
+Status UpdatableIndex::ExecuteSnapshot(const Query& query,
+                                       const Snapshot& snapshot,
+                                       QueryContext* ctx,
+                                       QueryResult* result) {
+  result->Reset(query.kind);
+  if (!snapshot.valid()) {
+    return Status::InvalidArgument("snapshot is empty/released");
+  }
+  if (snapshot.mgr_ != &snapshots_) {
+    return Status::InvalidArgument("snapshot belongs to another index");
+  }
+  if (query.range.Empty()) return Status::OK();
+  // No side-table latch for the duration of the read: the base column and
+  // wrapped index are stable while the snapshot is pinned, because
+  // Checkpoint() drains every outstanding snapshot before swapping them
+  // (synchronized through the SnapshotManager mutex).
+  Status s = CombineWithDifferentials(
+      query, VersionDiffView{snapshot.version()}, *base_, index_.get(), ctx,
+      result);
+  if (s.ok() && query.kind == QueryKind::kRowIds) {
+    result->count = result->row_ids.size();
+  }
+  latch_stats_.RecordSnapshotRead(commit_epoch() - snapshot.epoch());
+  return s;
 }
 
 Status UpdatableIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
                                    QueryResult* result) {
-  const ValueRange& range = query.range;
-  std::shared_lock<std::shared_mutex> lk(mu_);
-  switch (query.kind) {
-    case QueryKind::kCount:
-    case QueryKind::kSum: {
-      QueryResult base;
-      Status s = index_->Execute(query, ctx, &base);
-      if (!s.ok()) return s;
-      uint64_t ins_c;
-      int64_t ins_s;
-      uint64_t del_c;
-      int64_t del_s;
-      DiffCountSumLocked(range, &ins_c, &ins_s, &del_c, &del_s);
-      if (query.kind == QueryKind::kCount) {
-        result->count = base.count + ins_c - del_c;
-      } else {
-        result->sum = base.sum + ins_s - del_s;
-      }
-      return Status::OK();
-    }
-    case QueryKind::kRowIds: {
-      QueryResult base;
-      Status s = index_->Execute(query, ctx, &base);
-      if (!s.ok()) return s;
-      result->row_ids = std::move(base.row_ids);
-      if (!anti_matter_.empty()) {
-        // Filter out rows hidden by anti-matter; values come from the base
-        // column (row ids of base rows are positions).
-        auto hidden = [this](RowId id) {
-          return anti_matter_.count({(*base_)[id], id}) > 0;
-        };
-        result->row_ids.erase(std::remove_if(result->row_ids.begin(),
-                                             result->row_ids.end(), hidden),
-                              result->row_ids.end());
-      }
-      for (auto it = inserts_.lower_bound(range.lo);
-           it != inserts_.end() && it->first < range.hi; ++it) {
-        result->row_ids.push_back(it->second);
-      }
-      return Status::OK();
-    }
-    case QueryKind::kMinMax: {
-      MinMaxAccumulator acc;
-      auto am_it = anti_matter_.lower_bound({range.lo, 0});
-      const bool deletions_in_range =
-          am_it != anti_matter_.end() && am_it->first < range.hi;
-      if (!deletions_in_range) {
-        // The base answer cannot name a deleted extreme; combine it with
-        // the pending insertions directly.
-        QueryResult base;
-        Status s = index_->Execute(query, ctx, &base);
-        if (!s.ok()) return s;
-        if (base.has_minmax) acc.Feed(base.min_value, base.max_value);
-      } else {
-        // A deleted row may have been the extreme; re-derive from the base
-        // column skipping hidden rows. Deletions in the queried range are
-        // the rare case, so the O(n) pass stays off the common path.
-        for (size_t i = 0; i < base_->size(); ++i) {
-          const Value v = (*base_)[i];
-          if (!range.Contains(v)) continue;
-          if (anti_matter_.count({v, static_cast<RowId>(i)}) > 0) continue;
-          acc.Feed(v);
-        }
-      }
-      for (auto it = inserts_.lower_bound(range.lo);
-           it != inserts_.end() && it->first < range.hi; ++it) {
-        acc.Feed(it->first);
-      }
-      acc.Store(result);
-      return Status::OK();
-    }
-    case QueryKind::kSumOther:
-      return Status::NotSupported("updatable index holds no second column");
+  if (ctx != nullptr && ctx->snapshot_reads) {
+    // Per-query snapshot capture: each execution (each ticket of an async
+    // batch) pins its own epoch, so every answer is individually
+    // consistent and the side-table latch is never held across the read.
+    Snapshot snapshot = CaptureSnapshot();
+    return ExecuteSnapshot(query, snapshot, ctx, result);
   }
-  return Status::InvalidArgument("unknown query kind");
+  auto lk = AccountedLock<std::shared_lock<std::shared_mutex>>(
+      mu_, &LatchStats::RecordRead, &latch_stats_);
+  return CombineWithDifferentials(query,
+                                  MapDiffView{inserts_, anti_matter_},
+                                  *base_, index_.get(), ctx, result);
 }
 
 Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {
@@ -137,9 +305,11 @@ Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {
   }
   RowId assigned;
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto lk = AccountedLock<std::unique_lock<std::shared_mutex>>(
+        mu_, &LatchStats::RecordWrite, &latch_stats_);
     assigned = next_row_id_++;
     inserts_.emplace(v, assigned);
+    CommitEpochLocked();
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);  // auto-commit
   if (row_id != nullptr) *row_id = assigned;
@@ -156,7 +326,8 @@ Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
   }
   Status result = Status::OK();
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto lk = AccountedLock<std::unique_lock<std::shared_mutex>>(
+        mu_, &LatchStats::RecordWrite, &latch_stats_);
     // A pending insertion is cancelled directly.
     bool cancelled = false;
     for (auto it = inserts_.lower_bound(v);
@@ -176,12 +347,24 @@ Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
         anti_matter_.emplace(v, row_id);
       }
     }
+    if (result.ok()) CommitEpochLocked();
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);
   return result;
 }
 
 Status UpdatableIndex::Checkpoint() {
+  // Drain FIRST, before taking mu_: block new snapshot captures and wait
+  // until every outstanding snapshot is released — held snapshots
+  // reference the current base column/index, which is about to be
+  // replaced. The ordering matters: a snapshot holder may need mu_ to
+  // finish the operation its pin brackets (e.g. another thread holding a
+  // pin across an Insert), so waiting for pins while holding mu_
+  // exclusively would deadlock the whole index. With the drain complete
+  // and rebasing latched in the manager, no new pin can appear before the
+  // exclusive acquisition below (both capture paths check the rebase
+  // flag without holding mu_).
+  snapshots_.BeginRebase();
   std::unique_lock<std::shared_mutex> lk(mu_);
   std::vector<Value> values;
   values.reserve(base_->size() + inserts_.size() - anti_matter_.size());
@@ -196,6 +379,11 @@ Status UpdatableIndex::Checkpoint() {
   anti_matter_.clear();
   next_row_id_ = static_cast<RowId>(base_->size());
   RebuildIndexLocked();
+  // The fold is itself one committed system transaction: it advances the
+  // epoch and installs the post-checkpoint (empty-differential) version
+  // under the next base generation, re-admitting snapshot captures.
+  commit_epoch_.fetch_add(1, std::memory_order_release);
+  snapshots_.CompleteRebase(MaterializeVersionLocked());
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef ADAPTIDX_CORE_UPDATABLE_INDEX_H_
 #define ADAPTIDX_CORE_UPDATABLE_INDEX_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <set>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "core/index_factory.h"
+#include "core/snapshot.h"
 #include "lock/lock_manager.h"
 
 namespace adaptidx {
@@ -26,7 +28,8 @@ namespace adaptidx {
 ///    anti-matter markers (deleting a still-pending insertion cancels it
 ///    directly).
 ///  - Queries combine the base index's answer with the differentials under
-///    a short shared latch.
+///    a short shared latch — or, with snapshot reads (below), against a
+///    pinned immutable version with no side-table latch held at all.
 ///  - `Checkpoint()` is a maintenance system transaction that folds the
 ///    differentials into a fresh base column, rebuilds the adaptive index
 ///    from scratch (re-entering state 4 of Figure 5), and re-assigns row
@@ -38,6 +41,30 @@ namespace adaptidx {
 /// under the column resource. While such locks are held, the wrapped
 /// cracking index's refinement probe sees the conflict and forgoes
 /// optimization; queries still answer correctly by scanning.
+///
+/// MVCC snapshot reads (Section 4.3: "merge steps can run as multi-version
+/// system transactions"): every committed update advances a monotonically
+/// increasing `commit_epoch()`. With `IndexConfig::snapshot_reads` enabled
+/// the writer additionally publishes an immutable copy-on-write
+/// `SideStoreVersion` of the differentials per commit, and a query whose
+/// context sets `QueryContext::snapshot_reads` captures a `Snapshot` (one
+/// short pin, O(1)) and answers count/sum/rowIDs/minmax against exactly
+/// that epoch *without holding the side-table latch during the read* — a
+/// long analytical scan no longer blocks the update stream. Retired
+/// versions are reclaimed epoch-based once no snapshot pins them, and
+/// `Checkpoint()` drains outstanding snapshots before swapping the base
+/// (so a thread must not checkpoint while holding its own snapshot).
+///
+/// Thread-safety: all methods may be called concurrently from any number
+/// of threads; updates serialize on an internal writer latch, reads are
+/// shared (latched path) or latch-free (snapshot path).
+///
+/// Observability: `latch_stats()` of this wrapper reports the *side-table*
+/// latch (read/write acquisitions with blocked wait time — the
+/// reader/writer interference snapshot reads remove) plus the
+/// snapshot-read/epoch-lag counters; the wrapped index accounts its own
+/// piece/column latch traffic separately under
+/// `base_index()->latch_stats()`.
 class UpdatableIndex : public AdaptiveIndex {
  public:
   /// \brief Takes ownership of the base data. `config` selects and
@@ -48,34 +75,87 @@ class UpdatableIndex : public AdaptiveIndex {
                  LockManager* lock_manager = nullptr,
                  std::string lock_resource = "");
 
+  /// \brief Drains outstanding snapshots — blocks until every `Snapshot`
+  /// of this index is released — so a live pin can never dangle into a
+  /// destroyed index (a released pin's destructor touches nothing of the
+  /// index). Like `Checkpoint()`, never destroy the index on a thread
+  /// holding its own snapshot.
+  ~UpdatableIndex() override;
+
+  /// \brief "updatable(<wrapped method>)". Thread-safe.
   std::string Name() const override;
 
   /// \brief Inserts a new tuple with value `v` as user transaction
   /// `ctx->txn_id`; a fresh row id is assigned and returned via `*row_id`
-  /// (optional).
+  /// (optional). Commits one epoch; thread-safe.
   Status Insert(Value v, QueryContext* ctx, RowId* row_id = nullptr);
 
   /// \brief Deletes the tuple (`v`, `row_id`) by planting anti-matter (or
   /// cancelling a pending insertion). NotFound when no such live tuple
-  /// exists.
+  /// exists. A successful delete commits one epoch; thread-safe.
   Status Delete(Value v, RowId row_id, QueryContext* ctx);
 
   /// \brief Folds differentials into a fresh base column and rebuilds the
   /// adaptive index; row ids are re-assigned (a rebuild, as in dropping and
-  /// re-creating an optional index, Section 4.2).
+  /// re-creating an optional index, Section 4.2). Bumps the snapshot base
+  /// generation and *drains* — blocks until every outstanding `Snapshot` of
+  /// this index is released — before taking the side-table latch and
+  /// swapping the base, so held snapshots stay valid and pin-holding
+  /// threads remain free to use the index (updates, latched reads) while
+  /// the drain waits. The one forbidden shape is a thread waiting on its
+  /// own pin: never call `Checkpoint()` while holding a snapshot of this
+  /// index on the same thread (self-deadlock).
   Status Checkpoint();
 
+  // ---- snapshot reads ---------------------------------------------------
+
+  /// \brief Pins a consistent view at the current commit epoch. O(1) when
+  /// `IndexConfig::snapshot_reads` maintains the version chain; otherwise
+  /// the differentials are materialized on demand under a short shared
+  /// latch (O(pending)). Thread-safe; release the snapshot promptly.
+  Snapshot CaptureSnapshot() const;
+
+  /// \brief Answers `query` against `snapshot` — repeatable: the same
+  /// snapshot always yields the identical result regardless of concurrent
+  /// commits. Holds no side-table latch during the read. kSumOther is
+  /// NotSupported (no second column); an invalid snapshot is
+  /// InvalidArgument. Thread-safe.
+  Status ExecuteSnapshot(const Query& query, const Snapshot& snapshot,
+                         QueryContext* ctx, QueryResult* result);
+
+  /// \brief Monotonic count of committed updates (0 = pristine base; the
+  /// checkpoint fold also commits one epoch). Thread-safe, lock-free read.
+  uint64_t commit_epoch() const {
+    return commit_epoch_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Version-chain bookkeeping (active pins, retired/reclaimed
+  /// version counters) for tests and benchmarks. Thread-safe.
+  const SnapshotManager& snapshots() const { return snapshots_; }
+
+  // ---- introspection ---------------------------------------------------
+
   /// \brief Logical row count (base − anti-matter + pending inserts).
+  /// Thread-safe.
   size_t num_rows() const;
+
+  /// \brief Pending (not yet checkpointed) insertions. Thread-safe.
   size_t pending_inserts() const;
+
+  /// \brief Pending anti-matter markers. Thread-safe.
   size_t pending_deletes() const;
 
   /// \brief The wrapped adaptive index (for inspection in tests/benchmarks).
+  /// Not stable across `Checkpoint()`.
   AdaptiveIndex* base_index() { return index_.get(); }
 
+  /// \brief Pieces of the wrapped index. Thread-safe.
   size_t NumPieces() const override { return index_->NumPieces(); }
 
  protected:
+  /// \brief Dispatches to the snapshot path when `ctx->snapshot_reads` is
+  /// set (capturing a fresh per-query snapshot), to the latched
+  /// shared-side-table path otherwise.
   Status ExecuteImpl(const Query& query, QueryContext* ctx,
                      QueryResult* result) override;
 
@@ -84,11 +164,13 @@ class UpdatableIndex : public AdaptiveIndex {
   /// mu_ held exclusively (or construction).
   void RebuildIndexLocked();
 
-  /// Differential corrections for [lo, hi): count/sum of pending inserts
-  /// and anti-matter. mu_ held (shared suffices).
-  void DiffCountSumLocked(const ValueRange& range, uint64_t* ins_count,
-                          int64_t* ins_sum, uint64_t* del_count,
-                          int64_t* del_sum) const;
+  /// Materializes the current differential state as an immutable version
+  /// stamped with the current commit epoch. mu_ held (shared suffices).
+  std::shared_ptr<SideStoreVersion> MaterializeVersionLocked() const;
+
+  /// Commits one epoch and, when the version chain is maintained,
+  /// publishes the post-commit version. Requires mu_ held exclusively.
+  void CommitEpochLocked();
 
   IndexConfig config_;
   LockManager* lock_manager_;
@@ -102,6 +184,12 @@ class UpdatableIndex : public AdaptiveIndex {
   /// Anti-matter markers against base rows, ordered by (value, row id).
   std::set<std::pair<Value, RowId>> anti_matter_;
   RowId next_row_id_;
+
+  /// Committed-update counter; written under mu_ exclusive, read lock-free
+  /// (epoch-lag accounting).
+  std::atomic<uint64_t> commit_epoch_{0};
+  /// Version chain + snapshot registry (drain, epoch reclamation).
+  mutable SnapshotManager snapshots_;
 };
 
 }  // namespace adaptidx

@@ -1,9 +1,13 @@
 #ifndef ADAPTIDX_ENGINE_QUERY_H_
 #define ADAPTIDX_ENGINE_QUERY_H_
 
-// The unified query descriptor moved into the core layer so the access
-// method interface itself (`AdaptiveIndex::Execute`) is expressed in terms
-// of it; this forwarding header keeps engine-level includes working.
+// Forwarding header only. The whole unified query vocabulary — `Query`,
+// `QueryKind`, `QueryResult` (mergeable partials), `MinMaxAccumulator`,
+// and the workload bridge `ToQueries` — lives in `core/query.h` since the
+// Execute(Query) API redesign made it the currency of the access-method
+// interface itself (`AdaptiveIndex::Execute`), below the engine layer.
+// Include "core/query.h" directly in new code; this header remains solely
+// so pre-redesign engine-level includes keep compiling.
 #include "core/query.h"
 
 #endif  // ADAPTIDX_ENGINE_QUERY_H_

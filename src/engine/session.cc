@@ -108,6 +108,7 @@ QueryContext Session::MakeContext() const {
   ctx.client_id = client_id_;
   ctx.txn_id = txn_id_;
   ctx.session_id = session_id_;
+  ctx.snapshot_reads = opts_.snapshot_reads;
   return ctx;
 }
 

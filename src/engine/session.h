@@ -32,6 +32,16 @@ struct SessionOptions {
   /// User-transaction identity for update operations; 0 auto-assigns a
   /// globally unique id that cannot collide with small hand-picked test ids.
   uint64_t txn_id = 0;
+  /// MVCC reads: stamp `QueryContext::snapshot_reads` on every query this
+  /// session submits, so an `UpdatableIndex` answers it against a pinned
+  /// epoch snapshot of its differential side stores instead of holding the
+  /// side-table latch across the read. Capture is per query execution —
+  /// each ticket of an async batch pins its own epoch, so every answer is
+  /// individually consistent (repeatable against its snapshot) while the
+  /// batch as a whole observes the update stream progressing. Pair with
+  /// `IndexConfig::snapshot_reads` on the index for O(1) captures; indexes
+  /// without a differential layer ignore the flag.
+  bool snapshot_reads = false;
 };
 
 /// \brief Future-like handle to one submitted query.
@@ -43,6 +53,9 @@ struct SessionOptions {
 /// default-constructed (never-submitted) ticket behaves as terminally
 /// failed: `done()` is true, `status()` is InvalidArgument, the result and
 /// stats are empty.
+///
+/// Thread-safety: fully synchronized — any number of threads may wait on
+/// and read the same ticket (and its copies) concurrently.
 class QueryTicket {
  public:
   QueryTicket() = default;
@@ -134,7 +147,8 @@ class Session {
   // ---- synchronous execution ------------------------------------------
 
   /// \brief Executes `query` inline on the calling thread (no pool
-  /// round-trip); the path the legacy Database shims use.
+  /// round-trip) — the path behind the typed one-liner wrappers below.
+  /// Thread-safe, like all submission entry points.
   Status Execute(const Query& query, QueryResult* result,
                  QueryStats* stats = nullptr);
 
@@ -179,10 +193,10 @@ class Session {
   /// \brief A QueryContext pre-stamped with this session's identity.
   QueryContext MakeContext() const;
 
-  uint32_t session_id() const { return session_id_; }
-  uint32_t client_id() const { return client_id_; }
-  uint64_t txn_id() const { return txn_id_; }
-  const IndexConfig& config() const { return opts_.config; }
+  uint32_t session_id() const { return session_id_; }   ///< \brief Unique session id.
+  uint32_t client_id() const { return client_id_; }     ///< \brief Client identity stamped on contexts.
+  uint64_t txn_id() const { return txn_id_; }           ///< \brief User-transaction identity of updates.
+  const IndexConfig& config() const { return opts_.config; }  ///< \brief The pinned access-method config.
 
   /// \brief The database this session was opened on; null for direct-index
   /// sessions.

@@ -10,7 +10,7 @@ std::string LatchStats::ToString() const {
       buf, sizeof(buf),
       "reads=%llu (blocked %llu, %.3f ms) writes=%llu (blocked %llu, "
       "%.3f ms) try_failures=%llu optimistic=%llu (retries %llu, "
-      "fallbacks %llu)",
+      "fallbacks %llu) snapshots=%llu (lag %llu, max %llu)",
       static_cast<unsigned long long>(read_acquires()),
       static_cast<unsigned long long>(read_conflicts()),
       static_cast<double>(read_wait_ns()) / 1e6,
@@ -20,7 +20,10 @@ std::string LatchStats::ToString() const {
       static_cast<unsigned long long>(try_failures()),
       static_cast<unsigned long long>(optimistic_attempts()),
       static_cast<unsigned long long>(optimistic_retries()),
-      static_cast<unsigned long long>(optimistic_fallbacks()));
+      static_cast<unsigned long long>(optimistic_fallbacks()),
+      static_cast<unsigned long long>(snapshot_reads()),
+      static_cast<unsigned long long>(snapshot_epoch_lag()),
+      static_cast<unsigned long long>(snapshot_max_epoch_lag()));
   return std::string(buf);
 }
 

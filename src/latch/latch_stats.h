@@ -59,6 +59,27 @@ class LatchStats {
     }
   }
 
+  /// \brief Accounts one snapshot-served (MVCC) read: a query answered
+  /// against a pinned differential-store version without holding the
+  /// side-table latch for the duration of the read. `epoch_lag` is how many
+  /// updates committed between the snapshot's capture epoch and the read's
+  /// completion — the staleness a long scan accumulated while the update
+  /// stream ran unblocked beside it (0 when nothing committed meanwhile).
+  /// These counters are the snapshot analogue of the optimistic ones above:
+  /// they keep reader/writer interference observable when reads acquire no
+  /// latch that could ever block.
+  void RecordSnapshotRead(uint64_t epoch_lag) {
+    snapshot_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (epoch_lag > 0) {
+      snapshot_epoch_lag_.fetch_add(epoch_lag, std::memory_order_relaxed);
+      uint64_t prev = snapshot_max_epoch_lag_.load(std::memory_order_relaxed);
+      while (epoch_lag > prev &&
+             !snapshot_max_epoch_lag_.compare_exchange_weak(
+                 prev, epoch_lag, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
   uint64_t read_acquires() const { return read_acquires_.load(); }
   uint64_t write_acquires() const { return write_acquires_.load(); }
   uint64_t read_conflicts() const { return read_conflicts_.load(); }
@@ -68,6 +89,11 @@ class LatchStats {
   uint64_t optimistic_retries() const { return optimistic_retries_.load(); }
   uint64_t optimistic_fallbacks() const {
     return optimistic_fallbacks_.load();
+  }
+  uint64_t snapshot_reads() const { return snapshot_reads_.load(); }
+  uint64_t snapshot_epoch_lag() const { return snapshot_epoch_lag_.load(); }
+  uint64_t snapshot_max_epoch_lag() const {
+    return snapshot_max_epoch_lag_.load();
   }
   int64_t read_wait_ns() const { return read_wait_ns_.load(); }
   int64_t write_wait_ns() const { return write_wait_ns_.load(); }
@@ -86,6 +112,9 @@ class LatchStats {
     optimistic_attempts_ = 0;
     optimistic_retries_ = 0;
     optimistic_fallbacks_ = 0;
+    snapshot_reads_ = 0;
+    snapshot_epoch_lag_ = 0;
+    snapshot_max_epoch_lag_ = 0;
     read_wait_ns_ = 0;
     write_wait_ns_ = 0;
   }
@@ -101,6 +130,9 @@ class LatchStats {
   std::atomic<uint64_t> optimistic_attempts_;
   std::atomic<uint64_t> optimistic_retries_;
   std::atomic<uint64_t> optimistic_fallbacks_;
+  std::atomic<uint64_t> snapshot_reads_;
+  std::atomic<uint64_t> snapshot_epoch_lag_;
+  std::atomic<uint64_t> snapshot_max_epoch_lag_;
   std::atomic<int64_t> read_wait_ns_;
   std::atomic<int64_t> write_wait_ns_;
 };

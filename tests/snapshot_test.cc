@@ -1,0 +1,605 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/updatable_index.h"
+#include "engine/session.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace adaptidx {
+namespace {
+
+IndexConfig SnapConfig(IndexMethod method = IndexMethod::kCrack) {
+  IndexConfig config;
+  config.method = method;
+  config.snapshot_reads = true;
+  return config;
+}
+
+/// A multiset-backed oracle mirroring the logical content of an
+/// UpdatableIndex, with O(log n) range count/sum.
+struct LogicalOracle {
+  std::multiset<Value> values;
+
+  uint64_t Count(Value lo, Value hi) const {
+    return static_cast<uint64_t>(
+        std::distance(values.lower_bound(lo), values.lower_bound(hi)));
+  }
+  int64_t Sum(Value lo, Value hi) const {
+    int64_t s = 0;
+    for (auto it = values.lower_bound(lo);
+         it != values.end() && *it < hi; ++it) {
+      s += *it;
+    }
+    return s;
+  }
+};
+
+// ---------------------------------------------------------------- basics
+
+TEST(SnapshotTest, CaptureReflectsCurrentState) {
+  Column col = Column::UniqueRandom("A", 2000, 1);
+  RangeOracle oracle(col);
+  UpdatableIndex index(col, SnapConfig());
+  Snapshot snap = index.CaptureSnapshot();
+  ASSERT_TRUE(snap.valid());
+  EXPECT_EQ(snap.epoch(), 0u);
+  EXPECT_EQ(snap.base_generation(), 0u);
+
+  QueryContext ctx;
+  QueryResult result;
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Count("", "", 100, 900), snap, &ctx,
+                            &result)
+          .ok());
+  EXPECT_EQ(result.count, oracle.Count(100, 900));
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Sum("", "", 100, 900), snap, &ctx, &result)
+          .ok());
+  EXPECT_EQ(result.sum, oracle.Sum(100, 900));
+}
+
+TEST(SnapshotTest, InvalidSnapshotIsRejected) {
+  Column col = Column::UniqueRandom("A", 100, 2);
+  UpdatableIndex index(col, SnapConfig());
+  Snapshot empty;  // never captured
+  QueryContext ctx;
+  QueryResult result;
+  EXPECT_TRUE(index
+                  .ExecuteSnapshot(Query::Count("", "", 0, 10), empty, &ctx,
+                                   &result)
+                  .IsInvalidArgument());
+
+  // A snapshot of another index is rejected, not silently mis-answered.
+  UpdatableIndex other(Column::UniqueRandom("A", 100, 3), SnapConfig());
+  Snapshot foreign = other.CaptureSnapshot();
+  EXPECT_TRUE(index
+                  .ExecuteSnapshot(Query::Count("", "", 0, 10), foreign, &ctx,
+                                   &result)
+                  .IsInvalidArgument());
+}
+
+// ------------------------------------------------------- repeatable reads
+
+TEST(SnapshotTest, RepeatableReadUnderUpdateStream) {
+  // The acceptance differential: a snapshot query re-run mid-update-stream
+  // returns results identical to its at-capture oracle, across >= 1000
+  // committed updates.
+  Column col = Column::UniformRandom("A", 4000, 0, 10000, 4);
+  UpdatableIndex index(col, SnapConfig());
+  QueryContext uctx;
+  uctx.txn_id = 1;
+
+  // Pre-stream: some differential state so the snapshot is not trivially
+  // the pristine base.
+  std::vector<std::pair<Value, RowId>> live;
+  for (int i = 0; i < 50; ++i) {
+    RowId id;
+    ASSERT_TRUE(index.Insert(20000 + i, &uctx, &id).ok());
+    live.emplace_back(20000 + i, id);
+  }
+
+  Snapshot snap = index.CaptureSnapshot();
+  const uint64_t capture_epoch = snap.epoch();
+
+  // At-capture oracle answers over a spread of ranges.
+  struct Probe {
+    ValueRange range;
+    uint64_t count;
+    int64_t sum;
+    QueryResult rows;
+    QueryResult minmax;
+  };
+  std::vector<Probe> probes;
+  QueryContext ctx;
+  for (Value lo = 0; lo < 25000; lo += 2500) {
+    Probe p;
+    p.range = ValueRange{lo, lo + 4000};
+    QueryResult r;
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(Query::Count("", "", lo, lo + 4000),
+                                     snap, &ctx, &r)
+                    .ok());
+    p.count = r.count;
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(Query::Sum("", "", lo, lo + 4000), snap,
+                                     &ctx, &r)
+                    .ok());
+    p.sum = r.sum;
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(Query::RowIds("", "", lo, lo + 4000),
+                                     snap, &ctx, &p.rows)
+                    .ok());
+    std::sort(p.rows.row_ids.begin(), p.rows.row_ids.end());
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(Query::MinMax("", "", lo, lo + 4000),
+                                     snap, &ctx, &p.minmax)
+                    .ok());
+    probes.push_back(std::move(p));
+  }
+
+  // Commit >= 1000 updates (inserts, base deletes, cancellations).
+  Rng rng(9);
+  uint64_t committed = 0;
+  while (committed < 1200) {
+    uctx.txn_id = 100 + committed;
+    const int op = static_cast<int>(rng.Uniform(10));
+    if (op < 6 || live.empty()) {
+      const Value v = rng.UniformRange(0, 25000);
+      RowId id;
+      ASSERT_TRUE(index.Insert(v, &uctx, &id).ok());
+      live.emplace_back(v, id);
+      ++committed;
+    } else {
+      const size_t pick = rng.Uniform(live.size());
+      const auto [v, id] = live[pick];
+      if (index.Delete(v, id, &uctx).ok()) ++committed;
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  ASSERT_GE(index.commit_epoch(), capture_epoch + 1000);
+
+  // Re-run every probe against the held snapshot: identical answers.
+  for (const Probe& p : probes) {
+    QueryResult r;
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(
+                        Query::Count("", "", p.range.lo, p.range.hi), snap,
+                        &ctx, &r)
+                    .ok());
+    EXPECT_EQ(r.count, p.count);
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(Query::Sum("", "", p.range.lo, p.range.hi),
+                                     snap, &ctx, &r)
+                    .ok());
+    EXPECT_EQ(r.sum, p.sum);
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(
+                        Query::RowIds("", "", p.range.lo, p.range.hi), snap,
+                        &ctx, &r)
+                    .ok());
+    std::sort(r.row_ids.begin(), r.row_ids.end());
+    EXPECT_EQ(r.row_ids, p.rows.row_ids);
+    ASSERT_TRUE(index
+                    .ExecuteSnapshot(
+                        Query::MinMax("", "", p.range.lo, p.range.hi), snap,
+                        &ctx, &r)
+                    .ok());
+    EXPECT_EQ(r, p.minmax);
+  }
+
+  // Epoch-lag accounting: the re-runs above read at >= 1000 epochs behind.
+  EXPECT_GE(index.latch_stats().snapshot_max_epoch_lag(), 1000u);
+}
+
+// ------------------------------------------- snapshot vs latched differential
+
+TEST(SnapshotTest, SnapshotMatchesLatchedOracleAcrossKinds) {
+  // Interleaved update stream; after every burst, the snapshot path, the
+  // latched path, and a logical multiset oracle must agree on all kinds.
+  Column col = Column::UniformRandom("A", 3000, 0, 5000, 5);
+  UpdatableIndex index(col, SnapConfig());
+  LogicalOracle oracle;
+  for (Value v : col.values()) oracle.values.insert(v);
+  std::vector<std::pair<Value, RowId>> live;
+  for (size_t i = 0; i < col.size(); ++i) {
+    live.emplace_back(col[i], static_cast<RowId>(i));
+  }
+
+  Rng rng(11);
+  QueryContext uctx;
+  QueryContext latched_ctx;
+  QueryContext snap_ctx;
+  snap_ctx.snapshot_reads = true;  // context-stamped dispatch, as a session
+  for (int round = 0; round < 60; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      uctx.txn_id = static_cast<uint64_t>(round) * 100 + i + 1;
+      if (rng.Uniform(2) == 0 || live.empty()) {
+        const Value v = rng.UniformRange(0, 5000);
+        RowId id;
+        ASSERT_TRUE(index.Insert(v, &uctx, &id).ok());
+        oracle.values.insert(v);
+        live.emplace_back(v, id);
+      } else {
+        const size_t pick = rng.Uniform(live.size());
+        const auto [v, id] = live[pick];
+        ASSERT_TRUE(index.Delete(v, id, &uctx).ok());
+        oracle.values.erase(oracle.values.find(v));
+        live.erase(live.begin() + static_cast<long>(pick));
+      }
+    }
+    Value lo = rng.UniformRange(0, 5000);
+    Value hi = rng.UniformRange(0, 5000);
+    if (lo > hi) std::swap(lo, hi);
+
+    // Count + sum: snapshot == latched == oracle.
+    uint64_t c_latched = 0;
+    uint64_t c_snap = 0;
+    ASSERT_TRUE(
+        index.RangeCount(ValueRange{lo, hi}, &latched_ctx, &c_latched).ok());
+    ASSERT_TRUE(index.RangeCount(ValueRange{lo, hi}, &snap_ctx, &c_snap).ok());
+    EXPECT_EQ(c_latched, oracle.Count(lo, hi));
+    EXPECT_EQ(c_snap, oracle.Count(lo, hi));
+    int64_t s_latched = 0;
+    int64_t s_snap = 0;
+    ASSERT_TRUE(
+        index.RangeSum(ValueRange{lo, hi}, &latched_ctx, &s_latched).ok());
+    ASSERT_TRUE(index.RangeSum(ValueRange{lo, hi}, &snap_ctx, &s_snap).ok());
+    EXPECT_EQ(s_latched, oracle.Sum(lo, hi));
+    EXPECT_EQ(s_snap, oracle.Sum(lo, hi));
+
+    // RowIds and MinMax: the two paths agree exactly (same epoch, nothing
+    // committed in between).
+    std::vector<RowId> ids_latched;
+    std::vector<RowId> ids_snap;
+    ASSERT_TRUE(
+        index.RangeRowIds(ValueRange{lo, hi}, &latched_ctx, &ids_latched)
+            .ok());
+    ASSERT_TRUE(
+        index.RangeRowIds(ValueRange{lo, hi}, &snap_ctx, &ids_snap).ok());
+    std::sort(ids_latched.begin(), ids_latched.end());
+    std::sort(ids_snap.begin(), ids_snap.end());
+    EXPECT_EQ(ids_latched, ids_snap);
+    Value mn_l = 0, mx_l = 0, mn_s = 0, mx_s = 0;
+    bool found_l = false, found_s = false;
+    ASSERT_TRUE(index
+                    .RangeMinMax(ValueRange{lo, hi}, &latched_ctx, &mn_l,
+                                 &mx_l, &found_l)
+                    .ok());
+    ASSERT_TRUE(index
+                    .RangeMinMax(ValueRange{lo, hi}, &snap_ctx, &mn_s, &mx_s,
+                                 &found_s)
+                    .ok());
+    EXPECT_EQ(found_l, found_s);
+    if (found_l) {
+      EXPECT_EQ(mn_l, mn_s);
+      EXPECT_EQ(mx_l, mx_s);
+    }
+  }
+  EXPECT_GT(index.latch_stats().snapshot_reads(), 0u);
+}
+
+TEST(SnapshotTest, OnDemandCaptureWorksWithoutMaintainedChain) {
+  // config.snapshot_reads = false: captures materialize under a short
+  // latch instead of pinning the chain, with identical semantics.
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  ASSERT_FALSE(config.snapshot_reads);
+  Column col = Column::UniqueRandom("A", 1000, 6);
+  UpdatableIndex index(col, config);
+  QueryContext uctx;
+  uctx.txn_id = 1;
+  ASSERT_TRUE(index.Insert(500, &uctx).ok());
+
+  Snapshot snap = index.CaptureSnapshot();
+  QueryContext ctx;
+  QueryResult r;
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Count("", "", 500, 501), snap, &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.count, 2u);  // base 500 + pending insert
+  ASSERT_TRUE(index.Insert(500, &uctx).ok());  // invisible to the snapshot
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Count("", "", 500, 501), snap, &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.count, 2u);
+  // The chain is not maintained: nothing was published by the writes.
+  EXPECT_EQ(index.snapshots().versions_published(), 0u);
+}
+
+// ------------------------------------------------ checkpoint drain + reclaim
+
+TEST(SnapshotTest, CheckpointDrainsOutstandingSnapshots) {
+  Column col = Column::UniqueRandom("A", 1000, 7);
+  auto index = std::make_unique<UpdatableIndex>(col, SnapConfig());
+  QueryContext uctx;
+  uctx.txn_id = 1;
+  ASSERT_TRUE(index->Insert(123456, &uctx).ok());
+
+  Snapshot held = index->CaptureSnapshot();
+  std::atomic<bool> checkpoint_done{false};
+  std::thread checkpointer([&] {
+    ASSERT_TRUE(index->Checkpoint().ok());
+    checkpoint_done.store(true, std::memory_order_release);
+  });
+
+  // The checkpoint must not complete while the snapshot is held. (A bounded
+  // sleep cannot *prove* blocking, but a non-draining checkpoint would
+  // complete in microseconds — 50ms is 3 orders of magnitude of margin.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(checkpoint_done.load(std::memory_order_acquire));
+  // The held snapshot still answers, against the pre-checkpoint base.
+  QueryContext ctx;
+  QueryResult r;
+  ASSERT_TRUE(
+      index->ExecuteSnapshot(Query::Count("", "", 123456, 123457), held, &ctx,
+                             &r)
+          .ok());
+  EXPECT_EQ(r.count, 1u);
+
+  held.Release();
+  checkpointer.join();
+  EXPECT_TRUE(checkpoint_done.load());
+
+  // Post-checkpoint capture sees the folded state under the next base
+  // generation.
+  Snapshot fresh = index->CaptureSnapshot();
+  EXPECT_EQ(fresh.base_generation(), 1u);
+  EXPECT_TRUE(fresh.version().inserts.empty());
+  ASSERT_TRUE(
+      index->ExecuteSnapshot(Query::Count("", "", 123456, 123457), fresh,
+                             &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.count, 1u);  // folded into the base
+}
+
+TEST(SnapshotTest, CheckpointCompletesWhilePinHolderUsesIndex) {
+  // Deadlock regression: Checkpoint() must drain BEFORE taking the
+  // side-table latch. A thread that holds a snapshot and then performs
+  // latch-taking operations (updates, latched reads) must glide through
+  // while the checkpoint waits on its pin; the old order (latch first,
+  // then drain) deadlocked the whole index on this shape.
+  Column col = Column::UniqueRandom("A", 1000, 21);
+  UpdatableIndex index(col, SnapConfig());
+  std::atomic<bool> pin_taken{false};
+
+  std::thread holder([&] {
+    QueryContext ctx;
+    ctx.txn_id = 5;
+    Snapshot pin = index.CaptureSnapshot();
+    pin_taken.store(true, std::memory_order_release);
+    // Give the checkpointer time to enter its drain, then keep using the
+    // index under the pin: these must not block behind the checkpoint.
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(index.Insert(2000 + i, &ctx, nullptr).ok());
+      uint64_t count = 0;
+      ASSERT_TRUE(index.RangeCount(ValueRange{0, 5000}, &ctx, &count).ok());
+    }
+    // pin released here -> checkpoint may proceed
+  });
+  while (!pin_taken.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ASSERT_TRUE(index.Checkpoint().ok());
+  holder.join();
+  EXPECT_EQ(index.num_rows(), 1005u);
+  EXPECT_EQ(index.pending_inserts(), 0u);  // all five folded by the drain
+}
+
+TEST(SnapshotTest, DestructionDrainsOutstandingSnapshots) {
+  // Lifetime regression: a pin held by another thread must block index
+  // destruction (not dangle into freed memory); once released, the
+  // surviving handle's destructor touches nothing of the index.
+  auto index = std::make_unique<UpdatableIndex>(
+      Column::UniqueRandom("A", 500, 23), SnapConfig());
+  std::atomic<bool> pin_taken{false};
+  std::atomic<bool> destroyed{false};
+  std::thread holder([&] {
+    Snapshot pin = index->CaptureSnapshot();
+    pin_taken.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(destroyed.load(std::memory_order_acquire));
+    // pin released here -> destruction may proceed
+  });
+  while (!pin_taken.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  index.reset();  // must block until the holder releases
+  destroyed.store(true, std::memory_order_release);
+  holder.join();
+}
+
+TEST(SnapshotTest, ConcurrentCheckpointsSerialize) {
+  Column col = Column::UniqueRandom("A", 500, 22);
+  UpdatableIndex index(col, SnapConfig());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      QueryContext ctx;
+      ctx.txn_id = static_cast<uint64_t>(t) + 1;
+      for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(index.Insert(1000 + t * 10 + i, &ctx).ok());
+        ASSERT_TRUE(index.Checkpoint().ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(index.num_rows(), 515u);
+  EXPECT_EQ(index.pending_inserts(), 0u);
+  Snapshot snap = index.CaptureSnapshot();
+  EXPECT_EQ(snap.base_generation(), 15u);  // one bump per checkpoint
+}
+
+TEST(SnapshotTest, EpochReclamationRetiresUnpinnedVersions) {
+  Column col = Column::UniqueRandom("A", 500, 8);
+  UpdatableIndex index(col, SnapConfig());
+  QueryContext uctx;
+  uctx.txn_id = 1;
+
+  // With no snapshot active, every superseded version is reclaimed as soon
+  // as it retires.
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(index.Insert(i, &uctx).ok());
+  EXPECT_EQ(index.snapshots().versions_retired(), 20u);
+  EXPECT_EQ(index.snapshots().versions_reclaimed(), 20u);
+  EXPECT_EQ(index.snapshots().retired_chain_length(), 0u);
+
+  // A pinned snapshot holds the reclamation floor at its epoch...
+  Snapshot pin = index.CaptureSnapshot();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(index.Insert(100 + i, &uctx).ok());
+  EXPECT_EQ(index.snapshots().oldest_active_epoch(), pin.epoch());
+  EXPECT_GT(index.snapshots().retired_chain_length(), 0u);
+
+  // ...and releasing it reclaims the whole tail.
+  pin.Release();
+  // Reclamation runs on release and on the next publish; one more commit
+  // flushes deterministically.
+  ASSERT_TRUE(index.Insert(999, &uctx).ok());
+  EXPECT_EQ(index.snapshots().retired_chain_length(), 0u);
+  EXPECT_EQ(index.snapshots().versions_reclaimed(),
+            index.snapshots().versions_retired());
+  EXPECT_EQ(index.snapshots().active_snapshots(), 0u);
+}
+
+// --------------------------------------------------- concurrent consistency
+
+TEST(SnapshotTest, ConcurrentSnapshotReadsStayConsistent) {
+  // Writers stream inserts while snapshot readers verify two invariants on
+  // every read: (a) the full-domain count at a snapshot equals base +
+  // inserts visible at its epoch — i.e. equals epoch + initial rows under
+  // an insert-only stream; (b) per reader thread, epochs (and thus counts)
+  // are monotonically non-decreasing across successive captures.
+  constexpr size_t kRows = 2000;
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 4;
+  constexpr int kInsertsPerWriter = 400;
+  Column col = Column::UniqueRandom("A", kRows, 12);
+  UpdatableIndex index(col, SnapConfig());
+  std::atomic<bool> failed{false};
+  std::atomic<uint64_t> txn{1};
+  std::atomic<bool> writers_done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(100 + w);
+      QueryContext ctx;
+      for (int i = 0; i < kInsertsPerWriter && !failed.load(); ++i) {
+        ctx.txn_id = txn.fetch_add(1);
+        // Insert strictly above the base domain so base cracking bounds
+        // stay untouched and the count invariant is exact.
+        if (!index.Insert(static_cast<Value>(kRows) + rng.UniformRange(0, 1000),
+                          &ctx, nullptr)
+                 .ok()) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      QueryContext ctx;
+      ctx.snapshot_reads = true;
+      uint64_t last_count = 0;
+      while (!writers_done.load(std::memory_order_acquire) && !failed.load()) {
+        Snapshot snap = index.CaptureSnapshot();
+        const uint64_t epoch = snap.epoch();
+        QueryResult result;
+        if (!index
+                 .ExecuteSnapshot(
+                     Query::Count("", "", 0,
+                                  static_cast<Value>(kRows) + 2000),
+                     snap, &ctx, &result)
+                 .ok()) {
+          failed.store(true);
+          break;
+        }
+        if (result.count != kRows + epoch) failed.store(true);  // (a)
+        if (result.count < last_count) failed.store(true);      // (b)
+        last_count = result.count;
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  writers_done.store(true, std::memory_order_release);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(index.commit_epoch(),
+            static_cast<uint64_t>(kWriters) * kInsertsPerWriter);
+  EXPECT_EQ(index.snapshots().active_snapshots(), 0u);
+}
+
+// ----------------------------------------------------- session integration
+
+TEST(SnapshotTest, SessionStampsSnapshotReads) {
+  Column col = Column::UniqueRandom("A", 2000, 13);
+  RangeOracle oracle(col);
+  UpdatableIndex index(col, SnapConfig());
+  ThreadPool pool(2);
+
+  SessionOptions sopts;
+  sopts.snapshot_reads = true;
+  auto session = Session::OnIndex(&index, &pool, sopts);
+  QueryContext probe = session->MakeContext();
+  EXPECT_TRUE(probe.snapshot_reads);
+
+  // Sync and async submissions both ride the snapshot path.
+  uint64_t count = 0;
+  ASSERT_TRUE(session->Count("", "", 100, 900, &count).ok());
+  EXPECT_EQ(count, oracle.Count(100, 900));
+  std::vector<Query> batch;
+  batch.push_back(Query::Sum("", "", 100, 900));
+  batch.push_back(Query::Count("", "", 200, 300));
+  auto tickets = session->SubmitBatch(std::move(batch));
+  ASSERT_TRUE(tickets[0].status().ok());
+  ASSERT_TRUE(tickets[1].status().ok());
+  EXPECT_EQ(tickets[0].result().sum, oracle.Sum(100, 900));
+  EXPECT_EQ(tickets[1].result().count, oracle.Count(200, 300));
+  EXPECT_EQ(index.latch_stats().snapshot_reads(), 3u);
+
+  // A plain session on the same index keeps the latched path.
+  auto latched = Session::OnIndex(&index, &pool, SessionOptions{});
+  ASSERT_TRUE(latched->Count("", "", 100, 900, &count).ok());
+  EXPECT_EQ(count, oracle.Count(100, 900));
+  EXPECT_EQ(index.latch_stats().snapshot_reads(), 3u);  // unchanged
+}
+
+TEST(SnapshotTest, ConfigKeySeparatesSnapshotReads) {
+  IndexConfig plain;
+  plain.method = IndexMethod::kCrack;
+  IndexConfig snap = plain;
+  snap.snapshot_reads = true;
+  EXPECT_NE(IndexConfigKey(plain), IndexConfigKey(snap));
+  EXPECT_EQ(IndexConfigKey(snap), IndexConfigKey(snap));
+}
+
+TEST(SnapshotTest, SnapshotReadsWorkOverEveryBaseMethod) {
+  for (IndexMethod method :
+       {IndexMethod::kScan, IndexMethod::kSort, IndexMethod::kCrack,
+        IndexMethod::kAdaptiveMerge, IndexMethod::kHybrid,
+        IndexMethod::kBTreeMerge}) {
+    IndexConfig config = SnapConfig(method);
+    config.merge.run_size = 512;
+    config.hybrid.partition_size = 512;
+    config.btree.run_size = 512;
+    Column col = Column::UniqueRandom("A", 3000, 14);
+    UpdatableIndex index(col, config);
+    QueryContext uctx;
+    uctx.txn_id = 1;
+    ASSERT_TRUE(index.Insert(1500, &uctx).ok());
+    QueryContext ctx;
+    ctx.snapshot_reads = true;
+    uint64_t count = 0;
+    ASSERT_TRUE(index.RangeCount(ValueRange{1000, 2000}, &ctx, &count).ok());
+    EXPECT_EQ(count, 1001u) << ToString(method);  // 1000 base + 1 pending
+  }
+}
+
+}  // namespace
+}  // namespace adaptidx
