@@ -6,8 +6,10 @@
 #include <thread>
 
 #include "cracking/optimistic_kernels.h"
+#include "cracking/parallel_crack.h"
 #include "lock/lock_manager.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace adaptidx {
 
@@ -191,12 +193,89 @@ struct Region {
   bool filtered;
 };
 
+/// Process-wide pool for parallel cracks of indexes that were not handed an
+/// explicit pool. Null on single-core machines, where chunking would only
+/// add dispatch overhead; created on first use and shared by every index so
+/// the thread population stays bounded regardless of index count.
+ThreadPool* SharedCrackPool() {
+  static ThreadPool* pool = [] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1) return static_cast<ThreadPool*>(nullptr);
+    static ThreadPool p(hw);
+    return &p;
+  }();
+  return pool;
+}
+
 }  // namespace
 
 CrackingIndex::CrackingIndex(const Column* column, CrackingOptions opts)
     : column_(column),
       opts_(std::move(opts)),
-      policy_(opts_.strategy, opts_.sort_piece_threshold) {}
+      policy_(opts_.strategy, opts_.sort_piece_threshold,
+              opts_.min_piece_size) {}
+
+ThreadPool* CrackingIndex::CrackPool() const {
+  if (opts_.parallel_crack_min_piece == 0) return nullptr;
+  return opts_.pool != nullptr ? opts_.pool : SharedCrackPool();
+}
+
+Position CrackingIndex::CrackRange(Position begin, Position end, Value pivot) {
+  ThreadPool* pool = CrackPool();
+  if (pool == nullptr || end - begin < opts_.parallel_crack_min_piece) {
+    return array_->CrackTwo(begin, end, pivot);
+  }
+  const size_t chunks = opts_.parallel_crack_chunks != 0
+                            ? opts_.parallel_crack_chunks
+                            : pool->num_threads() + 1;
+  ParallelCrackStats stats;
+  const Position pos =
+      ParallelCrackTwo(array_.get(), begin, end, pivot, pool, chunks, &stats);
+  if (stats.chunks > 0) {
+    latch_stats_.RecordParallelCrack(stats.chunks, stats.merge_ns);
+  }
+  return pos;
+}
+
+std::pair<Position, Position> CrackingIndex::CrackRangeThree(Position begin,
+                                                             Position end,
+                                                             Value lo,
+                                                             Value hi) {
+  ThreadPool* pool = CrackPool();
+  if (pool == nullptr || end - begin < opts_.parallel_crack_min_piece) {
+    return array_->CrackThree(begin, end, lo, hi);
+  }
+  const size_t chunks = opts_.parallel_crack_chunks != 0
+                            ? opts_.parallel_crack_chunks
+                            : pool->num_threads() + 1;
+  ParallelCrackStats stats;
+  const auto pp = ParallelCrackThree(array_.get(), begin, end, lo, hi, pool,
+                                     chunks, &stats);
+  if (stats.chunks > 0) {
+    latch_stats_.RecordParallelCrack(stats.chunks, stats.merge_ns);
+  }
+  return pp;
+}
+
+void CrackingIndex::SortCoarseSubRanges(
+    Position begin, Position end, const std::map<Value, Position>& cracks,
+    std::vector<std::pair<Position, Position>>* out) {
+  if (opts_.min_piece_size == 0) return;
+  Position prev = begin;
+  auto consider = [&](Position b, Position e) {
+    if (b >= e || e - b > opts_.min_piece_size) return;
+    array_->SortRange(b, e);
+    out->emplace_back(b, e);
+    latch_stats_.RecordCoarseSortHit();
+  };
+  // Crack positions ascend with their values, so this walks the
+  // crack-delimited sub-ranges of [begin, end) left to right.
+  for (const auto& [cv, cp] : cracks) {
+    consider(prev, cp);
+    prev = cp;
+  }
+  consider(prev, end);
+}
 
 void CrackingIndex::EnsureInitialized(QueryContext* ctx) {
   if (initialized_.load(std::memory_order_acquire)) return;
@@ -289,15 +368,27 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
   std::map<Value, Position> local;
   bool mark_sorted = false;
   Position target_pos = 0;
+  // Sub-ranges sorted under the coarse floor; the matching pieces are
+  // flagged sorted during publication, once their bounds became piece
+  // boundaries.
+  std::vector<std::pair<Position, Position>> coarse_sorted;
+  const bool coarse_piece =
+      opts_.min_piece_size > 0 &&
+      snap.end - snap.begin <= opts_.min_piece_size;
 
   if (snap.sorted) {
     target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
-    local.emplace(v, target_pos);
+    // A coarse piece answers by binary search and publishes nothing: a
+    // crack would split it below the floor and grow the piece map for no
+    // scan saving (the position is exact and stable either way, since a
+    // sorted piece's data never moves again).
+    if (!coarse_piece) local.emplace(v, target_pos);
   } else if (directive.sort_piece) {
     ScopedTimer t(&ctx->stats.crack_ns);
     array_->SortRange(snap.begin, snap.end);
     target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
-    local.emplace(v, target_pos);
+    if (!directive.coarse) local.emplace(v, target_pos);
+    if (directive.coarse) latch_stats_.RecordCoarseSortHit();
     mark_sorted = true;
     ++ctx->stats.cracks;
   } else {
@@ -313,7 +404,7 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
       const Position rp = snap.begin + h % (snap.end - snap.begin);
       const Value rv = array_->ValueAt(rp);
       if (rv != v && rv > snap.lo_value && rv < snap.hi_value) {
-        const Position rpos = array_->CrackTwo(snap.begin, snap.end, rv);
+        const Position rpos = CrackRange(snap.begin, snap.end, rv);
         local.emplace(rv, rpos);
         ++ctx->stats.cracks;
         if (v < rv) {
@@ -323,7 +414,7 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
         }
       }
     }
-    target_pos = array_->CrackTwo(lo_pos, hi_pos, v);
+    target_pos = CrackRange(lo_pos, hi_pos, v);
     local.emplace(v, target_pos);
     ++ctx->stats.cracks;
 
@@ -345,18 +436,32 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
         auto it = local.lower_bound(w);
         if (it != local.end()) we = it->second;
         if (it != local.begin()) wb = std::prev(it)->second;
-        const Position wpos = array_->CrackTwo(wb, we, w);
+        const Position wpos = CrackRange(wb, we, w);
         local.emplace(w, wpos);
         ++ctx->stats.cracks;
         ++done;
       }
     }
+
+    // Coarse floor: sub-ranges this step pushed to the floor are sorted
+    // right away, inside the same odd window, so the pieces they become are
+    // born sorted and never reorganized or split again.
+    SortCoarseSubRanges(snap.begin, snap.end, local, &coarse_sorted);
   }
 
   {
     MaybeUniqueLock xl(&structure_mu_, opts_.mode != ConcurrencyMode::kNone);
     if (mark_sorted) piece->sorted = true;  // before splits: halves inherit
     for (const auto& [cv, cp] : local) PublishCrackLocked(cv, cp);
+    // The eagerly sorted sub-ranges are now pieces of exactly those bounds
+    // (their delimiting cracks were just published); flag them. A bound
+    // mismatch means a crack at the array edge collapsed into a boundary
+    // tightening — then the range is a strict sub-range of a piece, still
+    // physically sorted but not flaggable, which only costs future sorts.
+    for (const auto& [sb, se] : coarse_sorted) {
+      auto sp = pieces_->FindByBegin(sb);
+      if (sp != nullptr && sp->end == se) sp->sorted = true;
+    }
   }
   // Close the odd window only after publication: pieces split off above are
   // born stable (their data moved before they became findable), and this
@@ -398,6 +503,19 @@ CrackingIndex::BoundResult CrackingIndex::ResolveBound(Value v,
         return r;
       }
       piece = PieceForValueLocked(v);
+      if (piece->sorted) {
+        // Sorted-piece fast path: binary search answers the bound exactly
+        // with no write latch and no publication. Safe under the shared
+        // structure latch alone: `sorted` is set exclusively, after the
+        // final data movement, so an observed flag means the data is
+        // frozen. Globally correct: every position before piece->begin
+        // holds a value < lo_value <= v's floor crack, every position at or
+        // past end holds one >= hi_value > all piece values.
+        BoundResult r;
+        r.exact = true;
+        r.pos = array_->LowerBoundInSorted(piece->begin, piece->end, v);
+        return r;
+      }
       piece_size = piece->end - piece->begin;
       if (!refine_allowed) {
         ctx->stats.refinement_skipped = true;
@@ -495,6 +613,9 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     auto pl = PieceForValueLocked(range.lo);
     auto ph = PieceForValueLocked(range.hi);
     if (pl.get() != ph.get()) return false;
+    // Sorted pieces take the per-bound path: its fast path answers both
+    // bounds by binary search without latching or publishing.
+    if (pl->sorted) return false;
     piece = pl;
     piece_size = piece->end - piece->begin;
   }
@@ -514,7 +635,12 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     Position p;
     if (avl_.Find(range.lo, &p) || avl_.Find(range.hi, &p) ||
         PieceForValueLocked(range.lo).get() != piece.get() ||
-        PieceForValueLocked(range.hi).get() != piece.get()) {
+        PieceForValueLocked(range.hi).get() != piece.get() ||
+        piece->sorted) {
+      // `piece->sorted` covers the race where the piece was sorted while we
+      // waited for its write latch: cracks must not target sorted pieces
+      // (a coarse piece would be split below the floor); the per-bound
+      // sorted fast path answers instead.
       valid = false;
     } else {
       snap.begin = piece->begin;
@@ -534,19 +660,25 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
 
   Position p1;
   Position p2;
-  if (snap.sorted) {
-    p1 = array_->LowerBoundInSorted(snap.begin, snap.end, range.lo);
-    p2 = array_->LowerBoundInSorted(snap.begin, snap.end, range.hi);
-  } else {
+  std::vector<std::pair<Position, Position>> coarse_sorted;
+  {
     ScopedTimer t(&ctx->stats.crack_ns);
     std::tie(p1, p2) =
-        array_->CrackThree(snap.begin, snap.end, range.lo, range.hi);
+        CrackRangeThree(snap.begin, snap.end, range.lo, range.hi);
     ctx->stats.cracks += 2;
+    std::map<Value, Position> cracks;
+    cracks.emplace(range.lo, p1);
+    cracks.emplace(range.hi, p2);
+    SortCoarseSubRanges(snap.begin, snap.end, cracks, &coarse_sorted);
   }
   {
     MaybeUniqueLock xl(&structure_mu_, latched_mode);
     PublishCrackLocked(range.lo, p1);
     PublishCrackLocked(range.hi, p2);
+    for (const auto& [sb, se] : coarse_sorted) {
+      auto sp = pieces_->FindByBegin(sb);
+      if (sp != nullptr && sp->end == se) sp->sorted = true;
+    }
   }
   if (bump_version) piece->version.fetch_add(1, std::memory_order_release);
   if (PieceLatchedMode()) piece->latch.WriteUnlock();
@@ -640,13 +772,26 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
   uint64_t opt_attempts = 0;
   uint64_t opt_retries = 0;
   uint64_t opt_fallbacks = 0;
+  uint64_t lookups_snapshot = 0;
+  uint64_t lookups_locked = 0;
+  // Optimistic readers locate pieces through the latch-free published
+  // snapshot of the piece map (piece_map.h), so the steady-state read path
+  // acquires structure_mu_ zero times. A stale hit (the position moved past
+  // the snapshot piece's current end) flips the rest of this walk to the
+  // locked lookup: re-loading the same stale snapshot could spin, and one
+  // region walk rarely outlives more than one split.
+  bool use_snapshot = optimistic;
   LatchAcquireContext lat = ctx->LatchCtx(&latch_stats_);
   Position pos = b;
   while (pos < e) {
     std::shared_ptr<Piece> piece;
-    {
+    if (use_snapshot) {
+      piece = pieces_->AcquireSnapshot()->FindByPosition(pos);
+      ++lookups_snapshot;
+    } else {
       MaybeSharedLock sl(&structure_mu_, true);
       piece = pieces_->FindByPosition(pos);
+      ++lookups_locked;
     }
 
     if (optimistic && UseOptimisticRead(piece.get())) {
@@ -701,7 +846,13 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
         ++opt_retries;
       }
       if (accepted) continue;
-      if (stale_piece) continue;  // re-lookup, no penalty
+      if (stale_piece) {
+        // The piece split before we arrived. With a snapshot lookup this
+        // also means the snapshot itself is behind; finish the walk on the
+        // locked path rather than risk re-reading the same stale view.
+        use_snapshot = false;
+        continue;  // re-lookup, no penalty
+      }
       // Retry budget exhausted: a cracker is hammering this piece. Degrade
       // to the latched read so writers cannot livelock us.
       ++opt_fallbacks;
@@ -711,8 +862,10 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
     piece->latch.ReadLock(lat);
     const Position piece_end = piece->end;  // stable under the read latch
     if (pos >= piece_end) {
-      // The piece split between lookup and latch; look up again.
+      // The piece split between lookup and latch; look up again (and stop
+      // trusting the snapshot, which is evidently behind).
       piece->latch.ReadUnlock();
+      use_snapshot = false;
       continue;
     }
     const Position upto = std::min(piece_end, e);
@@ -731,6 +884,9 @@ void CrackingIndex::ProcessRegion(Position b, Position e, bool filtered,
   if (optimistic) {
     latch_stats_.RecordOptimisticReads(opt_attempts, opt_retries,
                                        opt_fallbacks);
+  }
+  if (lookups_snapshot + lookups_locked > 0) {
+    latch_stats_.RecordPieceLookups(lookups_snapshot, lookups_locked);
   }
 }
 

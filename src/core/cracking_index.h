@@ -2,9 +2,11 @@
 #define ADAPTIDX_CORE_CRACKING_INDEX_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive_index.h"
@@ -18,6 +20,7 @@
 namespace adaptidx {
 
 class LockManager;
+class ThreadPool;
 
 /// \brief Concurrency control mode for the cracking index (Section 5.3,
 /// plus the optimistic extensions layered on the piece-latch protocol).
@@ -80,6 +83,27 @@ struct CrackingOptions {
   RefinementStrategy strategy = RefinementStrategy::kStandard;
   /// Pieces at or below this size are fully sorted by the active strategy.
   size_t sort_piece_threshold = 128;
+
+  /// Coarse-granular cracking: pieces at or below this size are sorted in
+  /// place instead of split — whatever the strategy — so the piece map (and
+  /// its latch population) stops growing once pieces reach the floor. The
+  /// sort publishes no crack; the piece simply answers future bounds by
+  /// binary search. 0 disables the floor.
+  size_t min_piece_size = 128;
+
+  /// Intra-query parallel cracking: a crack over a piece of at least this
+  /// many elements is split into contiguous chunks cracked concurrently on
+  /// `pool` and repaired with a swap-based refined merge (parallel_crack.h).
+  /// Only first-touch-scale cracks qualify by default; the threshold keeps
+  /// steady-state cracks on the cheap sequential kernel.
+  size_t parallel_crack_min_piece = 1u << 17;
+  /// Chunk fan-out for parallel cracks; 0 derives pool->num_threads() + 1
+  /// (every worker plus the submitting query thread).
+  size_t parallel_crack_chunks = 0;
+  /// Shared pool for parallel cracks; not owned. When null, a process-wide
+  /// lazily created pool is used if the machine has more than one hardware
+  /// thread, else cracks stay sequential.
+  ThreadPool* pool = nullptr;
 
   /// Stochastic cracking extension [16]: on large pieces, add one
   /// data-driven random crack before the bound crack to keep convergence
@@ -199,6 +223,29 @@ class CrackingIndex : public AdaptiveIndex {
   Position CrackPieceLocked(const std::shared_ptr<Piece>& piece, Value v,
                             const RefinementDirective& directive,
                             QueryContext* ctx);
+
+  /// The pool used for intra-query parallel cracks: the configured one, or
+  /// a lazily created process-wide pool on multi-core machines, or null
+  /// (sequential cracks) on single-core machines.
+  ThreadPool* CrackPool() const;
+
+  /// Two-way crack of [begin, end): chunked-parallel on the crack pool when
+  /// the range reaches parallel_crack_min_piece, else the sequential kernel.
+  /// Identical split position either way.
+  Position CrackRange(Position begin, Position end, Value pivot);
+
+  /// Three-way companion of CrackRange (same threshold and dispatch).
+  std::pair<Position, Position> CrackRangeThree(Position begin, Position end,
+                                                Value lo, Value hi);
+
+  /// Coarse-granular floor, applied inside the seqlock odd window after the
+  /// cracks of one refinement step: sorts every crack-delimited sub-range of
+  /// [begin, end) whose size is at or below min_piece_size and appends its
+  /// bounds to `out` so the publication step can mark the matching piece
+  /// sorted. `cracks` holds the step's crack positions in ascending order.
+  void SortCoarseSubRanges(Position begin, Position end,
+                           const std::map<Value, Position>& cracks,
+                           std::vector<std::pair<Position, Position>>* out);
 
   /// True when a user transaction holds a lock conflicting with structural
   /// refinement (Section 3.3's verification step).

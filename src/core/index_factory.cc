@@ -1,6 +1,7 @@
 #include "core/index_factory.h"
 
 #include <cstdint>
+#include <thread>
 
 #include "core/partitioned_index.h"
 #include "core/scan_index.h"
@@ -34,6 +35,11 @@ std::string IndexConfigKey(const IndexConfig& config) {
   // stays out: it is an execution resource, not index identity.
   if (config.partitions > 1) {
     key += "@P" + std::to_string(config.partitions);
+    // The shard and hardware floors decide whether @P actually materializes
+    // for a given column on a given machine, so they are part of the
+    // physical identity too.
+    key += "m" + std::to_string(config.min_rows_per_shard);
+    key += "h" + std::to_string(config.partition_needs_cores);
   }
   // The maintained version chain of the differential layer is physical
   // state: a snapshot-enabled and a plain updatable wrapper over the same
@@ -59,6 +65,12 @@ std::string IndexConfigKey(const IndexConfig& config) {
              std::to_string(c.group_crack_max);
       key += ",strat=" + std::to_string(static_cast<int>(c.strategy));
       key += ",sortthr=" + std::to_string(c.sort_piece_threshold);
+      key += ",floor=" + std::to_string(c.min_piece_size);
+      // The crack pool pointer stays out (execution resource), but the
+      // parallel-crack thresholds shape crack granularity and the resulting
+      // intra-piece physical order, so they participate.
+      key += ",pcrack=" + std::to_string(c.parallel_crack_min_piece) + "/" +
+             std::to_string(c.parallel_crack_chunks);
       key += ",stoch=" + std::to_string(c.stochastic) + "/" +
              std::to_string(c.stochastic_min_piece);
       if (c.mode == ConcurrencyMode::kOptimistic ||
@@ -112,7 +124,16 @@ std::string IndexConfigKey(const IndexConfig& config) {
 
 std::unique_ptr<AdaptiveIndex> MakeIndex(const Column* column,
                                          const IndexConfig& config) {
-  if (config.partitions > 1) {
+  // Honor the fan-out only when every shard would clear the row floor and
+  // the machine can actually run shards in parallel; a column too small to
+  // amortize scatter/route/merge overhead — or a single-core host where the
+  // fan-out can never win — gets the method directly (the config key keeps
+  // the @P notation so the catalog still distinguishes what was requested).
+  if (config.partitions > 1 &&
+      (!config.partition_needs_cores ||
+       std::thread::hardware_concurrency() > 1) &&
+      (config.min_rows_per_shard == 0 ||
+       column->size() >= config.partitions * config.min_rows_per_shard)) {
     return std::make_unique<PartitionedIndex>(column, config);
   }
   switch (config.method) {

@@ -46,6 +46,21 @@ struct IndexConfig {
   /// query fragments out on a thread pool, and merges the partial results.
   size_t partitions = 1;
 
+  /// Fan-out floor: when `partitions > 1` but the column holds fewer than
+  /// `partitions * min_rows_per_shard` rows, the partition wrapper is
+  /// skipped and the method is instantiated directly — shards that small
+  /// pay scatter, routing and merge overhead without ever amortizing it.
+  /// 0 disables the floor (always honor `partitions`).
+  size_t min_rows_per_shard = 4096;
+
+  /// Hardware floor: partitioned fan-out is a parallelism play, so on a
+  /// machine with a single hardware thread the shards all share one core
+  /// and the scatter, routing and merge are pure overhead. When true (the
+  /// default), `partitions > 1` is honored only on multi-hardware-thread
+  /// machines; structural tests that need the partitioned shape regardless
+  /// of the host set this false.
+  bool partition_needs_cores = true;
+
   /// Fan-out pool for partitioned execution (not owned; must outlive every
   /// index built from this config). Null lets the partitioned index lazily
   /// create its own pool. Execution resource only — deliberately not part

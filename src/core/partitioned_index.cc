@@ -5,6 +5,7 @@
 #include <thread>
 #include <utility>
 
+#include "cracking/parallel_crack.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -115,27 +116,80 @@ void PartitionedIndex::EnsureInitialized(QueryContext* ctx) {
     shard->column = Column(column_->name() + "#p" + std::to_string(s));
     shards_.push_back(std::move(shard));
   }
+
+  // The pool exists before the scatter so the first touch itself — the
+  // single most expensive step of partitioned cracking — can use it. A
+  // single-hardware-thread host gets no pool at all: fragments then run
+  // inline and the scatter stays serial, avoiding handoff overhead that
+  // parallelism can never pay back there.
+  if (external_pool_ == nullptr && num_shards > 1) {
+    const size_t workers = std::min<size_t>(
+        num_shards, std::thread::hardware_concurrency());
+    if (workers > 1) {
+      owned_pool_ = std::make_unique<ThreadPool>(workers);
+    }
+  }
+  ThreadPool* pool = external_pool_ != nullptr ? external_pool_
+                                               : owned_pool_.get();
+
   const Value* data = column_->data();
-  for (size_t i = 0; i < n; ++i) {
-    const Value v = data[i];
-    const size_t s = static_cast<size_t>(
-        std::upper_bound(bounds_.begin(), bounds_.end(), v) -
-        bounds_.begin());
-    shards_[s]->column.Append(v);
-    shards_[s]->to_global.push_back(static_cast<RowId>(i));
+  const size_t chunks =
+      pool == nullptr || num_shards == 1 || n < (1u << 16)
+          ? 1
+          : std::min(pool->num_threads() + 1, n / (1u << 14));
+  if (chunks <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const Value v = data[i];
+      const size_t s = static_cast<size_t>(
+          std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+          bounds_.begin());
+      shards_[s]->column.Append(v);
+      shards_[s]->to_global.push_back(static_cast<RowId>(i));
+    }
+  } else {
+    // Two-phase parallel scatter. Phase 1: each chunk task classifies its
+    // contiguous row range into chunk-local per-shard buffers. Phase 2: one
+    // task per shard concatenates that shard's buffers in chunk order —
+    // yielding exactly the row order of the serial scatter, so the shard
+    // contents (and every downstream crack position) stay deterministic.
+    std::vector<std::vector<std::vector<std::pair<Value, RowId>>>> parts(
+        chunks, std::vector<std::vector<std::pair<Value, RowId>>>(num_shards));
+    ParallelRun(pool, chunks, [&](size_t c) {
+      const size_t cb = n * c / chunks;
+      const size_t ce = n * (c + 1) / chunks;
+      auto& mine = parts[c];
+      for (size_t i = cb; i < ce; ++i) {
+        const Value v = data[i];
+        const size_t s = static_cast<size_t>(
+            std::upper_bound(bounds_.begin(), bounds_.end(), v) -
+            bounds_.begin());
+        mine[s].emplace_back(v, static_cast<RowId>(i));
+      }
+    });
+    ParallelRun(pool, num_shards, [&](size_t s) {
+      Shard& shard = *shards_[s];
+      size_t rows = 0;
+      for (size_t c = 0; c < chunks; ++c) rows += parts[c][s].size();
+      shard.to_global.reserve(rows);
+      for (size_t c = 0; c < chunks; ++c) {
+        for (const auto& [v, id] : parts[c][s]) {
+          shard.column.Append(v);
+          shard.to_global.push_back(id);
+        }
+      }
+    });
   }
 
   // Inner indexes are built over the (now address-stable) shard columns;
-  // each gets its own latch hierarchy and refines independently.
+  // each gets its own latch hierarchy and refines independently. Cracking
+  // shards share the fan-out pool for their own intra-query parallel
+  // cracks — a first-touch crack of one shard can then use every core, not
+  // just the fragment's thread.
+  if (inner_config_.method == IndexMethod::kCrack) {
+    inner_config_.cracking.pool = pool;
+  }
   for (auto& shard : shards_) {
     shard->index = MakeIndex(&shard->column, inner_config_);
-  }
-
-  if (external_pool_ == nullptr && num_shards > 1) {
-    const size_t workers = std::min(
-        num_shards,
-        std::max<size_t>(1, std::thread::hardware_concurrency()));
-    owned_pool_ = std::make_unique<ThreadPool>(workers);
   }
   initialized_.store(true, std::memory_order_release);
 }

@@ -17,11 +17,24 @@ std::string ToString(RefinementStrategy s) {
 }
 
 RefinementPolicy::RefinementPolicy(RefinementStrategy strategy,
-                                   size_t sort_piece_threshold)
-    : strategy_(strategy), sort_piece_threshold_(sort_piece_threshold) {}
+                                   size_t sort_piece_threshold,
+                                   size_t min_piece_size)
+    : strategy_(strategy),
+      sort_piece_threshold_(sort_piece_threshold),
+      min_piece_size_(min_piece_size) {}
 
 RefinementDirective RefinementPolicy::OnCrack(size_t piece_size) const {
   RefinementDirective d;
+  // Coarse-granular floor: pieces at or below the minimum size are sorted
+  // instead of split, whatever the strategy says — splitting them further
+  // would grow the piece map (and its latch population) without a matching
+  // scan saving. Overrides even kLazy's try_only: the floor caps structure
+  // growth, which is a space bound, not a contention heuristic.
+  if (min_piece_size_ > 0 && piece_size <= min_piece_size_) {
+    d.sort_piece = true;
+    d.coarse = true;
+    return d;
+  }
   switch (strategy_) {
     case RefinementStrategy::kStandard:
       break;

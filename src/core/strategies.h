@@ -79,6 +79,12 @@ std::string ToString(RefinementStrategy s);
 struct RefinementDirective {
   bool try_only = false;    ///< use TryWriteLock; skip refinement when busy
   bool sort_piece = false;  ///< sort the piece instead of cracking it
+  /// The sort was forced by the coarse-granular floor (min_piece_size), not
+  /// by the refinement strategy: the piece is at or below the minimum piece
+  /// size, so instead of splitting it further — growing the piece map — it
+  /// is sorted in place and never reorganized again. Set only together with
+  /// sort_piece.
+  bool coarse = false;
 };
 
 /// \brief Runtime policy object consulted before each refinement action.
@@ -88,7 +94,11 @@ struct RefinementDirective {
 /// kLazy; below `kLowContention` like kActive; in between like kStandard.
 class RefinementPolicy {
  public:
-  RefinementPolicy(RefinementStrategy strategy, size_t sort_piece_threshold);
+  /// `min_piece_size` is the coarse-granular cracking floor: a piece at or
+  /// below it is sorted instead of split regardless of strategy, capping
+  /// piece-map growth (0 disables the floor).
+  RefinementPolicy(RefinementStrategy strategy, size_t sort_piece_threshold,
+                   size_t min_piece_size = 0);
 
   /// \brief Decides how to refine a piece of `piece_size` elements.
   RefinementDirective OnCrack(size_t piece_size) const;
@@ -102,6 +112,7 @@ class RefinementPolicy {
 
   RefinementStrategy strategy() const { return strategy_; }
   size_t sort_piece_threshold() const { return sort_piece_threshold_; }
+  size_t min_piece_size() const { return min_piece_size_; }
 
   /// \brief Current contention score in [0, 1]; ~fraction of recent
   /// refinements that hit contention.
@@ -116,6 +127,7 @@ class RefinementPolicy {
 
   const RefinementStrategy strategy_;
   const size_t sort_piece_threshold_;
+  const size_t min_piece_size_;
   /// Fixed-point (x 1e6) decayed conflict score, updated with CAS.
   mutable std::atomic<int64_t> score_micros_{0};
 };

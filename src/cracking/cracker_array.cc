@@ -254,6 +254,22 @@ void CrackerArray::CollectRowIdsFiltered(Position begin, Position end,
   }
 }
 
+void CrackerArray::SwapRanges(Position a, Position b, size_t n) {
+  if (n == 0) return;
+  if (layout_ == ArrayLayout::kRowIdValuePairs) {
+    std::swap_ranges(pairs_.begin() + static_cast<long>(a),
+                     pairs_.begin() + static_cast<long>(a + n),
+                     pairs_.begin() + static_cast<long>(b));
+    return;
+  }
+  std::swap_ranges(values_.begin() + static_cast<long>(a),
+                   values_.begin() + static_cast<long>(a + n),
+                   values_.begin() + static_cast<long>(b));
+  std::swap_ranges(row_ids_.begin() + static_cast<long>(a),
+                   row_ids_.begin() + static_cast<long>(a + n),
+                   row_ids_.begin() + static_cast<long>(b));
+}
+
 Position CrackerArray::LowerBoundInSorted(Position begin, Position end,
                                           Value v) const {
   Position lo = begin;

@@ -194,6 +194,13 @@ class CrackerArray {
   /// search). Precondition: [begin, end) sorted.
   Position LowerBoundInSorted(Position begin, Position end, Value v) const;
 
+  /// \brief Exchanges the `n` entries starting at `a` with the `n` entries
+  /// starting at `b` (values and rowIDs move together). The two ranges must
+  /// not overlap. Building block of the parallel swap-based refined merge
+  /// (parallel_crack.h), which repairs chunk-local partitions into one
+  /// global partition without a full copy.
+  void SwapRanges(Position a, Position b, size_t n);
+
  private:
   ArrayLayout layout_;
   KernelTier tier_;

@@ -7,6 +7,19 @@ PieceMap::PieceMap(size_t array_size, Value domain_lo, Value domain_hi,
     : array_size_(array_size), policy_(policy) {
   by_begin_.emplace(0, std::make_shared<Piece>(0, array_size, domain_lo,
                                                domain_hi, policy));
+  PublishSnapshot();
+}
+
+void PieceMap::PublishSnapshot() {
+  auto snap = std::make_shared<PieceMapSnapshot>();
+  snap->begins.reserve(by_begin_.size());
+  snap->pieces.reserve(by_begin_.size());
+  for (const auto& [begin, piece] : by_begin_) {
+    snap->begins.push_back(begin);
+    snap->pieces.push_back(piece);
+  }
+  std::atomic_store(&snapshot_,
+                    std::shared_ptr<const PieceMapSnapshot>(std::move(snap)));
 }
 
 std::shared_ptr<Piece> PieceMap::FindByPosition(Position pos) const {
@@ -56,6 +69,10 @@ std::shared_ptr<Piece> PieceMap::Split(const std::shared_ptr<Piece>& p,
   p->end = split_pos;
   p->hi_value = pivot;
   by_begin_.emplace(split_pos, right);
+  // Only the interior split changes the set of piece begins; the two
+  // boundary cases above merely tighten value bounds, which optimistic
+  // readers never take from the snapshot.
+  PublishSnapshot();
   return right;
 }
 

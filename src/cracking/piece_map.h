@@ -1,10 +1,12 @@
 #ifndef ADAPTIDX_CRACKING_PIECE_MAP_H_
 #define ADAPTIDX_CRACKING_PIECE_MAP_H_
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "latch/wait_queue_latch.h"
 #include "storage/types.h"
@@ -75,12 +77,42 @@ struct Piece {
   size_t size() const { return end - begin; }
 };
 
+/// \brief An immutable, latch-free published view of the piece tiling: the
+/// sorted piece begins plus the matching Piece pointers. Optimistic readers
+/// binary-search it to locate the piece for a position with zero structure
+/// latch acquisitions.
+///
+/// A snapshot may be stale — pieces split after publication still appear as
+/// their pre-split extent — but never unsafe:
+///  - `begin` is immutable, so every entry still names a live piece whose
+///    first position is exactly `begins[i]`.
+///  - The reader validates the piece's atomic `end` (the position may have
+///    moved into a successor carved off after the snapshot) and the piece
+///    seqlock version, exactly as for a locked lookup. A position at or past
+///    the snapshot piece's current `end` means the snapshot is stale for
+///    this region; the reader re-resolves through the locked path.
+struct PieceMapSnapshot {
+  std::vector<Position> begins;
+  std::vector<std::shared_ptr<Piece>> pieces;
+
+  /// \brief The snapshot piece containing `pos`; never null for
+  /// pos < array_size.
+  std::shared_ptr<Piece> FindByPosition(Position pos) const {
+    auto it = std::upper_bound(begins.begin(), begins.end(), pos);
+    if (it == begins.begin()) return nullptr;
+    return pieces[static_cast<size_t>(it - begins.begin()) - 1];
+  }
+};
+
 /// \brief Bookkeeping for the pieces of one cracker array: a position-keyed
 /// map of Piece objects that tile [0, n).
 ///
 /// Not internally synchronized: the owning index guards the map and all
 /// piece boundary fields with its structure latch so that the AVL table of
-/// contents and the piece map always change together atomically.
+/// contents and the piece map always change together atomically. The one
+/// exception is the published PieceMapSnapshot, which is swapped with
+/// std::atomic_store under the structure latch and read with
+/// std::atomic_load by optimistic readers holding no latch at all.
 class PieceMap {
  public:
   /// \brief Starts with a single piece covering [0, array_size) and the
@@ -116,6 +148,14 @@ class PieceMap {
   std::shared_ptr<Piece> Split(const std::shared_ptr<Piece>& p,
                                Position split_pos, Value pivot);
 
+  /// \brief The latest published snapshot of the tiling; latch-free (safe
+  /// with no latch held). Republished by every structure change that adds a
+  /// piece, so a snapshot is stale only while a reader races a split — which
+  /// the reader detects through the piece's atomic `end` and seqlock.
+  std::shared_ptr<const PieceMapSnapshot> AcquireSnapshot() const {
+    return std::atomic_load(&snapshot_);
+  }
+
   size_t num_pieces() const { return by_begin_.size(); }
   size_t array_size() const { return array_size_; }
   SchedulingPolicy policy() const { return policy_; }
@@ -128,9 +168,15 @@ class PieceMap {
   bool Validate() const;
 
  private:
+  /// Rebuilds and atomically publishes the snapshot from by_begin_. Caller
+  /// holds the structure latch exclusively (same rule as every map change).
+  void PublishSnapshot();
+
   const size_t array_size_;
   const SchedulingPolicy policy_;
   std::map<Position, std::shared_ptr<Piece>> by_begin_;
+  /// Accessed with std::atomic_load/atomic_store only.
+  std::shared_ptr<const PieceMapSnapshot> snapshot_;
 };
 
 }  // namespace adaptidx

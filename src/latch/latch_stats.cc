@@ -5,12 +5,14 @@
 namespace adaptidx {
 
 std::string LatchStats::ToString() const {
-  char buf[384];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "reads=%llu (blocked %llu, %.3f ms) writes=%llu (blocked %llu, "
       "%.3f ms) try_failures=%llu optimistic=%llu (retries %llu, "
-      "fallbacks %llu) snapshots=%llu (lag %llu, max %llu)",
+      "fallbacks %llu) lookups=%llu/%llu (snapshot/locked) "
+      "pcracks=%llu (chunks %llu, merge %.3f ms) coarse_sorts=%llu "
+      "snapshots=%llu (lag %llu, max %llu)",
       static_cast<unsigned long long>(read_acquires()),
       static_cast<unsigned long long>(read_conflicts()),
       static_cast<double>(read_wait_ns()) / 1e6,
@@ -21,6 +23,12 @@ std::string LatchStats::ToString() const {
       static_cast<unsigned long long>(optimistic_attempts()),
       static_cast<unsigned long long>(optimistic_retries()),
       static_cast<unsigned long long>(optimistic_fallbacks()),
+      static_cast<unsigned long long>(piece_lookups_snapshot()),
+      static_cast<unsigned long long>(piece_lookups_locked()),
+      static_cast<unsigned long long>(parallel_cracks()),
+      static_cast<unsigned long long>(parallel_crack_chunks()),
+      static_cast<double>(parallel_crack_merge_ns()) / 1e6,
+      static_cast<unsigned long long>(coarse_sort_hits()),
       static_cast<unsigned long long>(snapshot_reads()),
       static_cast<unsigned long long>(snapshot_epoch_lag()),
       static_cast<unsigned long long>(snapshot_max_epoch_lag()));

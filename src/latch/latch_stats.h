@@ -80,6 +80,38 @@ class LatchStats {
     }
   }
 
+  /// \brief Accounts a batch of piece lookups performed by one region walk:
+  /// `snapshot` lookups resolved their piece against the versioned boundary
+  /// snapshot (no `structure_mu_` acquisition at all), `locked` lookups took
+  /// the structure latch shared. The optimistic read path is expected to
+  /// report zero locked lookups in the absence of snapshot staleness — the
+  /// single-thread assertion that the last shared acquisition really left
+  /// the read path.
+  void RecordPieceLookups(uint64_t snapshot, uint64_t locked) {
+    if (snapshot > 0) {
+      piece_lookups_snapshot_.fetch_add(snapshot, std::memory_order_relaxed);
+    }
+    if (locked > 0) {
+      piece_lookups_locked_.fetch_add(locked, std::memory_order_relaxed);
+    }
+  }
+
+  /// \brief Accounts one chunked parallel crack: `chunks` chunk tasks were
+  /// dispatched (including the one the cracking thread ran itself) and the
+  /// swap-based refined merge took `merge_ns`.
+  void RecordParallelCrack(uint64_t chunks, int64_t merge_ns) {
+    parallel_cracks_.fetch_add(1, std::memory_order_relaxed);
+    parallel_crack_chunks_.fetch_add(chunks, std::memory_order_relaxed);
+    parallel_crack_merge_ns_.fetch_add(merge_ns, std::memory_order_relaxed);
+  }
+
+  /// \brief Accounts one coarse-granular floor hit: a piece at or below
+  /// CrackingOptions::min_piece_size was sorted in place instead of split,
+  /// capping piece-map growth.
+  void RecordCoarseSortHit() {
+    coarse_sort_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   uint64_t read_acquires() const { return read_acquires_.load(); }
   uint64_t write_acquires() const { return write_acquires_.load(); }
   uint64_t read_conflicts() const { return read_conflicts_.load(); }
@@ -90,6 +122,20 @@ class LatchStats {
   uint64_t optimistic_fallbacks() const {
     return optimistic_fallbacks_.load();
   }
+  uint64_t piece_lookups_snapshot() const {
+    return piece_lookups_snapshot_.load();
+  }
+  uint64_t piece_lookups_locked() const {
+    return piece_lookups_locked_.load();
+  }
+  uint64_t parallel_cracks() const { return parallel_cracks_.load(); }
+  uint64_t parallel_crack_chunks() const {
+    return parallel_crack_chunks_.load();
+  }
+  int64_t parallel_crack_merge_ns() const {
+    return parallel_crack_merge_ns_.load();
+  }
+  uint64_t coarse_sort_hits() const { return coarse_sort_hits_.load(); }
   uint64_t snapshot_reads() const { return snapshot_reads_.load(); }
   uint64_t snapshot_epoch_lag() const { return snapshot_epoch_lag_.load(); }
   uint64_t snapshot_max_epoch_lag() const {
@@ -112,6 +158,12 @@ class LatchStats {
     optimistic_attempts_ = 0;
     optimistic_retries_ = 0;
     optimistic_fallbacks_ = 0;
+    piece_lookups_snapshot_ = 0;
+    piece_lookups_locked_ = 0;
+    parallel_cracks_ = 0;
+    parallel_crack_chunks_ = 0;
+    parallel_crack_merge_ns_ = 0;
+    coarse_sort_hits_ = 0;
     snapshot_reads_ = 0;
     snapshot_epoch_lag_ = 0;
     snapshot_max_epoch_lag_ = 0;
@@ -130,6 +182,12 @@ class LatchStats {
   std::atomic<uint64_t> optimistic_attempts_;
   std::atomic<uint64_t> optimistic_retries_;
   std::atomic<uint64_t> optimistic_fallbacks_;
+  std::atomic<uint64_t> piece_lookups_snapshot_;
+  std::atomic<uint64_t> piece_lookups_locked_;
+  std::atomic<uint64_t> parallel_cracks_;
+  std::atomic<uint64_t> parallel_crack_chunks_;
+  std::atomic<int64_t> parallel_crack_merge_ns_;
+  std::atomic<uint64_t> coarse_sort_hits_;
   std::atomic<uint64_t> snapshot_reads_;
   std::atomic<uint64_t> snapshot_epoch_lag_;
   std::atomic<uint64_t> snapshot_max_epoch_lag_;

@@ -31,6 +31,11 @@ IndexConfig MethodConfig(IndexMethod method) {
   config.merge.run_size = 1u << 10;
   config.hybrid.partition_size = 1u << 10;
   config.btree.run_size = 1u << 9;
+  // This suite tests the partitioned wrapper itself, so the row and
+  // hardware fan-out floors must not bypass it at test scale or on
+  // single-core hosts.
+  config.min_rows_per_shard = 0;
+  config.partition_needs_cores = false;
   return config;
 }
 
