@@ -1,0 +1,254 @@
+/// \file Server scaling and load-shed behavior (beyond the paper, which
+/// stops at the storage engine): QPS and tail latency of the TCP front-end
+/// as the connection count grows, then an overload phase driving the
+/// admission controller at ~2x capacity.
+///
+/// Phase 1 — scaling sweep: closed-loop clients (1/4/16/64 connections by
+/// default), each issuing `AI_BENCH_QUERIES_PER_CONN` random 0.01%-
+/// selectivity COUNT queries over a served cracking index. Per-request
+/// latency is measured client-side (full wire round trip); the sweep
+/// reports QPS, p50 and p99 per connection count.
+///
+/// Phase 2 — overload: a deliberately small server (tiny global in-flight
+/// cap, one engine thread) fed by more connections than capacity. The
+/// acceptance claim is that load shedding works: the excess is refused
+/// with SERVER_BUSY (visible in the shed counters) while the requests
+/// that WERE admitted keep a bounded p99 — the engine never accumulates a
+/// queue that would stretch every admitted request's latency.
+///
+/// Emits BENCH_server.json (override with AI_BENCH_SERVER_JSON).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace adaptidx {
+namespace bench {
+namespace {
+
+using server::Client;
+using server::Server;
+using server::ServerOptions;
+
+double PercentileMs(std::vector<int64_t>* latencies_ns, double p) {
+  if (latencies_ns->empty()) return 0.0;
+  std::sort(latencies_ns->begin(), latencies_ns->end());
+  const size_t idx = std::min(
+      latencies_ns->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(latencies_ns->size())));
+  return static_cast<double>((*latencies_ns)[idx]) / 1e6;
+}
+
+struct SweepPoint {
+  size_t connections = 0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// One closed-loop sweep point: `connections` clients, each running
+/// `queries_per_conn` COUNT queries back to back.
+SweepPoint RunPoint(uint16_t port, size_t connections, size_t queries_per_conn,
+                    size_t rows) {
+  std::vector<std::vector<int64_t>> lat(connections);
+  std::atomic<size_t> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(connections);
+  const int64_t t0 = NowNanos();
+  for (size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", port).ok() ||
+          !client.OpenSession().ok()) {
+        ++errors;
+        return;
+      }
+      Rng rng(5000 + c);
+      const Value span = std::max<Value>(1, static_cast<Value>(rows / 10000));
+      lat[c].reserve(queries_per_conn);
+      for (size_t q = 0; q < queries_per_conn; ++q) {
+        const Value lo = static_cast<Value>(rng.Next() % rows);
+        uint64_t count = 0;
+        const int64_t s = NowNanos();
+        if (!client.Count(lo, lo + span, &count).ok()) {
+          ++errors;
+          return;
+        }
+        lat[c].push_back(NowNanos() - s);
+      }
+      client.CloseSession();
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_secs = static_cast<double>(NowNanos() - t0) / 1e9;
+  if (errors.load() != 0) {
+    std::fprintf(stderr, "sweep point %zu conns: %zu client errors\n",
+                 connections, errors.load());
+  }
+  std::vector<int64_t> all;
+  for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  SweepPoint point;
+  point.connections = connections;
+  point.qps = wall_secs > 0.0 ? static_cast<double>(all.size()) / wall_secs
+                              : 0.0;
+  point.p50_ms = PercentileMs(&all, 0.50);
+  point.p99_ms = PercentileMs(&all, 0.99);
+  return point;
+}
+
+void Run() {
+  const size_t rows = EnvSize("AI_BENCH_ROWS", 2000000);
+  const size_t queries_per_conn = EnvSize("AI_BENCH_QUERIES_PER_CONN", 200);
+  const size_t max_conns = EnvSize("AI_BENCH_MAX_CONNS", 64);
+  PrintHeader("Server scaling: QPS and tail latency vs connection count",
+              "rows=" + std::to_string(rows) +
+                  " queries/conn=" + std::to_string(queries_per_conn) +
+                  " conns=1.." + std::to_string(max_conns));
+
+  // ---- phase 1: scaling sweep -------------------------------------------
+  std::vector<SweepPoint> sweep;
+  {
+    Server server(MakeUniqueRandomColumn(rows));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      std::exit(1);
+    }
+    for (size_t conns = 1; conns <= max_conns; conns *= 4) {
+      SweepPoint p = RunPoint(server.port(), conns, queries_per_conn, rows);
+      sweep.push_back(p);
+      std::printf("conns=%-3zu qps=%10.1f  p50=%7.3f ms  p99=%7.3f ms\n",
+                  p.connections, p.qps, p.p50_ms, p.p99_ms);
+    }
+    server.Stop();
+  }
+
+  // ---- phase 2: overload at ~2x capacity --------------------------------
+  const size_t cap = EnvSize("AI_BENCH_OVERLOAD_CAP", 4);
+  const size_t overload_conns = EnvSize("AI_BENCH_OVERLOAD_CONNS", 2 * cap);
+  const size_t overload_queries =
+      EnvSize("AI_BENCH_OVERLOAD_QUERIES", queries_per_conn);
+  uint64_t ok_total = 0, busy_total = 0, shed_total = 0;
+  double p99_ok_ms = 0.0;
+  {
+    ServerOptions opts;
+    opts.engine_threads = 1;
+    opts.admission.global_inflight = cap;
+    opts.admission.per_connection_inflight = cap;
+    Server server(MakeUniqueRandomColumn(rows), opts);
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "overload server start failed\n");
+      std::exit(1);
+    }
+    std::vector<std::vector<int64_t>> lat(overload_conns);
+    std::vector<uint64_t> ok(overload_conns, 0), busy(overload_conns, 0);
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < overload_conns; ++c) {
+      threads.emplace_back([&, c] {
+        Client client;
+        if (!client.Connect("127.0.0.1", server.port()).ok() ||
+            !client.OpenSession().ok()) {
+          return;
+        }
+        Rng rng(9000 + c);
+        const Value span =
+            std::max<Value>(1, static_cast<Value>(rows / 1000));
+        for (size_t q = 0; q < overload_queries; ++q) {
+          const Value lo = static_cast<Value>(rng.Next() % rows);
+          uint64_t count = 0;
+          const int64_t s = NowNanos();
+          Status st = client.Count(lo, lo + span, &count);
+          if (st.ok()) {
+            lat[c].push_back(NowNanos() - s);
+            ++ok[c];
+          } else if (st.IsBusy()) {
+            ++busy[c];  // shed at the edge: immediate, no queueing
+          } else {
+            return;
+          }
+        }
+        client.CloseSession();
+      });
+    }
+    for (auto& t : threads) t.join();
+    std::vector<int64_t> all;
+    for (size_t c = 0; c < overload_conns; ++c) {
+      all.insert(all.end(), lat[c].begin(), lat[c].end());
+      ok_total += ok[c];
+      busy_total += busy[c];
+    }
+    p99_ok_ms = PercentileMs(&all, 0.99);
+    shed_total = server.admission().shed_total();
+    server.Stop();
+  }
+  // Shedding "works" when overload produced refusals AND the admitted
+  // requests kept a bounded tail: p99 under the configurable bound (the
+  // engine did not silently queue the excess behind the cap).
+  const double p99_bound_ms = static_cast<double>(
+      EnvSize("AI_BENCH_OVERLOAD_P99_BOUND_MS", 250));
+  const bool shed_works =
+      busy_total > 0 && shed_total >= busy_total && p99_ok_ms < p99_bound_ms;
+  std::printf(
+      "overload (%zu conns over cap %zu): ok=%llu busy=%llu shed=%llu "
+      "p99(ok)=%.3f ms bound=%.0f ms -> %s\n",
+      overload_conns, cap, static_cast<unsigned long long>(ok_total),
+      static_cast<unsigned long long>(busy_total),
+      static_cast<unsigned long long>(shed_total), p99_ok_ms, p99_bound_ms,
+      shed_works ? "shed works" : "SHED GATE FAILED");
+
+  // ---- JSON artifact ----------------------------------------------------
+  const char* json_env = std::getenv("AI_BENCH_SERVER_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env
+                                               : "BENCH_server.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"fig16_server_scaling\",\n"
+               "  \"rows\": %zu,\n  \"queries_per_conn\": %zu,\n"
+               "  \"hardware_threads\": %u,\n  \"results\": [\n",
+               rows, queries_per_conn,
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"connections\": %zu, \"qps\": %.1f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 sweep[i].connections, sweep[i].qps, sweep[i].p50_ms,
+                 sweep[i].p99_ms, i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(
+      f,
+      "  ],\n  \"overload\": {\n"
+      "    \"connections\": %zu,\n    \"global_inflight_cap\": %zu,\n"
+      "    \"ok\": %llu,\n    \"busy\": %llu,\n    \"shed_total\": %llu,\n"
+      "    \"p99_ok_ms\": %.4f,\n    \"p99_bound_ms\": %.1f,\n"
+      "    \"shed_works\": %s\n  }\n}\n",
+      overload_conns, cap, static_cast<unsigned long long>(ok_total),
+      static_cast<unsigned long long>(busy_total),
+      static_cast<unsigned long long>(shed_total), p99_ok_ms, p99_bound_ms,
+      shed_works ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  if (!shed_works) std::exit(2);  // the CI smoke gates on this
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace adaptidx
+
+int main() {
+  adaptidx::bench::Run();
+  return 0;
+}

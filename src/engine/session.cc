@@ -41,6 +41,12 @@ void QueryTicket::Wait() const {
   state_->cv.wait(lk, [this] { return state_->done; });
 }
 
+bool QueryTicket::WaitFor(std::chrono::milliseconds timeout) const {
+  if (state_ == nullptr) return true;  // terminally failed == complete
+  std::unique_lock<std::mutex> lk(state_->mu);
+  return state_->cv.wait_for(lk, timeout, [this] { return state_->done; });
+}
+
 bool QueryTicket::done() const {
   if (state_ == nullptr) return true;
   std::lock_guard<std::mutex> lk(state_->mu);

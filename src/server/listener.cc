@@ -1,0 +1,97 @@
+#include "server/listener.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace adaptidx {
+namespace server {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Listener::~Listener() { Close(); }
+
+Status Listener::Listen(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::Corruption("socket() failed");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  ::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad listen address: " + host);
+  }
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Close();
+    return Status::Corruption("bind() failed: " +
+                              std::string(::strerror(errno)));
+  }
+  if (::listen(fd_, /*backlog=*/128) != 0) {
+    Close();
+    return Status::Corruption("listen() failed");
+  }
+  if (!SetNonBlocking(fd_)) {
+    Close();
+    return Status::Corruption("listener O_NONBLOCK failed");
+  }
+  // Recover the ephemeral port for port-0 binds.
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  return Status::OK();
+}
+
+Status Listener::Accept(int* client_fd) {
+  *client_fd = -1;
+  if (fd_ < 0) return Status::Busy("listener closed");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Busy("no pending connection");
+    }
+    return Status::Corruption("accept() failed: " +
+                              std::string(::strerror(errno)));
+  }
+  if (!SetNonBlocking(fd)) {
+    ::close(fd);
+    return Status::Corruption("accepted fd O_NONBLOCK failed");
+  }
+  SetNoDelay(fd);
+  *client_fd = fd;
+  return Status::OK();
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace server
+}  // namespace adaptidx

@@ -1,0 +1,59 @@
+#ifndef ADAPTIDX_SERVER_LISTENER_H_
+#define ADAPTIDX_SERVER_LISTENER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace adaptidx {
+namespace server {
+
+/// \brief Makes `fd` non-blocking; returns false on fcntl failure.
+bool SetNonBlocking(int fd);
+
+/// \brief Disables Nagle on a TCP socket (request/response traffic); best
+/// effort.
+void SetNoDelay(int fd);
+
+/// \brief A bound, listening, non-blocking TCP socket.
+///
+/// `Listen` with port 0 binds an ephemeral port (tests and benches run
+/// many servers concurrently without port collisions); the chosen port is
+/// readable via `port()`. The owner registers `fd()` on its `EventLoop`
+/// and calls `Accept` from the readiness callback until it reports
+/// would-block.
+///
+/// Thread-safety: confined to the owning (loop) thread after `Listen`.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// \brief Creates/binds/listens a non-blocking socket on `host:port`
+  /// with SO_REUSEADDR; port 0 picks an ephemeral port.
+  Status Listen(const std::string& host, uint16_t port);
+
+  /// \brief Accepts one pending connection into `*client_fd` (already
+  /// non-blocking, TCP_NODELAY). Returns OK on success, Busy when no
+  /// connection is pending (EAGAIN), Corruption on a real accept failure.
+  Status Accept(int* client_fd);
+
+  /// \brief Closes the listening socket (stops accepting); idempotent.
+  void Close();
+
+  int fd() const { return fd_; }           ///< \brief Listening fd; -1 when closed.
+  uint16_t port() const { return port_; }  ///< \brief Bound port (after Listen).
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace server
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_SERVER_LISTENER_H_

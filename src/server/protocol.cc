@@ -1,0 +1,408 @@
+#include "server/protocol.h"
+
+namespace adaptidx {
+namespace server {
+
+namespace {
+
+bool KnownFrameType(uint8_t t) {
+  switch (static_cast<FrameType>(t)) {
+    case FrameType::kOpenSession:
+    case FrameType::kQuery:
+    case FrameType::kBatch:
+    case FrameType::kInsert:
+    case FrameType::kDelete:
+    case FrameType::kStats:
+    case FrameType::kClose:
+    case FrameType::kOpenOk:
+    case FrameType::kResult:
+    case FrameType::kBatchResult:
+    case FrameType::kStatsResult:
+    case FrameType::kServerBusy:
+    case FrameType::kCloseOk:
+    case FrameType::kError:
+      return true;
+  }
+  return false;
+}
+
+bool WireServableKind(uint8_t k) {
+  switch (static_cast<QueryKind>(k)) {
+    case QueryKind::kCount:
+    case QueryKind::kSum:
+    case QueryKind::kRowIds:
+    case QueryKind::kMinMax:
+      return true;
+    case QueryKind::kSumOther:  // single served column: not expressible
+      return false;
+  }
+  return false;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed ") + what +
+                                 " payload");
+}
+
+}  // namespace
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        const std::string& payload) {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(kFrameOverhead + payload.size()));
+  w.PutU8(static_cast<uint8_t>(type));
+  w.PutU64(request_id);
+  std::string out = w.Take();
+  out.append(payload);
+  return out;
+}
+
+Status TryDecodeFrame(const uint8_t* data, size_t size,
+                      size_t max_frame_bytes, Frame* out, size_t* consumed) {
+  *consumed = 0;
+  if (size < kFrameLengthBytes) return Status::OK();  // need more bytes
+  WireReader header(data, size);
+  uint32_t length = 0;
+  header.GetU32(&length);
+  // The two rejections that make hostile lengths harmless: a length that
+  // cannot even hold the fixed overhead, and one above the cap — both
+  // decided before any payload buffer is reserved.
+  if (length < kFrameOverhead) {
+    return Status::Corruption("frame length below fixed overhead");
+  }
+  if (length > max_frame_bytes) {
+    return Status::Corruption("frame length exceeds cap");
+  }
+  if (size < kFrameLengthBytes + length) return Status::OK();  // need more
+  uint8_t type = 0;
+  uint64_t request_id = 0;
+  header.GetU8(&type);
+  header.GetU64(&request_id);
+  if (!header.ok()) return Status::Corruption("truncated frame header");
+  if (!KnownFrameType(type)) {
+    return Status::Corruption("unknown frame type");
+  }
+  out->type = static_cast<FrameType>(type);
+  out->request_id = request_id;
+  out->payload.assign(
+      reinterpret_cast<const char*>(data + kFrameLengthBytes + kFrameOverhead),
+      length - kFrameOverhead);
+  *consumed = kFrameLengthBytes + length;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------- OpenSessionReq
+
+std::string OpenSessionReq::Encode() const {
+  WireWriter w;
+  w.PutU8(flags);
+  w.PutU32(client_id);
+  return w.Take();
+}
+
+Status OpenSessionReq::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!r.GetU8(&flags) || !r.GetU32(&client_id) || !r.Exhausted()) {
+    return Malformed("OPEN_SESSION");
+  }
+  return Status::OK();
+}
+
+std::string OpenOkMsg::Encode() const {
+  WireWriter w;
+  w.PutU32(session_id);
+  return w.Take();
+}
+
+Status OpenOkMsg::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!r.GetU32(&session_id) || !r.Exhausted()) return Malformed("OPEN_OK");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------- QueryReq
+
+void QueryReq::EncodeTo(WireWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(kind));
+  w->PutI64(lo);
+  w->PutI64(hi);
+}
+
+bool QueryReq::DecodeFrom(WireReader* r) {
+  uint8_t k = 0;
+  if (!r->GetU8(&k) || !r->GetI64(&lo) || !r->GetI64(&hi)) return false;
+  if (!WireServableKind(k)) return false;
+  kind = static_cast<QueryKind>(k);
+  return true;
+}
+
+std::string QueryReq::Encode() const {
+  WireWriter w;
+  EncodeTo(&w);
+  return w.Take();
+}
+
+Status QueryReq::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!DecodeFrom(&r) || !r.Exhausted()) return Malformed("QUERY");
+  return Status::OK();
+}
+
+Query QueryReq::ToQuery() const {
+  Query q;
+  q.kind = kind;
+  q.range = ValueRange{lo, hi};
+  return q;
+}
+
+// ---------------------------------------------------------------- BatchReq
+
+std::string BatchReq::Encode() const {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(queries.size()));
+  for (const auto& q : queries) q.EncodeTo(&w);
+  return w.Take();
+}
+
+Status BatchReq::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Malformed("BATCH");
+  // 17 bytes per element (kind + lo + hi): a count the remaining payload
+  // cannot physically hold is rejected before the vector reserves.
+  if (static_cast<size_t>(n) * 17 != r.remaining()) return Malformed("BATCH");
+  queries.clear();
+  queries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    QueryReq q;
+    if (!q.DecodeFrom(&r)) return Malformed("BATCH");
+    queries.push_back(q);
+  }
+  if (!r.Exhausted()) return Malformed("BATCH");
+  return Status::OK();
+}
+
+// ------------------------------------------------------- Insert/DeleteReq
+
+std::string InsertReq::Encode() const {
+  WireWriter w;
+  w.PutI64(value);
+  return w.Take();
+}
+
+Status InsertReq::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!r.GetI64(&value) || !r.Exhausted()) return Malformed("INSERT");
+  return Status::OK();
+}
+
+std::string DeleteReq::Encode() const {
+  WireWriter w;
+  w.PutI64(value);
+  w.PutU32(row_id);
+  return w.Take();
+}
+
+Status DeleteReq::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  uint32_t id = 0;
+  if (!r.GetI64(&value) || !r.GetU32(&id) || !r.Exhausted()) {
+    return Malformed("DELETE");
+  }
+  row_id = static_cast<RowId>(id);
+  return Status::OK();
+}
+
+// --------------------------------------------------------------- ResultMsg
+
+void ResultMsg::EncodeTo(WireWriter* w) const {
+  w->PutU8(status_code);
+  w->PutString(message);
+  w->PutU8(kind);
+  w->PutU64(count);
+  w->PutI64(sum);
+  w->PutU8(has_minmax);
+  w->PutI64(min_value);
+  w->PutI64(max_value);
+  w->PutU32(row_id);
+  w->PutU32(static_cast<uint32_t>(row_ids.size()));
+  for (uint32_t id : row_ids) w->PutU32(id);
+}
+
+bool ResultMsg::DecodeFrom(WireReader* r) {
+  uint32_t rid = 0;
+  uint32_t n_ids = 0;
+  if (!r->GetU8(&status_code) || !r->GetString(&message) || !r->GetU8(&kind) ||
+      !r->GetU64(&count) || !r->GetI64(&sum) || !r->GetU8(&has_minmax) ||
+      !r->GetI64(&min_value) || !r->GetI64(&max_value) || !r->GetU32(&rid) ||
+      !r->GetU32(&n_ids)) {
+    return false;
+  }
+  row_id = rid;
+  // Guard the reserve: a forged id count larger than the payload could
+  // physically carry is rejected before allocation.
+  if (static_cast<size_t>(n_ids) * 4 > r->remaining()) return false;
+  row_ids.clear();
+  row_ids.reserve(n_ids);
+  for (uint32_t i = 0; i < n_ids; ++i) {
+    uint32_t id = 0;
+    if (!r->GetU32(&id)) return false;
+    row_ids.push_back(id);
+  }
+  return true;
+}
+
+std::string ResultMsg::Encode() const {
+  WireWriter w;
+  EncodeTo(&w);
+  return w.Take();
+}
+
+Status ResultMsg::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!DecodeFrom(&r) || !r.Exhausted()) return Malformed("RESULT");
+  return Status::OK();
+}
+
+Status ResultMsg::ToStatus() const {
+  return WireToStatus(status_code, message);
+}
+
+ResultMsg ResultMsg::FromStatus(const Status& s) {
+  ResultMsg m;
+  m.status_code = StatusCodeToWire(s);
+  m.message = s.message();
+  return m;
+}
+
+ResultMsg ResultMsg::FromResult(const QueryResult& r) {
+  ResultMsg m;
+  m.kind = static_cast<uint8_t>(r.kind);
+  m.count = r.count;
+  m.sum = r.sum;
+  m.has_minmax = r.has_minmax ? 1 : 0;
+  m.min_value = r.min_value;
+  m.max_value = r.max_value;
+  m.row_ids.assign(r.row_ids.begin(), r.row_ids.end());
+  return m;
+}
+
+std::string BatchResultMsg::Encode() const {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(results.size()));
+  for (const auto& m : results) m.EncodeTo(&w);
+  return w.Take();
+}
+
+Status BatchResultMsg::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Malformed("BATCH_RESULT");
+  // Minimum 40 bytes per element; forged counts fail before the reserve.
+  if (static_cast<size_t>(n) * 40 > r.remaining()) {
+    return Malformed("BATCH_RESULT");
+  }
+  results.clear();
+  results.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ResultMsg m;
+    if (!m.DecodeFrom(&r)) return Malformed("BATCH_RESULT");
+    results.push_back(std::move(m));
+  }
+  if (!r.Exhausted()) return Malformed("BATCH_RESULT");
+  return Status::OK();
+}
+
+// ----------------------------------------------------------------- StatsMsg
+
+bool StatsMsg::Find(const std::string& key, uint64_t* value) const {
+  for (const auto& kv : entries) {
+    if (kv.first == key) {
+      *value = kv.second;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string StatsMsg::Encode() const {
+  WireWriter w;
+  w.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& kv : entries) {
+    w.PutString(kv.first);
+    w.PutU64(kv.second);
+  }
+  return w.Take();
+}
+
+Status StatsMsg::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  uint32_t n = 0;
+  if (!r.GetU32(&n)) return Malformed("STATS_RESULT");
+  // Minimum 12 bytes per entry (empty key + value).
+  if (static_cast<size_t>(n) * 12 > r.remaining()) {
+    return Malformed("STATS_RESULT");
+  }
+  entries.clear();
+  entries.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string key;
+    uint64_t value = 0;
+    if (!r.GetString(&key) || !r.GetU64(&value)) {
+      return Malformed("STATS_RESULT");
+    }
+    entries.emplace_back(std::move(key), value);
+  }
+  if (!r.Exhausted()) return Malformed("STATS_RESULT");
+  return Status::OK();
+}
+
+// ------------------------------------------------------------------ BusyMsg
+
+std::string BusyMsg::Encode() const {
+  WireWriter w;
+  w.PutU8(overload_state);
+  w.PutU64(shed_total);
+  return w.Take();
+}
+
+Status BusyMsg::Decode(const std::string& payload) {
+  WireReader r(payload.data(), payload.size());
+  if (!r.GetU8(&overload_state) || !r.GetU64(&shed_total) || !r.Exhausted()) {
+    return Malformed("SERVER_BUSY");
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------------- status bridge
+
+uint8_t StatusCodeToWire(const Status& s) {
+  return static_cast<uint8_t>(s.code());
+}
+
+Status WireToStatus(uint8_t code, const std::string& message) {
+  switch (static_cast<Status::Code>(code)) {
+    case Status::Code::kOk:
+      return Status::OK();
+    case Status::Code::kNotFound:
+      return Status::NotFound(message);
+    case Status::Code::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case Status::Code::kBusy:
+      return Status::Busy(message);
+    case Status::Code::kConflict:
+      return Status::Conflict(message);
+    case Status::Code::kAborted:
+      return Status::Aborted(message);
+    case Status::Code::kTimedOut:
+      return Status::TimedOut(message);
+    case Status::Code::kNotSupported:
+      return Status::NotSupported(message);
+    case Status::Code::kCorruption:
+      return Status::Corruption(message);
+  }
+  return Status::Corruption("unknown wire status code");
+}
+
+}  // namespace server
+}  // namespace adaptidx

@@ -1,0 +1,187 @@
+#ifndef ADAPTIDX_SERVER_SERVER_H_
+#define ADAPTIDX_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/index_factory.h"
+#include "core/updatable_index.h"
+#include "lock/lock_manager.h"
+#include "server/admission.h"
+#include "server/event_loop.h"
+#include "server/listener.h"
+#include "server/protocol.h"
+#include "storage/column.h"
+#include "util/thread_pool.h"
+
+namespace adaptidx {
+namespace server {
+
+/// \brief Server configuration.
+struct ServerOptions {
+  /// Listen address; loopback by default (tests, benches, the CLI).
+  std::string host = "127.0.0.1";
+  /// Listen port; 0 binds an ephemeral port readable via `Server::port()`.
+  uint16_t port = 0;
+  /// Per-frame size cap, enforced by the decoder before any payload
+  /// buffer is reserved.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Engine execution pool size; 0 sizes it to the hardware with one
+  /// context reserved for the I/O loop thread
+  /// (`ThreadPool::DefaultConcurrency(1)`).
+  size_t engine_threads = 0;
+  /// Completion threads that block in `QueryTicket::WaitFor` and hand
+  /// encoded responses back to the I/O loop — out-of-order completion by
+  /// request id comes from here. Minimum 1.
+  size_t completion_threads = 3;
+  /// Per-request deadline: a request not complete this many ms after
+  /// admission is answered TimedOut (the ticket is not detached; the
+  /// engine-side execution still finishes and is drained on session
+  /// close). 0 disables deadlines.
+  int64_t request_deadline_ms = 30000;
+  /// Round-robin fairness quantum: at most this many buffered frames are
+  /// dispatched per connection per loop pass before the connection yields
+  /// to its peers. Minimum 1.
+  size_t fairness_quantum = 8;
+  /// Admission control (bounded in-flight queues, overload gauge, RSS
+  /// monitor).
+  AdmissionOptions admission;
+  /// Access method configuration of the served index (the base column is
+  /// wrapped in an `UpdatableIndex` of this config, so INSERT/DELETE work
+  /// over the wire).
+  IndexConfig index_config;
+};
+
+/// \brief TCP front-end putting one served table (an `UpdatableIndex`
+/// over a base column) behind the wire protocol of `protocol.h`.
+///
+/// Architecture: a single poll-reactor I/O thread (`EventLoop`) owns every
+/// socket and all per-connection state. Frames map onto the engine's
+/// session API — OPEN_SESSION opens a `Session` (one per connection,
+/// carrying client identity and the snapshot-reads flag), QUERY/BATCH
+/// become `Session::Submit`/`SubmitBatch`, INSERT/DELETE become
+/// session-transactional updates against the served `UpdatableIndex`.
+/// Admitted tickets are awaited on a small completion pool
+/// (`QueryTicket::WaitFor` enforcing the per-request deadline), so
+/// responses complete *out of order* by request id — a long scan never
+/// head-of-line-blocks a point query pipelined behind it.
+///
+/// Overload: every request passes `AdmissionController::TryAdmit` first;
+/// refusals are answered SERVER_BUSY immediately (load-shed at the edge,
+/// before engine queues or latch waits absorb the excess), and the STATS
+/// frame serializes the shed counters, the three-state overload gauge,
+/// per-session counters, and the served index's `LatchStats` — the whole
+/// concurrency stack observable over the wire.
+///
+/// Thread-safety: `Start`/`Stop` and the observability accessors may be
+/// called from any thread; everything socket-facing is confined to the
+/// internal I/O thread.
+class Server {
+ public:
+  /// \brief Takes ownership of the base column to serve; `opts` selects
+  /// the wrapped access method and all server tuning.
+  explicit Server(Column base, ServerOptions opts = {});
+
+  /// \brief Stops (drains) if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// \brief Binds, listens, and starts the I/O thread; after OK the bound
+  /// port is readable via `port()`. One-shot: a stopped server is not
+  /// restartable.
+  Status Start();
+
+  /// \brief Stops accepting, closes every connection, drains in-flight
+  /// requests, and joins all threads; idempotent.
+  void Stop();
+
+  /// \brief The bound port (meaningful after `Start`).
+  uint16_t port() const { return port_; }
+
+  /// \brief The served updatable index (tests inspect pending counters;
+  /// not valid after destruction). Thread-safe pointer read.
+  UpdatableIndex* index() { return index_.get(); }
+
+  /// \brief Admission gauges/counters (thread-safe).
+  const AdmissionController& admission() const { return admission_; }
+
+  /// \brief Connections currently open (thread-safe, approximate).
+  size_t connections() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Protocol violations that closed a connection (thread-safe).
+  uint64_t protocol_errors() const {
+    return protocol_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  // ---- loop-thread handlers --------------------------------------------
+  void OnAcceptReady();
+  void OnConnectionIo(uint64_t conn_id, bool readable, bool writable);
+  void ProcessFrames(const std::shared_ptr<Connection>& conn);
+  void DispatchFrame(const std::shared_ptr<Connection>& conn,
+                     const Frame& frame);
+  void HandleOpenSession(const std::shared_ptr<Connection>& conn,
+                         const Frame& frame);
+  void HandleQuery(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void HandleBatch(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void HandleUpdate(const std::shared_ptr<Connection>& conn,
+                    const Frame& frame);
+  void HandleStats(const std::shared_ptr<Connection>& conn,
+                   const Frame& frame);
+  void SendBusy(const std::shared_ptr<Connection>& conn, uint64_t request_id);
+  void SendFrame(const std::shared_ptr<Connection>& conn, FrameType type,
+                 uint64_t request_id, const std::string& payload);
+  void FlushWrites(const std::shared_ptr<Connection>& conn);
+  void ProtocolError(const std::shared_ptr<Connection>& conn,
+                     const Status& error);
+  void CloseConnection(uint64_t conn_id);
+
+  // Thread-safe: encode on any thread, then post bytes to the loop.
+  void PostResponse(uint64_t conn_id, FrameType type, uint64_t request_id,
+                    std::string payload);
+
+  int64_t DeadlineMs() const { return opts_.request_deadline_ms; }
+
+  ServerOptions opts_;
+  LockManager lock_manager_;
+  std::unique_ptr<UpdatableIndex> index_;
+  std::unique_ptr<ThreadPool> engine_pool_;
+  std::unique_ptr<ThreadPool> completion_pool_;
+  AdmissionController admission_;
+
+  EventLoop loop_;
+  Listener listener_;
+  std::thread io_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  uint16_t port_ = 0;
+
+  // Loop-thread-only connection table, keyed by connection id (not fd:
+  // ids are never reused, so a completion racing a close can only miss,
+  // never hit a recycled descriptor).
+  std::unordered_map<uint64_t, std::shared_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::atomic<size_t> connections_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> responses_sent_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> deadline_expired_{0};
+};
+
+}  // namespace server
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_SERVER_SERVER_H_

@@ -4,6 +4,12 @@
 
 namespace adaptidx {
 
+size_t ThreadPool::DefaultConcurrency(size_t reserve_threads) {
+  const size_t hw = std::thread::hardware_concurrency();
+  if (hw <= reserve_threads + 1) return 1;
+  return hw - reserve_threads;
+}
+
 ThreadPool::ThreadPool(size_t num_threads) {
   num_threads = std::max<size_t>(1, num_threads);
   threads_.reserve(num_threads);

@@ -22,6 +22,13 @@ class ThreadPool {
   explicit ThreadPool(size_t num_threads);
   ~ThreadPool();
 
+  /// \brief Hardware-derived worker count with `reserve_threads` contexts
+  /// left free (never below 1). The network server sizes its engine pool
+  /// with `DefaultConcurrency(1)` so the I/O event-loop thread keeps a
+  /// hardware context of its own instead of time-slicing against a fully
+  /// subscribed execution pool.
+  static size_t DefaultConcurrency(size_t reserve_threads = 0);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -1,0 +1,433 @@
+#include "server/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adaptidx {
+namespace server {
+namespace {
+
+std::unique_ptr<Server> StartServer(Column base, ServerOptions opts = {}) {
+  auto server = std::make_unique<Server>(std::move(base), std::move(opts));
+  EXPECT_TRUE(server->Start().ok());
+  return server;
+}
+
+Client ConnectTo(const Server& server) {
+  Client client;
+  EXPECT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  return client;
+}
+
+// ------------------------------------------------------------ basic traffic
+
+TEST(ServerBasicTest, OpenQueryStatsCloseRoundTrip) {
+  const size_t kRows = 5000;
+  Column base = Column::UniqueRandom("A", kRows, 71);
+  RangeOracle oracle(base);
+  auto server = StartServer(std::move(base));
+
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession().ok());
+  EXPECT_GT(client.session_id(), 0u);
+
+  uint64_t count = 0;
+  ASSERT_TRUE(client.Count(100, 2500, &count).ok());
+  EXPECT_EQ(count, oracle.Count(100, 2500));
+
+  int64_t sum = 0;
+  ASSERT_TRUE(client.Sum(100, 2500, &sum).ok());
+  EXPECT_EQ(sum, oracle.Sum(100, 2500));
+
+  Value mn = 0, mx = 0;
+  bool found = false;
+  ASSERT_TRUE(client.MinMax(1000, 1200, &mn, &mx, &found).ok());
+  ASSERT_TRUE(found);
+  EXPECT_EQ(mn, 1000);
+  EXPECT_EQ(mx, 1199);
+
+  std::vector<RowId> ids;
+  ASSERT_TRUE(client.RowIds(42, 99, &ids).ok());
+  EXPECT_TRUE(oracle.CheckRowIds(42, 99, ids));
+
+  // Batch: one admission unit, per-query results in submission order.
+  std::vector<QueryReq> batch = {{QueryKind::kCount, 0, 1000},
+                                 {QueryKind::kSum, 500, 700},
+                                 {QueryKind::kCount, 4000, 6000}};
+  std::vector<ResultMsg> results;
+  ASSERT_TRUE(client.Batch(batch, &results).ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].count, oracle.Count(0, 1000));
+  EXPECT_EQ(results[1].sum, oracle.Sum(500, 700));
+  EXPECT_EQ(results[2].count, oracle.Count(4000, 6000));
+
+  // STATS: the whole concurrency stack observable over the wire.
+  StatsMsg stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  uint64_t v = 0;
+  EXPECT_TRUE(stats.Find("admission.shed_total", &v));
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(stats.Find("index.num_rows", &v));
+  EXPECT_EQ(v, kRows);
+  ASSERT_TRUE(stats.Find("server.connections", &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(stats.Find("session.queries_submitted", &v));
+  EXPECT_GE(v, 6u);
+  EXPECT_TRUE(stats.Find("admission.overload_state", &v));
+  EXPECT_EQ(v, static_cast<uint64_t>(OverloadState::kNormal));
+  EXPECT_TRUE(stats.Find("index.base.read_acquires", &v));
+  EXPECT_TRUE(stats.Find("index.side.write_acquires", &v));
+
+  EXPECT_TRUE(client.CloseSession().ok());
+  server->Stop();
+}
+
+TEST(ServerBasicTest, InsertDeleteVisibleThroughQueries) {
+  auto server = StartServer(Column::UniqueRandom("A", 1000, 72));
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession().ok());
+
+  RowId row_id = 0;
+  ASSERT_TRUE(client.Insert(5000, &row_id).ok());
+  EXPECT_GE(row_id, 1000u);  // appended after the base rows
+  EXPECT_EQ(server->index()->num_rows(), 1001u);
+
+  uint64_t count = 0;
+  ASSERT_TRUE(client.Count(5000, 5001, &count).ok());
+  EXPECT_EQ(count, 1u);
+
+  ASSERT_TRUE(client.Delete(5000, row_id).ok());
+  ASSERT_TRUE(client.Count(5000, 5001, &count).ok());
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(server->index()->num_rows(), 1000u);
+  EXPECT_GE(server->index()->commit_epoch(), 2u);
+  server->Stop();
+}
+
+// --------------------------------------------------------- protocol breaches
+
+TEST(ServerProtocolTest, QueryBeforeOpenSessionIsARejectedBreach) {
+  auto server = StartServer(Column::UniqueRandom("A", 100, 73));
+  Client client = ConnectTo(*server);
+  uint64_t count = 0;
+  Status s = client.Count(0, 10, &count);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  EXPECT_FALSE(client.connected());  // breach closed the connection
+  EXPECT_GE(server->protocol_errors(), 1u);
+  server->Stop();
+}
+
+TEST(ServerProtocolTest, GarbageAndTruncatedFramesCloseCleanly) {
+  auto server = StartServer(Column::UniqueRandom("A", 100, 74));
+
+  {
+    // Hostile length word (~4 GiB claim): ERROR frame, then close.
+    Client client = ConnectTo(*server);
+    const char hostile[] = {'\xff', '\xff', '\xff', '\xff', 'j', 'u', 'n', 'k'};
+    ASSERT_TRUE(client.SendRaw(hostile, sizeof(hostile)).ok());
+    Frame f;
+    Status s = client.ReadFrame(&f);
+    if (s.ok()) {
+      EXPECT_EQ(f.type, FrameType::kError);
+      EXPECT_TRUE(client.ReadFrame(&f).IsNotFound());  // then EOF
+    }
+  }
+  {
+    // Valid header, garbage payload bytes for the declared type.
+    Client client = ConnectTo(*server);
+    const std::string bad = EncodeFrame(FrameType::kOpenSession, 1, "zz");
+    ASSERT_TRUE(client.SendRaw(bad.data(), bad.size()).ok());
+    Frame f;
+    Status s = client.ReadFrame(&f);
+    if (s.ok()) EXPECT_EQ(f.type, FrameType::kError);
+  }
+  {
+    // Truncated frame then abrupt client close: the server must just drop
+    // the connection, not stall or crash.
+    Client client = ConnectTo(*server);
+    const std::string partial =
+        EncodeFrame(FrameType::kQuery, 2, std::string(17, 'q')).substr(0, 9);
+    ASSERT_TRUE(client.SendRaw(partial.data(), partial.size()).ok());
+    client.Close();
+  }
+
+  EXPECT_GE(server->protocol_errors(), 2u);
+  // The server survived all three abuses: a fresh client still works.
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(client.Count(0, 100, &count).ok());
+  EXPECT_EQ(count, 100u);
+  server->Stop();
+}
+
+TEST(ServerProtocolTest, ResponseTagSentToServerIsABreach) {
+  auto server = StartServer(Column::UniqueRandom("A", 100, 75));
+  Client client = ConnectTo(*server);
+  const std::string bad = EncodeFrame(FrameType::kResult, 1, "");
+  ASSERT_TRUE(client.SendRaw(bad.data(), bad.size()).ok());
+  Frame f;
+  Status s = client.ReadFrame(&f);
+  if (s.ok()) EXPECT_EQ(f.type, FrameType::kError);
+  server->Stop();
+}
+
+// ------------------------------------------------------------------ overload
+
+TEST(ServerOverloadTest, ShedsWithServerBusyInsteadOfQueueGrowth) {
+  // A deliberately tiny server: one engine thread and a global in-flight
+  // cap of 1, fed 32 pipelined queries over a column large enough that the
+  // first crack is still running while the rest of the burst arrives. The
+  // excess must come back SERVER_BUSY immediately — not queue behind the
+  // engine.
+  ServerOptions opts;
+  opts.engine_threads = 1;
+  opts.completion_threads = 2;
+  opts.admission.global_inflight = 1;
+  opts.admission.per_connection_inflight = 1;
+  auto server = StartServer(Column::UniqueRandom("A", 1000000, 76), opts);
+
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession().ok());
+
+  const int kBurst = 32;
+  std::string burst;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryReq q{QueryKind::kCount, i * 1000, i * 1000 + 500};
+    ids.push_back(client.NextRequestId());
+    burst += EncodeFrame(FrameType::kQuery, ids.back(), q.Encode());
+  }
+  ASSERT_TRUE(client.SendRaw(burst.data(), burst.size()).ok());
+
+  int ok_responses = 0;
+  int busy_responses = 0;
+  uint64_t max_busy_shed = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Frame f;
+    ASSERT_TRUE(client.ReadFrame(&f).ok());
+    if (f.type == FrameType::kServerBusy) {
+      ++busy_responses;
+      BusyMsg busy;
+      ASSERT_TRUE(busy.Decode(f.payload).ok());
+      max_busy_shed = std::max(max_busy_shed, busy.shed_total);
+    } else {
+      ASSERT_EQ(f.type, FrameType::kResult);
+      ResultMsg m;
+      ASSERT_TRUE(m.Decode(f.payload).ok());
+      EXPECT_TRUE(m.ToStatus().ok());
+      ++ok_responses;
+    }
+  }
+  // Every request was answered — shed or served, never silently queued.
+  EXPECT_EQ(ok_responses + busy_responses, kBurst);
+  EXPECT_GE(ok_responses, 1);
+  EXPECT_GE(busy_responses, 1);
+  EXPECT_GE(max_busy_shed, static_cast<uint64_t>(busy_responses));
+
+  // The shed total is visible over the wire via STATS.
+  StatsMsg stats;
+  ASSERT_TRUE(client.Stats(&stats).ok());
+  uint64_t shed = 0;
+  ASSERT_TRUE(stats.Find("admission.shed_total", &shed));
+  EXPECT_GE(shed, static_cast<uint64_t>(busy_responses));
+  uint64_t in_flight = 0;
+  ASSERT_TRUE(stats.Find("admission.global_in_flight", &in_flight));
+  EXPECT_LE(in_flight, 1u);  // the cap held throughout
+
+  EXPECT_EQ(server->admission().shed_total(), shed);
+  server->Stop();
+}
+
+// ----------------------------------------------------------- concurrent e2e
+
+/// Eight concurrent clients issue mixed count/sum/minmax/rowids/insert/
+/// delete traffic. Base-range queries are checked against the immutable
+/// base oracle; every client's updates live in a private value range
+/// checked against its own local bookkeeping — so every single response is
+/// verified without cross-client coordination.
+TEST(ServerE2eTest, ConcurrentMixedTrafficMatchesOracle) {
+  const size_t kRows = 20000;
+  const int kClients = 8;
+  const int kOpsPerClient = 150;
+  const Value kPrivateBase = static_cast<Value>(kRows);
+  const Value kPrivateSpan = 10000;
+
+  Column base = Column::UniqueRandom("A", kRows, 77);
+  RangeOracle oracle(base);
+  ServerOptions opts;
+  opts.engine_threads = 4;
+  auto server = StartServer(std::move(base), opts);
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client client;
+      if (!client.Connect("127.0.0.1", server->port()).ok() ||
+          !client.OpenSession(/*snapshot_reads=*/false,
+                              /*client_id=*/100 + c)
+               .ok()) {
+        ++failures;
+        return;
+      }
+      const Value lo_bound = kPrivateBase + c * kPrivateSpan;
+      const Value hi_bound = lo_bound + kPrivateSpan;
+      std::map<Value, RowId> live;  // my inserted tuples still alive
+      Rng rng(900 + c);
+      Value next_value = lo_bound;
+      for (int op = 0; op < kOpsPerClient; ++op) {
+        const uint64_t dice = rng.Next() % 10;
+        if (dice < 2 && next_value < hi_bound) {  // insert private value
+          RowId id = 0;
+          if (!client.Insert(next_value, &id).ok()) {
+            ++failures;
+            return;
+          }
+          live[next_value] = id;
+          ++next_value;
+        } else if (dice < 3 && !live.empty()) {  // delete one of mine
+          auto it = live.begin();
+          std::advance(it, rng.Next() % live.size());
+          if (!client.Delete(it->first, it->second).ok()) {
+            ++failures;
+            return;
+          }
+          live.erase(it);
+        } else if (dice < 5) {  // private-range count vs local bookkeeping
+          uint64_t count = 0;
+          if (!client.Count(lo_bound, hi_bound, &count).ok() ||
+              count != live.size()) {
+            ++failures;
+            return;
+          }
+        } else if (dice < 6) {  // private-range sum vs local bookkeeping
+          int64_t sum = 0;
+          int64_t expect = 0;
+          for (const auto& [v, id] : live) expect += v;
+          if (!client.Sum(lo_bound, hi_bound, &sum).ok() || sum != expect) {
+            ++failures;
+            return;
+          }
+        } else {  // base-range query vs the immutable oracle
+          const Value lo = static_cast<Value>(rng.Next() % kRows);
+          const Value hi =
+              std::min<Value>(static_cast<Value>(kRows),
+                              lo + 1 + static_cast<Value>(rng.Next() % 2000));
+          switch (rng.Next() % 4) {
+            case 0: {
+              uint64_t count = 0;
+              if (!client.Count(lo, hi, &count).ok() ||
+                  count != oracle.Count(lo, hi)) {
+                ++failures;
+                return;
+              }
+              break;
+            }
+            case 1: {
+              int64_t sum = 0;
+              if (!client.Sum(lo, hi, &sum).ok() ||
+                  sum != oracle.Sum(lo, hi)) {
+                ++failures;
+                return;
+              }
+              break;
+            }
+            case 2: {
+              Value mn = 0, mx = 0;
+              bool found = false;
+              Value omn = 0, omx = 0;
+              const bool ofound = oracle.MinMax(lo, hi, &omn, &omx);
+              if (!client.MinMax(lo, hi, &mn, &mx, &found).ok() ||
+                  found != ofound || (found && (mn != omn || mx != omx))) {
+                ++failures;
+                return;
+              }
+              break;
+            }
+            default: {
+              std::vector<RowId> ids;
+              if (!client.RowIds(lo, hi, &ids).ok() ||
+                  !oracle.CheckRowIds(lo, hi, ids)) {
+                ++failures;
+                return;
+              }
+              break;
+            }
+          }
+        }
+        // Sprinkle batches through the run: three base counts at once.
+        if (op % 37 == 36) {
+          std::vector<QueryReq> batch;
+          std::vector<std::pair<Value, Value>> ranges;
+          for (int b = 0; b < 3; ++b) {
+            const Value lo = static_cast<Value>(rng.Next() % kRows);
+            const Value hi = std::min<Value>(
+                static_cast<Value>(kRows),
+                lo + 1 + static_cast<Value>(rng.Next() % 500));
+            batch.push_back({QueryKind::kCount, lo, hi});
+            ranges.emplace_back(lo, hi);
+          }
+          std::vector<ResultMsg> results;
+          if (!client.Batch(batch, &results).ok() || results.size() != 3) {
+            ++failures;
+            return;
+          }
+          for (size_t b = 0; b < 3; ++b) {
+            if (!results[b].ToStatus().ok() ||
+                results[b].count !=
+                    oracle.Count(ranges[b].first, ranges[b].second)) {
+              ++failures;
+              return;
+            }
+          }
+        }
+      }
+      if (!client.CloseSession().ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->admission().global_in_flight(), 0u);
+  server->Stop();
+}
+
+// ------------------------------------------------------------------ shutdown
+
+TEST(ServerShutdownTest, StopWithLiveConnectionsDrainsCleanly) {
+  auto server = StartServer(Column::UniqueRandom("A", 2000, 78));
+  Client client = ConnectTo(*server);
+  ASSERT_TRUE(client.OpenSession().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(client.Count(0, 500, &count).ok());
+  EXPECT_EQ(count, 500u);
+
+  server->Stop();  // client never said goodbye
+
+  // The client observes a clean close, not a hang.
+  Frame f;
+  EXPECT_TRUE(client.ReadFrame(&f).IsNotFound());
+  EXPECT_EQ(server->connections(), 0u);
+}
+
+TEST(ServerShutdownTest, StopIsIdempotentAndDestructorSafe) {
+  auto server = StartServer(Column::UniqueRandom("A", 100, 79));
+  server->Stop();
+  server->Stop();
+  server.reset();  // destructor after explicit stop: no double teardown
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace adaptidx

@@ -1,0 +1,253 @@
+/// \file Interactive REPL over the wire protocol — the smallest end-to-end
+/// driver of the server stack, and a handy manual probe for a running
+/// instance.
+///
+/// Two modes:
+///
+///   adaptidx_cli --serve [--rows N] [--port P]
+///       Starts an in-process server over a fresh unique-random column
+///       (ephemeral port by default), connects to it, and drops into the
+///       REPL — a self-contained demo needing no second terminal.
+///
+///   adaptidx_cli --connect HOST:PORT
+///       Connects the REPL to an already-running server.
+///
+/// Commands:
+///   count LO HI | sum LO HI | minmax LO HI | rowids LO HI
+///   insert VALUE | del VALUE ROWID
+///   batch N LO HI       (N counts over [LO,HI), one admission unit)
+///   stats               (dump the server's counter/gauge list)
+///   help | quit
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "storage/column.h"
+
+namespace adaptidx {
+namespace {
+
+using server::Client;
+using server::QueryReq;
+using server::ResultMsg;
+using server::Server;
+using server::ServerOptions;
+using server::StatsMsg;
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  count LO HI     rows with LO <= value < HI\n"
+      "  sum LO HI       sum of qualifying values\n"
+      "  minmax LO HI    min/max qualifying value\n"
+      "  rowids LO HI    qualifying row ids (count + first few)\n"
+      "  insert VALUE    insert a value; prints the assigned row id\n"
+      "  del VALUE ROWID delete the tuple (VALUE, ROWID)\n"
+      "  batch N LO HI   N counts over [LO,HI) as one admission unit\n"
+      "  stats           server counters/gauges over the wire\n"
+      "  help            this text\n"
+      "  quit            close the session and exit\n");
+}
+
+int Repl(Client* client) {
+  std::printf("session %u open; type 'help' for commands\n",
+              client->session_id());
+  std::string line;
+  while (true) {
+    std::printf("adaptidx> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd)) continue;
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (cmd == "stats") {
+      StatsMsg stats;
+      Status s = client->Stats(&stats);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      for (const auto& [key, value] : stats.entries) {
+        std::printf("  %-32s %llu\n", key.c_str(),
+                    static_cast<unsigned long long>(value));
+      }
+      continue;
+    }
+    Value lo = 0, hi = 0;
+    if (cmd == "count" || cmd == "sum" || cmd == "minmax" ||
+        cmd == "rowids") {
+      if (!(in >> lo >> hi)) {
+        std::printf("usage: %s LO HI\n", cmd.c_str());
+        continue;
+      }
+      Status s;
+      if (cmd == "count") {
+        uint64_t count = 0;
+        s = client->Count(lo, hi, &count);
+        if (s.ok()) {
+          std::printf("%llu\n", static_cast<unsigned long long>(count));
+        }
+      } else if (cmd == "sum") {
+        int64_t sum = 0;
+        s = client->Sum(lo, hi, &sum);
+        if (s.ok()) std::printf("%lld\n", static_cast<long long>(sum));
+      } else if (cmd == "minmax") {
+        Value mn = 0, mx = 0;
+        bool found = false;
+        s = client->MinMax(lo, hi, &mn, &mx, &found);
+        if (s.ok()) {
+          if (found) {
+            std::printf("min=%lld max=%lld\n", static_cast<long long>(mn),
+                        static_cast<long long>(mx));
+          } else {
+            std::printf("(empty range)\n");
+          }
+        }
+      } else {
+        std::vector<RowId> ids;
+        s = client->RowIds(lo, hi, &ids);
+        if (s.ok()) {
+          std::printf("%zu row id(s)", ids.size());
+          for (size_t i = 0; i < ids.size() && i < 8; ++i) {
+            std::printf("%s%u", i == 0 ? ": " : ", ", ids[i]);
+          }
+          std::printf(ids.size() > 8 ? ", ...\n" : "\n");
+        }
+      }
+      if (!s.ok()) std::printf("error: %s\n", s.ToString().c_str());
+      continue;
+    }
+    if (cmd == "insert") {
+      Value v = 0;
+      if (!(in >> v)) {
+        std::printf("usage: insert VALUE\n");
+        continue;
+      }
+      RowId id = 0;
+      Status s = client->Insert(v, &id);
+      if (s.ok()) {
+        std::printf("row id %u\n", id);
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
+      continue;
+    }
+    if (cmd == "del") {
+      Value v = 0;
+      unsigned long id = 0;
+      if (!(in >> v >> id)) {
+        std::printf("usage: del VALUE ROWID\n");
+        continue;
+      }
+      Status s = client->Delete(v, static_cast<RowId>(id));
+      std::printf("%s\n", s.ok() ? "ok" : s.ToString().c_str());
+      continue;
+    }
+    if (cmd == "batch") {
+      size_t n = 0;
+      if (!(in >> n >> lo >> hi) || n == 0) {
+        std::printf("usage: batch N LO HI\n");
+        continue;
+      }
+      std::vector<QueryReq> queries(n, QueryReq{QueryKind::kCount, lo, hi});
+      std::vector<ResultMsg> results;
+      Status s = client->Batch(queries, &results);
+      if (!s.ok()) {
+        std::printf("error: %s\n", s.ToString().c_str());
+        continue;
+      }
+      std::printf("%zu result(s); first count=%llu\n", results.size(),
+                  static_cast<unsigned long long>(
+                      results.empty() ? 0 : results[0].count));
+      continue;
+    }
+    std::printf("unknown command '%s'; type 'help'\n", cmd.c_str());
+  }
+  if (client->connected()) client->CloseSession();
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  bool serve = false;
+  size_t rows = 1000000;
+  uint16_t port = 0;
+  std::string connect_to;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--rows" && i + 1 < argc) {
+      rows = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_to = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --serve [--rows N] [--port P] | "
+                   "--connect HOST:PORT\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Server> server;
+  std::string host = "127.0.0.1";
+  if (serve) {
+    ServerOptions opts;
+    opts.port = port;
+    server = std::make_unique<Server>(
+        Column::UniqueRandom("A", rows, /*seed=*/2012), opts);
+    Status s = server->Start();
+    if (!s.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    port = server->port();
+    std::printf("serving %zu rows on 127.0.0.1:%u\n", rows, port);
+  } else if (!connect_to.empty()) {
+    const size_t colon = connect_to.rfind(':');
+    if (colon == std::string::npos) {
+      std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 1;
+    }
+    host = connect_to.substr(0, colon);
+    port = static_cast<uint16_t>(
+        std::strtoul(connect_to.c_str() + colon + 1, nullptr, 10));
+  } else {
+    std::fprintf(stderr,
+                 "usage: %s --serve [--rows N] [--port P] | "
+                 "--connect HOST:PORT\n",
+                 argv[0]);
+    return 1;
+  }
+
+  Client client;
+  Status s = client.Connect(host, port);
+  if (s.ok()) s = client.OpenSession();
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const int rc = Repl(&client);
+  if (server != nullptr) server->Stop();
+  return rc;
+}
+
+}  // namespace
+}  // namespace adaptidx
+
+int main(int argc, char** argv) { return adaptidx::Main(argc, argv); }

@@ -22,6 +22,8 @@ CHECKED_HEADERS = [
     "src/core/query.h",
     "src/core/adaptive_index.h",
     "src/core/index_factory.h",
+    "src/server/server.h",
+    "src/server/client.h",
 ]
 
 # Classes whose *class-level* doc comment must mention thread safety.
@@ -32,6 +34,8 @@ THREAD_SAFETY_CLASSES = {
     "Query",
     "QueryResult",
     "IndexConfig",
+    "Server",
+    "Client",
 }
 
 # A declaration-looking line: optional specifiers, a return type, an
