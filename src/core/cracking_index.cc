@@ -1066,4 +1066,131 @@ bool CrackingIndex::ValidateStructure() const {
   return true;
 }
 
+Status CrackingIndex::ExportAdaptedState(AdaptedState* out) const {
+  out->values.clear();
+  out->row_ids.clear();
+  out->pieces.clear();
+  if (!initialized_.load(std::memory_order_acquire)) {
+    // No query has touched the index: nothing adapted to save. The caller
+    // records "no adapted state" and recovery starts cold, as the original
+    // run would have.
+    return Status::OK();
+  }
+  const size_t n = [&] {
+    std::shared_lock<std::shared_mutex> sl(structure_mu_);
+    return array_->size();
+  }();
+  out->values.reserve(n);
+  out->row_ids.reserve(n);
+
+  LatchAcquireContext lat{};
+  const bool column_mode = opts_.mode == ConcurrencyMode::kColumnLatch;
+  if (column_mode) column_latch_.ReadLock(lat);
+  const bool piece_latched = PieceLatchedMode();
+  Position pos = 0;
+  while (pos < n) {
+    std::shared_ptr<Piece> piece;
+    {
+      // Shared structure latch for the lookup only — piece latches are
+      // never requested under structure_mu_ (the global latch order).
+      MaybeSharedLock sl(&structure_mu_,
+                         opts_.mode != ConcurrencyMode::kNone);
+      piece = pieces_->FindByPosition(pos);
+    }
+    if (piece_latched) piece->latch.ReadLock(lat);
+    const Position piece_end = piece->end.load(std::memory_order_acquire);
+    if (pos >= piece_end) {
+      // The piece split between lookup and latch; pos belongs to a
+      // successor carved off the tail. Re-resolve.
+      if (piece_latched) piece->latch.ReadUnlock();
+      continue;
+    }
+    // Under the read latch extent, bounds, sorted flag, and data are one
+    // consistent view. pos always equals piece->begin here: begins are
+    // immutable, the walk starts at 0, and each step advances to the
+    // captured end — which is the begin of the next piece at capture time
+    // and, begins being immutable, forever after (a later split of that
+    // successor only adds more begins to its right).
+    AdaptedPiece ap;
+    ap.begin = piece->begin;
+    ap.end = piece_end;
+    ap.lo_value = piece->lo_value;
+    ap.hi_value = piece->hi_value;
+    ap.sorted = piece->sorted;
+    for (Position i = pos; i < piece_end; ++i) {
+      out->values.push_back(array_->ValueAt(i));
+      out->row_ids.push_back(array_->RowIdAt(i));
+    }
+    if (piece_latched) piece->latch.ReadUnlock();
+    out->pieces.push_back(ap);
+    pos = piece_end;
+  }
+  if (column_mode) column_latch_.ReadUnlock();
+  return Status::OK();
+}
+
+Status CrackingIndex::RestoreAdaptedState(const AdaptedState& state) {
+  if (state.pieces.empty()) return Status::OK();  // nothing was adapted
+  const size_t n = column_->size();
+  if (state.values.size() != n || state.row_ids.size() != n) {
+    return Status::InvalidArgument("adapted image size mismatch");
+  }
+  Position expect = 0;
+  for (const auto& p : state.pieces) {
+    if (p.begin != expect || p.end <= p.begin || p.end > n) {
+      return Status::InvalidArgument("adapted image tiling is broken");
+    }
+    expect = p.end;
+  }
+  if (expect != n) {
+    return Status::InvalidArgument("adapted image tiling is incomplete");
+  }
+  std::unique_lock<std::shared_mutex> lk(structure_mu_);
+  if (initialized_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("index already initialized");
+  }
+  std::vector<CrackerEntry> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = CrackerEntry{state.row_ids[i], state.values[i]};
+  }
+  array_ = std::make_unique<CrackerArray>(std::move(entries), opts_.layout,
+                                          opts_.kernel_tier);
+  // Same column, same values: MinMax reproduces the original domain.
+  Value lo = 0;
+  Value hi = 0;
+  if (n > 0) array_->MinMax(0, n, &lo, &hi);
+  domain_lo_ = lo;
+  domain_hi_ = hi + 1;
+  pieces_ = std::make_unique<PieceMap>(n, domain_lo_, domain_hi_,
+                                       opts_.scheduling);
+  // Re-publish each interior boundary as a crack: begins strictly ascend
+  // and each piece's lo_value is the pivot that originally cut it, so the
+  // splits replay left to right against the always-rightmost piece.
+  for (size_t i = 1; i < state.pieces.size(); ++i) {
+    PublishCrackLocked(state.pieces[i].lo_value, state.pieces[i].begin);
+  }
+  // Overwrite bounds and sorted flags with the captured ones: edge pieces
+  // may carry tighter bounds than the splits imply (a crack at position 0
+  // or n raises/lowers a bound without adding a piece).
+  for (const auto& p : state.pieces) {
+    auto piece = pieces_->FindByBegin(p.begin);
+    if (piece == nullptr ||
+        piece->end.load(std::memory_order_relaxed) != p.end) {
+      return Status::InvalidArgument("adapted image replay diverged");
+    }
+    piece->lo_value = p.lo_value;
+    piece->hi_value = p.hi_value;
+    piece->sorted = p.sorted;
+  }
+  // Boundary cracks that moved an edge piece's bound live in the AVL
+  // table of contents without a piece split; re-create them so future
+  // bound resolutions keep finding them.
+  const auto& first = state.pieces.front();
+  const auto& last = state.pieces.back();
+  if (first.lo_value > domain_lo_) avl_.Insert(first.lo_value, 0);
+  if (last.hi_value < domain_hi_) avl_.Insert(last.hi_value, n);
+  initialized_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
 }  // namespace adaptidx

@@ -167,6 +167,44 @@ class CrackingIndex : public AdaptiveIndex {
   /// pieces actually sorted). Requires a quiesced index; O(n).
   bool ValidateStructure() const;
 
+  // ---- durability: adapted-state capture/restore -------------------------
+
+  /// \brief One piece of a captured tiling: its positional extent, value
+  /// bounds, and whether it was known sorted.
+  struct AdaptedPiece {
+    Position begin = 0;
+    Position end = 0;
+    Value lo_value = 0;
+    Value hi_value = 0;
+    bool sorted = false;
+  };
+
+  /// \brief A consistent image of the cracked state: the reorganized
+  /// array contents plus the piece tiling over them. Empty `pieces` means
+  /// the index had not been initialized (no query touched it yet).
+  struct AdaptedState {
+    std::vector<Value> values;   ///< cracker-array values, position order
+    std::vector<RowId> row_ids;  ///< matching rowIDs
+    std::vector<AdaptedPiece> pieces;  ///< tiling of [0, values.size())
+  };
+
+  /// \brief Captures the cracked state while queries keep running: walks
+  /// the tiling left to right taking each piece's read latch (or the column
+  /// latch under kColumnLatch), copying its extent, bounds, and sorted flag.
+  /// Piece begins are immutable and cracks never move values across a
+  /// published crack, so piecewise copies taken at different moments still
+  /// concatenate into a valid tiling — the image is SOME state between the
+  /// walk's start and end, exactly what a checkpoint needs. Thread-safe.
+  Status ExportAdaptedState(AdaptedState* out) const;
+
+  /// \brief Rebuilds the cracked state from a captured image — the recovery
+  /// path that makes adaptation *inherited*: the first post-restart query
+  /// answers by binary search over the restored cracks instead of paying
+  /// the cold full-column crack again. Call before any query traffic (the
+  /// index must be pristine); the image must describe this index's column.
+  /// InvalidArgument on a size/tiling mismatch.
+  Status RestoreAdaptedState(const AdaptedState& state);
+
  protected:
   Status ExecuteImpl(const Query& query, QueryContext* ctx,
                      QueryResult* result) override;
@@ -304,7 +342,9 @@ class CrackingIndex : public AdaptiveIndex {
   Value domain_lo_ = 0;  ///< min value in the column
   Value domain_hi_ = 0;  ///< max value + 1
 
-  WaitQueueLatch column_latch_{SchedulingPolicy::kFifo};
+  /// Mutable: ExportAdaptedState (const — a read) latches it under
+  /// kColumnLatch, like the mutable structure latch above.
+  mutable WaitQueueLatch column_latch_{SchedulingPolicy::kFifo};
 };
 
 }  // namespace adaptidx

@@ -33,6 +33,11 @@ struct SideStoreVersion {
   /// The commit epoch this version materializes: the state after the
   /// `epoch`-th committed update (epoch 0 = pristine base).
   uint64_t epoch = 0;
+  /// The next row id the index would assign at this epoch. Checkpoints
+  /// persist it so recovery resumes the id sequence exactly where the
+  /// captured state left off (replayed WAL inserts must reproduce the row
+  /// ids the original run acknowledged).
+  RowId next_row_id = 0;
   /// Pending insertions, sorted by (value, rowID).
   std::vector<std::pair<Value, RowId>> inserts;
   /// Anti-matter (deletion markers against base rows), sorted by

@@ -216,6 +216,7 @@ std::shared_ptr<SideStoreVersion> UpdatableIndex::MaterializeVersionLocked()
     const {
   auto v = std::make_shared<SideStoreVersion>();
   v->epoch = commit_epoch_.load(std::memory_order_relaxed);
+  v->next_row_id = next_row_id_;
   // Both copies come out (value, rowID)-sorted: the multimap preserves
   // insertion order within equal values and row ids are assigned
   // monotonically, so equal-value runs are rowID-ascending; the anti-matter
@@ -304,14 +305,27 @@ Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {
     if (!s.ok()) return s;
   }
   RowId assigned;
+  CommitSink* sink = nullptr;
+  uint64_t lsn = 0;
   {
     auto lk = AccountedLock<std::unique_lock<std::shared_mutex>>(
         mu_, &LatchStats::RecordWrite, &latch_stats_);
     assigned = next_row_id_++;
     inserts_.emplace(v, assigned);
+    // Write-ahead: the record is sequenced at the commit point, before the
+    // epoch advance makes the insert visible — log order == commit order.
+    // LogCommit only buffers; the fsync wait happens after the latch drops.
+    if (sink_ != nullptr) {
+      sink = sink_;
+      lsn = sink->LogCommit(CommitSink::OpType::kInsert, v, assigned);
+    }
     CommitEpochLocked();
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);  // auto-commit
+  if (sink != nullptr) {
+    Status ds = sink->WaitDurable(lsn);
+    if (!ds.ok()) return ds;
+  }
   if (row_id != nullptr) *row_id = assigned;
   return Status::OK();
 }
@@ -325,6 +339,8 @@ Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
     if (!s.ok()) return s;
   }
   Status result = Status::OK();
+  CommitSink* sink = nullptr;
+  uint64_t lsn = 0;
   {
     auto lk = AccountedLock<std::unique_lock<std::shared_mutex>>(
         mu_, &LatchStats::RecordWrite, &latch_stats_);
@@ -347,9 +363,19 @@ Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
         anti_matter_.emplace(v, row_id);
       }
     }
-    if (result.ok()) CommitEpochLocked();
+    if (result.ok()) {
+      if (sink_ != nullptr) {
+        sink = sink_;
+        lsn = sink->LogCommit(CommitSink::OpType::kDelete, v, row_id);
+      }
+      CommitEpochLocked();
+    }
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);
+  if (sink != nullptr) {
+    Status ds = sink->WaitDurable(lsn);
+    if (!ds.ok()) return ds;
+  }
   return result;
 }
 
@@ -379,12 +405,47 @@ Status UpdatableIndex::Checkpoint() {
   anti_matter_.clear();
   next_row_id_ = static_cast<RowId>(base_->size());
   RebuildIndexLocked();
-  // The fold is itself one committed system transaction: it advances the
-  // epoch and installs the post-checkpoint (empty-differential) version
-  // under the next base generation, re-admitting snapshot captures.
+  // The fold is one logged, committed system transaction: folding is a
+  // pure function of the pre-fold state, so a single kFold record replays
+  // it deterministically (recovery calls Checkpoint() with no sink bound).
+  CommitSink* sink = sink_;
+  uint64_t lsn = 0;
+  if (sink != nullptr) {
+    lsn = sink->LogCommit(CommitSink::OpType::kFold, 0, 0);
+  }
+  // The fold advances the epoch and installs the post-checkpoint
+  // (empty-differential) version under the next base generation,
+  // re-admitting snapshot captures.
   commit_epoch_.fetch_add(1, std::memory_order_release);
   snapshots_.CompleteRebase(MaterializeVersionLocked());
+  lk.unlock();
+  if (sink != nullptr) return sink->WaitDurable(lsn);
   return Status::OK();
+}
+
+void UpdatableIndex::SetCommitSink(CommitSink* sink) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  sink_ = sink;
+}
+
+void UpdatableIndex::RestoreState(
+    const std::vector<std::pair<Value, RowId>>& inserts,
+    const std::vector<std::pair<Value, RowId>>& anti_matter,
+    RowId next_row_id, uint64_t epoch) {
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  inserts_.clear();
+  anti_matter_.clear();
+  for (const auto& [v, id] : inserts) inserts_.emplace(v, id);
+  anti_matter_.insert(anti_matter.begin(), anti_matter.end());
+  next_row_id_ = next_row_id;
+  commit_epoch_.store(epoch, std::memory_order_release);
+  if (config_.snapshot_reads) {
+    // Re-seed the version chain at the restored epoch so the first
+    // snapshot capture after recovery sees the restored differentials
+    // (Publish requires monotonic epochs; the constructor-time version sits
+    // at epoch 0, below any restored epoch).
+    snapshots_.Publish(MaterializeVersionLocked());
+  }
 }
 
 size_t UpdatableIndex::num_rows() const {

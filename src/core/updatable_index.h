@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/commit_sink.h"
 #include "core/index_factory.h"
 #include "core/snapshot.h"
 #include "lock/lock_manager.h"
@@ -133,6 +134,26 @@ class UpdatableIndex : public AdaptiveIndex {
   /// version counters) for tests and benchmarks. Thread-safe.
   const SnapshotManager& snapshots() const { return snapshots_; }
 
+  // ---- durability hooks -------------------------------------------------
+
+  /// \brief Attaches (or detaches with nullptr) the write-ahead sink. Every
+  /// subsequent committed Insert/Delete/Checkpoint is logged at its commit
+  /// point (under the writer latch, before the epoch advances) and
+  /// acknowledged only after `CommitSink::WaitDurable` returns. Call while
+  /// no updates are in flight (open/recovery time); thread-safe.
+  void SetCommitSink(CommitSink* sink);
+
+  /// \brief Overwrites the differential state wholesale — the recovery
+  /// entry point, called once after construction (from a checkpoint image)
+  /// and before any update/query traffic. `inserts`/`anti_matter` must be
+  /// (value, rowID)-sorted as a checkpoint captured them; `next_row_id`
+  /// and `epoch` resume the id sequence and commit epoch of the captured
+  /// state so WAL replay reproduces the original run exactly. Thread-safe
+  /// but not meant for concurrent use.
+  void RestoreState(const std::vector<std::pair<Value, RowId>>& inserts,
+                    const std::vector<std::pair<Value, RowId>>& anti_matter,
+                    RowId next_row_id, uint64_t epoch);
+
   // ---- introspection ---------------------------------------------------
 
   /// \brief Logical row count (base − anti-matter + pending inserts).
@@ -148,6 +169,11 @@ class UpdatableIndex : public AdaptiveIndex {
   /// \brief The wrapped adaptive index (for inspection in tests/benchmarks).
   /// Not stable across `Checkpoint()`.
   AdaptiveIndex* base_index() { return index_.get(); }
+
+  /// \brief The immutable base column. Not stable across `Checkpoint()`;
+  /// safe to read while a `Snapshot` of this index is pinned (the pin
+  /// blocks the base swap).
+  const Column* base_column() const { return base_.get(); }
 
   /// \brief Pieces of the wrapped index. Thread-safe.
   size_t NumPieces() const override { return index_->NumPieces(); }
@@ -184,6 +210,10 @@ class UpdatableIndex : public AdaptiveIndex {
   /// Anti-matter markers against base rows, ordered by (value, row id).
   std::set<std::pair<Value, RowId>> anti_matter_;
   RowId next_row_id_;
+
+  /// Write-ahead sink; nullptr when the index is not durable. Written at
+  /// open/recovery time, read at every commit point under mu_.
+  CommitSink* sink_ = nullptr;
 
   /// Committed-update counter; written under mu_ exclusive, read lock-free
   /// (epoch-lag accounting).

@@ -1,0 +1,117 @@
+#ifndef ADAPTIDX_DURABILITY_DURABLE_INDEX_H_
+#define ADAPTIDX_DURABILITY_DURABLE_INDEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/updatable_index.h"
+#include "durability/recovery.h"
+#include "durability/wal.h"
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \brief Durability configuration of a served index (engine/server
+/// surface).
+struct DurabilityOptions {
+  /// Directory holding the WAL segments and checkpoint images. Empty
+  /// disables durability entirely (the default: volatile index, no WAL).
+  std::string data_dir;
+  /// When acknowledged commits reach disk (see FsyncPolicy).
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroup;
+  /// Auto-checkpoint every this many committed updates (0 = only explicit
+  /// Checkpoint() calls). Checked by a background thread, so the trigger
+  /// is approximate.
+  uint64_t checkpoint_interval = 0;
+};
+
+/// \brief An `UpdatableIndex` made restartable: recovery on open, a
+/// group-commit WAL bound to every commit, and consistent checkpoints of
+/// base + differential + cracked state taken beside live traffic.
+///
+/// Checkpoint protocol (`Checkpoint()`):
+///  1. Rotate the WAL — every sealed segment's records are then <= the
+///     epoch about to be captured, making them disposable afterwards.
+///  2. Pin a snapshot: one consistent epoch E of the differential stores
+///     (and the row-id sequence), with the base column held stable by the
+///     pin. Commits keep flowing; they carry LSN > E and stay in the
+///     current segment.
+///  3. Export the cracked state under piece read latches (queries keep
+///     cracking other pieces meanwhile) and serialize everything.
+///  4. Release the pin, atomically install `checkpoint-<E>.ckpt`, prune
+///     older images (the runner-up is kept as a corruption fallback), and
+///     delete WAL segments wholly covered by E.
+///
+/// Thread-safety: `index()` is the fully concurrent engine object;
+/// `Checkpoint()` may be called from any thread (concurrent calls
+/// serialize); stats getters are safe anytime.
+class DurableIndex {
+ public:
+  /// \brief Recovers from `opts.data_dir` (or seeds a fresh directory with
+  /// `seed`), opens the WAL at the recovered LSN, binds it to the index,
+  /// and starts the auto-checkpoint thread when an interval is set.
+  static Status Open(const Column& seed, const IndexConfig& config,
+                     const DurabilityOptions& opts, LockManager* lock_manager,
+                     const std::string& lock_resource,
+                     std::unique_ptr<DurableIndex>* out);
+
+  /// \brief Stops the checkpoint thread, unbinds, and syncs the WAL.
+  ~DurableIndex();
+
+  /// \brief The recovered, WAL-bound index. Serve all traffic through it.
+  UpdatableIndex* index() { return index_.get(); }
+
+  /// \brief Takes one checkpoint now (see the class protocol). Returns the
+  /// captured epoch via `epoch_out` (optional).
+  Status Checkpoint(uint64_t* epoch_out = nullptr);
+
+  /// \brief What recovery did at open time.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
+  /// \brief Live WAL counters.
+  WalStats wal_stats() const { return wal_->stats(); }
+
+  /// \brief Highest LSN assigned (wal passthrough).
+  uint64_t last_lsn() const { return wal_->last_lsn(); }
+  /// \brief Highest LSN known durable (wal passthrough).
+  uint64_t durable_lsn() const { return wal_->durable_lsn(); }
+
+  /// \brief Epoch of the newest installed checkpoint (recovery's image
+  /// until the first call here).
+  uint64_t last_checkpoint_epoch() const;
+
+  /// \brief Checkpoints taken by this process (explicit + automatic).
+  uint64_t checkpoints_taken() const;
+
+ private:
+  DurableIndex(DurabilityOptions opts, std::string column_name);
+
+  /// Auto-checkpoint thread: polls the LSN lag against the interval.
+  void CheckpointLoop();
+
+  const DurabilityOptions opts_;
+  const std::string column_name_;
+  RecoveryStats recovery_stats_;
+
+  // Destruction order matters: index_ (declared later) dies first, so no
+  // commit can reach the WAL after it is gone.
+  std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<UpdatableIndex> index_;
+
+  mutable std::mutex ckpt_mu_;  ///< serializes Checkpoint() bodies
+  mutable std::mutex state_mu_;  ///< guards the two counters below
+  std::condition_variable stop_cv_;
+  uint64_t last_checkpoint_epoch_ = 0;
+  uint64_t checkpoints_taken_ = 0;
+  bool stop_ = false;
+  std::thread checkpointer_;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_DURABILITY_DURABLE_INDEX_H_

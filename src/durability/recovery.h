@@ -1,0 +1,62 @@
+#ifndef ADAPTIDX_DURABILITY_RECOVERY_H_
+#define ADAPTIDX_DURABILITY_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/updatable_index.h"
+#include "storage/column.h"
+#include "util/status.h"
+
+namespace adaptidx {
+
+/// \file
+/// Crash recovery: checkpoint load + WAL replay, producing a ready-to-serve
+/// `UpdatableIndex` whose adapted state is *inherited* from the previous
+/// incarnation.
+///
+/// The protocol:
+///  1. Load the newest checkpoint image that passes its CRC; a corrupt
+///     newest image (torn by bit rot — a torn *write* is impossible, images
+///     install by rename) falls back to the next-older one, and with none
+///     valid recovery starts from the seed column at epoch 0.
+///  2. Construct the index from the image: base column, differential side
+///     stores, row-id sequence, commit epoch, and — when the wrapped method
+///     is cracking — the cracked array and piece tiling.
+///  3. Scan WAL segments in LSN order. A CRC-invalid tail is truncated on
+///     the NEWEST segment only (the one a crash could tear); a bad record
+///     in any sealed segment is hard corruption.
+///  4. Replay every record with lsn > the image's epoch through the normal
+///     Insert/Delete/Checkpoint path. LSNs and commit epochs advance in
+///     lockstep (the WAL appends inside the commit critical section), so
+///     replay re-assigns exactly the row ids the original run acknowledged
+///     — verified per record, divergence is Corruption.
+
+/// \brief What recovery did, for logging/STATS and tests.
+struct RecoveryStats {
+  bool checkpoint_loaded = false;   ///< an image was used (else seed start)
+  uint64_t checkpoint_epoch = 0;    ///< epoch of the loaded image
+  uint64_t invalid_checkpoints = 0;  ///< images skipped for bad CRC/format
+  bool adapted_restored = false;    ///< cracked state inherited
+  uint64_t records_replayed = 0;    ///< WAL records applied
+  uint64_t records_skipped = 0;     ///< records at or below the image epoch
+  uint64_t truncated_bytes = 0;     ///< torn tail cut from the newest segment
+  uint64_t next_lsn = 1;            ///< where the reopened WAL continues
+};
+
+/// \brief Recovers the index from `data_dir`. `seed` is the column served
+/// on a virgin directory (no checkpoint, no log) — its values participate
+/// only then; a loaded checkpoint supersedes it entirely. `config`,
+/// `lock_manager`, and `lock_resource` mirror the `UpdatableIndex`
+/// constructor. On success `*out` is ready to serve (bind a WAL opened at
+/// `stats->next_lsn` to it via `SetCommitSink`).
+Status RecoverIndex(const std::string& data_dir, const Column& seed,
+                    const IndexConfig& config, LockManager* lock_manager,
+                    const std::string& lock_resource,
+                    std::unique_ptr<UpdatableIndex>* out,
+                    RecoveryStats* stats);
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_DURABILITY_RECOVERY_H_

@@ -233,6 +233,18 @@ Status Client::Stats(StatsMsg* out) {
   return out->Decode(reply.payload);
 }
 
+Status Client::Checkpoint(uint64_t* epoch) {
+  Frame reply;
+  Status s = Rpc(FrameType::kCheckpoint, "", FrameType::kResult, &reply);
+  if (!s.ok()) return s;
+  ResultMsg m;
+  s = m.Decode(reply.payload);
+  if (!s.ok()) return s;
+  s = m.ToStatus();
+  if (s.ok() && epoch != nullptr) *epoch = m.count;
+  return s;
+}
+
 Status Client::CloseSession() {
   Frame reply;
   Status s = Rpc(FrameType::kClose, "", FrameType::kCloseOk, &reply);

@@ -87,6 +87,10 @@ class Client {
                std::vector<ResultMsg>* out);
   /// \brief STATS snapshot of the server's counter/gauge list.
   Status Stats(StatsMsg* out);
+  /// \brief CHECKPOINT: asks a durable server to take a checkpoint now;
+  /// `epoch` (optional) receives the captured commit epoch. NotSupported
+  /// when the server runs without durability.
+  Status Checkpoint(uint64_t* epoch = nullptr);
   /// \brief Graceful CLOSE handshake (the server acks, then closes).
   Status CloseSession();
 

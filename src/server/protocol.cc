@@ -14,6 +14,7 @@ bool KnownFrameType(uint8_t t) {
     case FrameType::kDelete:
     case FrameType::kStats:
     case FrameType::kClose:
+    case FrameType::kCheckpoint:
     case FrameType::kOpenOk:
     case FrameType::kResult:
     case FrameType::kBatchResult:

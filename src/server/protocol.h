@@ -10,6 +10,7 @@
 #include "core/query.h"
 #include "storage/types.h"
 #include "util/status.h"
+#include "util/wire.h"
 
 namespace adaptidx {
 namespace server {
@@ -49,6 +50,9 @@ enum class FrameType : uint8_t {
   kDelete = 0x05,       ///< payload: DeleteReq
   kStats = 0x06,        ///< payload: empty
   kClose = 0x07,        ///< payload: empty; server acks then closes
+  kCheckpoint = 0x08,   ///< payload: empty; admin frame — write a durable
+                        ///< checkpoint and truncate the WAL (durable servers
+                        ///< only; answered kResult with kind=kCheckpointAck)
 
   // ---- server -> client -------------------------------------------------
   kOpenOk = 0x81,       ///< payload: OpenOkMsg
@@ -69,109 +73,12 @@ struct Frame {
 
 // ----------------------------------------------------------------- encode
 
-/// \brief Append-only little-endian byte writer backing every payload
-/// encoder. Thread-compatible value type (confine to one thread).
-class WireWriter {
- public:
-  /// \brief Appends one byte.
-  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  /// \brief Appends a little-endian u32.
-  void PutU32(uint32_t v) {
-    for (int i = 0; i < 4; ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  /// \brief Appends a little-endian u64.
-  void PutU64(uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  /// \brief Appends a little-endian i64 (two's-complement bit cast).
-  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
-  /// \brief Appends a u32 length prefix followed by the bytes.
-  void PutString(const std::string& s) {
-    PutU32(static_cast<uint32_t>(s.size()));
-    buf_.append(s);
-  }
-  /// \brief The accumulated bytes.
-  std::string Take() { return std::move(buf_); }
-
- private:
-  std::string buf_;
-};
-
-/// \brief Bounds-checked little-endian reader: every `Get` fails (returns
-/// false and poisons `ok()`) instead of reading past the end, so decoders
-/// are straight-line code with one error check at the close. Thread-
-/// compatible value type.
-class WireReader {
- public:
-  /// \brief Reads `size` bytes starting at `data`.
-  WireReader(const void* data, size_t size)
-      : p_(static_cast<const uint8_t*>(data)), n_(size) {}
-
-  /// \brief Reads one byte.
-  bool GetU8(uint8_t* v) {
-    if (n_ < 1) return Fail();
-    *v = p_[0];
-    Skip(1);
-    return true;
-  }
-  /// \brief Reads a little-endian u32.
-  bool GetU32(uint32_t* v) {
-    if (n_ < 4) return Fail();
-    *v = 0;
-    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p_[i]) << (8 * i);
-    Skip(4);
-    return true;
-  }
-  /// \brief Reads a little-endian u64.
-  bool GetU64(uint64_t* v) {
-    if (n_ < 8) return Fail();
-    *v = 0;
-    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p_[i]) << (8 * i);
-    Skip(8);
-    return true;
-  }
-  /// \brief Reads a little-endian i64.
-  bool GetI64(int64_t* v) {
-    uint64_t u = 0;
-    if (!GetU64(&u)) return false;
-    std::memcpy(v, &u, sizeof(*v));
-    return true;
-  }
-  /// \brief Reads a u32-length-prefixed string; the length is validated
-  /// against the remaining bytes before any allocation.
-  bool GetString(std::string* s) {
-    uint32_t len = 0;
-    if (!GetU32(&len)) return false;
-    if (len > n_) return Fail();
-    s->assign(reinterpret_cast<const char*>(p_), len);
-    Skip(len);
-    return true;
-  }
-
-  size_t remaining() const { return n_; }  ///< \brief Unread byte count.
-  bool ok() const { return ok_; }          ///< \brief No read ever failed.
-  /// \brief True iff every byte was consumed and no read failed — the
-  /// strict-decode acceptance every payload decoder ends with.
-  bool Exhausted() const { return ok_ && n_ == 0; }
-
- private:
-  bool Fail() {
-    ok_ = false;
-    return false;
-  }
-  void Skip(size_t k) {
-    p_ += k;
-    n_ -= k;
-  }
-
-  const uint8_t* p_;
-  size_t n_;
-  bool ok_ = true;
-};
+// The strict bounds-checked codec moved to util/wire.h so the durability
+// subsystem's log/checkpoint formats share the exact same discipline
+// (length-validated-before-allocation, Exhausted() acceptance) instead of
+// re-implementing it. The aliases keep the server namespace spelling.
+using adaptidx::WireReader;
+using adaptidx::WireWriter;
 
 /// \brief Assembles one complete frame (length word included) ready to
 /// write to a socket.
@@ -294,6 +201,9 @@ struct ResultMsg {
 
   /// \brief `kind` tag of insert/delete acknowledgements.
   static constexpr uint8_t kUpdateAck = 0xFE;
+  /// \brief `kind` tag of CHECKPOINT acknowledgements; `count` carries the
+  /// epoch the durable image captured.
+  static constexpr uint8_t kCheckpointAck = 0xFD;
 
   /// \brief Serializes the payload.
   std::string Encode() const;

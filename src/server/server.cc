@@ -37,12 +37,18 @@ struct Server::Connection {
 };
 
 Server::Server(Column base, ServerOptions opts)
-    : opts_(std::move(opts)),
-      index_(new UpdatableIndex(std::move(base), opts_.index_config,
-                                &lock_manager_, "served/A")),
-      admission_(opts_.admission) {
+    : opts_(std::move(opts)), admission_(opts_.admission) {
   opts_.fairness_quantum = std::max<size_t>(1, opts_.fairness_quantum);
   opts_.completion_threads = std::max<size_t>(1, opts_.completion_threads);
+  if (opts_.durability.data_dir.empty()) {
+    owned_index_.reset(new UpdatableIndex(std::move(base), opts_.index_config,
+                                          &lock_manager_, "served/A"));
+    index_ = owned_index_.get();
+  } else {
+    // Recovery can fail, and a constructor cannot report that — hold the
+    // seed until Start() opens the durable index.
+    seed_.reset(new Column(std::move(base)));
+  }
 }
 
 Server::~Server() { Stop(); }
@@ -50,6 +56,14 @@ Server::~Server() { Stop(); }
 Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::InvalidArgument("server already started");
+  }
+  if (!opts_.durability.data_dir.empty()) {
+    Status s = DurableIndex::Open(*seed_, opts_.index_config,
+                                  opts_.durability, &lock_manager_,
+                                  "served/A", &durable_);
+    if (!s.ok()) return s;
+    seed_.reset();  // the durable image owns the state from here on
+    index_ = durable_->index();
   }
   Status s = loop_.Init();
   if (!s.ok()) return s;
@@ -201,6 +215,9 @@ void Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
     case FrameType::kStats:
       HandleStats(conn, frame);
       return;
+    case FrameType::kCheckpoint:
+      HandleCheckpoint(conn, frame);
+      return;
     case FrameType::kClose:
       SendFrame(conn, FrameType::kCloseOk, frame.request_id, "");
       conn->closing = true;
@@ -234,7 +251,7 @@ void Server::HandleOpenSession(const std::shared_ptr<Connection>& conn,
   sopts.client_id = req.client_id;
   sopts.snapshot_reads = (req.flags & OpenSessionReq::kFlagSnapshotReads) != 0;
   conn->session =
-      Session::OnIndex(index_.get(), engine_pool_.get(), std::move(sopts));
+      Session::OnIndex(index_, engine_pool_.get(), std::move(sopts));
   OpenOkMsg ok;
   ok.session_id = conn->session->session_id();
   SendFrame(conn, FrameType::kOpenOk, frame.request_id, ok.Encode());
@@ -373,14 +390,14 @@ void Server::HandleUpdate(const std::shared_ptr<Connection>& conn,
         ResultMsg m;
         if (is_insert) {
           RowId row_id = 0;
-          Status us = session->Insert(index_.get(), insert.value, &row_id);
+          Status us = session->Insert(index_, insert.value, &row_id);
           m = us.ok() ? ResultMsg() : ResultMsg::FromStatus(us);
           if (us.ok()) {
             m.kind = ResultMsg::kUpdateAck;
             m.row_id = row_id;
           }
         } else {
-          Status us = session->Delete(index_.get(), del.value, del.row_id);
+          Status us = session->Delete(index_, del.value, del.row_id);
           m = us.ok() ? ResultMsg() : ResultMsg::FromStatus(us);
           if (us.ok()) m.kind = ResultMsg::kUpdateAck;
         }
@@ -449,7 +466,56 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
   };
   put_latch_stats("index.side.", index_->latch_stats());
   put_latch_stats("index.base.", index_->base_index()->latch_stats());
+  // Durability: WAL counters, recovery outcome, checkpoint progress.
+  if (durable_ != nullptr) {
+    const WalStats ws = durable_->wal_stats();
+    put("wal.records_appended", ws.records_appended);
+    put("wal.bytes_written", ws.bytes_written);
+    put("wal.fsync_count", ws.fsync_count);
+    put("wal.flush_batches", ws.flush_batches);
+    put("wal.max_batch", ws.max_batch);
+    put("wal.rotations", ws.rotations);
+    put("wal.last_lsn", durable_->last_lsn());
+    put("wal.durable_lsn", durable_->durable_lsn());
+    const RecoveryStats& rs = durable_->recovery_stats();
+    put("recovery.checkpoint_loaded", rs.checkpoint_loaded ? 1 : 0);
+    put("recovery.checkpoint_epoch", rs.checkpoint_epoch);
+    put("recovery.invalid_checkpoints", rs.invalid_checkpoints);
+    put("recovery.adapted_restored", rs.adapted_restored ? 1 : 0);
+    put("recovery.records_replayed", rs.records_replayed);
+    put("recovery.records_skipped", rs.records_skipped);
+    put("recovery.truncated_bytes", rs.truncated_bytes);
+    put("checkpoint.last_epoch", durable_->last_checkpoint_epoch());
+    put("checkpoint.taken", durable_->checkpoints_taken());
+  }
   SendFrame(conn, FrameType::kStatsResult, frame.request_id, stats.Encode());
+}
+
+void Server::HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                              const Frame& frame) {
+  if (durable_ == nullptr) {
+    ResultMsg m = ResultMsg::FromStatus(
+        Status::NotSupported("server is running without durability"));
+    SendFrame(conn, FrameType::kResult, frame.request_id, m.Encode());
+    return;
+  }
+  // Checkpointing walks the whole cracked state — far too slow for the
+  // I/O thread. A completion thread runs it; concurrent requests simply
+  // serialize inside DurableIndex.
+  const uint64_t conn_id = conn->id;
+  const uint64_t request_id = frame.request_id;
+  completion_pool_->Submit([this, conn_id, request_id] {
+    uint64_t epoch = 0;
+    Status s = durable_->Checkpoint(&epoch);
+    ResultMsg m;
+    if (!s.ok()) {
+      m = ResultMsg::FromStatus(s);
+    } else {
+      m.kind = ResultMsg::kCheckpointAck;
+      m.count = epoch;  // the captured epoch rides the count field
+    }
+    PostResponse(conn_id, FrameType::kResult, request_id, m.Encode());
+  });
 }
 
 // ------------------------------------------------------------ response path

@@ -10,6 +10,7 @@
 
 #include "core/index_factory.h"
 #include "core/updatable_index.h"
+#include "durability/durable_index.h"
 #include "lock/lock_manager.h"
 #include "server/admission.h"
 #include "server/event_loop.h"
@@ -54,6 +55,11 @@ struct ServerOptions {
   /// wrapped in an `UpdatableIndex` of this config, so INSERT/DELETE work
   /// over the wire).
   IndexConfig index_config;
+  /// Durability of the served index. With a non-empty `data_dir` the
+  /// server recovers from (or seeds) that directory at `Start`, binds the
+  /// WAL to every commit, and answers CHECKPOINT frames; the constructor's
+  /// base column then only seeds a virgin directory. Default: volatile.
+  DurabilityOptions durability;
 };
 
 /// \brief TCP front-end putting one served table (an `UpdatableIndex`
@@ -105,8 +111,13 @@ class Server {
   uint16_t port() const { return port_; }
 
   /// \brief The served updatable index (tests inspect pending counters;
-  /// not valid after destruction). Thread-safe pointer read.
-  UpdatableIndex* index() { return index_.get(); }
+  /// not valid after destruction). Thread-safe pointer read; null before
+  /// `Start` when durability is configured (recovery happens in `Start`).
+  UpdatableIndex* index() { return index_; }
+
+  /// \brief The durability wrapper, or null when serving volatile
+  /// (`ServerOptions::durability.data_dir` empty). Valid after `Start`.
+  DurableIndex* durable() { return durable_.get(); }
 
   /// \brief Admission gauges/counters (thread-safe).
   const AdmissionController& admission() const { return admission_; }
@@ -140,6 +151,8 @@ class Server {
                     const Frame& frame);
   void HandleStats(const std::shared_ptr<Connection>& conn,
                    const Frame& frame);
+  void HandleCheckpoint(const std::shared_ptr<Connection>& conn,
+                        const Frame& frame);
   void SendBusy(const std::shared_ptr<Connection>& conn, uint64_t request_id);
   void SendFrame(const std::shared_ptr<Connection>& conn, FrameType type,
                  uint64_t request_id, const std::string& payload);
@@ -156,7 +169,14 @@ class Server {
 
   ServerOptions opts_;
   LockManager lock_manager_;
-  std::unique_ptr<UpdatableIndex> index_;
+  // Exactly one of the two owners below is set: `owned_index_` when
+  // serving volatile (constructed in the ctor, as before), `durable_` when
+  // a data dir is configured (opened — recovery included — in `Start`).
+  // `index_` always points at whichever index serves traffic.
+  std::unique_ptr<Column> seed_;  ///< held until Start opens durable_
+  std::unique_ptr<DurableIndex> durable_;
+  std::unique_ptr<UpdatableIndex> owned_index_;
+  UpdatableIndex* index_ = nullptr;
   std::unique_ptr<ThreadPool> engine_pool_;
   std::unique_ptr<ThreadPool> completion_pool_;
   AdmissionController admission_;

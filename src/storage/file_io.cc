@@ -1,5 +1,9 @@
 #include "storage/file_io.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -92,6 +96,87 @@ Status ReadTable(const std::string& dir, const std::string& table_name,
   }
   *out = std::move(table);
   return Status::OK();
+}
+
+Status SyncFd(int fd) {
+  int rc;
+  do {
+#if defined(__APPLE__)
+    rc = ::fsync(fd);
+#else
+    rc = ::fdatasync(fd);
+#endif
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    return Status::Corruption(std::string("fdatasync failed: ") +
+                              std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status SyncPath(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::NotFound("cannot open for sync: " + path);
+  }
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  const int saved = errno;
+  ::close(fd);
+  if (rc != 0) {
+    return Status::Corruption("fsync failed: " + path + ": " +
+                              std::strerror(saved));
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd;
+  do {
+    fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open for write: " + tmp);
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t left = size;
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::Corruption("short write: " + tmp);
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  // Full fsync, not fdatasync: the temp file is new, so its metadata (the
+  // size) must be durable before the rename can publish it.
+  int rc;
+  do {
+    rc = ::fsync(fd);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 || ::close(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Corruption("fsync failed: " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::Corruption("rename failed: " + tmp + " -> " + path);
+  }
+  // Make the rename itself durable.
+  const auto parent = std::filesystem::path(path).parent_path();
+  return SyncPath(parent.empty() ? "." : parent.string());
 }
 
 }  // namespace adaptidx

@@ -43,6 +43,34 @@ Status WriteTable(const Table& table, const std::string& dir);
 Status ReadTable(const std::string& dir, const std::string& table_name,
                  std::unique_ptr<Table>* out);
 
+// ---------------------------------------------------------- durability ops
+//
+// The crash-consistency primitives the durability subsystem builds on.
+// None of the Write*/Read* helpers above make any durability promise: they
+// hand bytes to the page cache. The three calls below are what turns a
+// write into a commitment — fdatasync for log batches, fsync-of-directory
+// for created/renamed names, and write-temp-then-rename so a torn
+// checkpoint image can never appear under the published name.
+
+/// \brief Flushes a file descriptor's data to stable storage (fdatasync,
+/// EINTR-retried). The group-commit hot path: data blocks reach the disk,
+/// file metadata (mtime) may not — enough for a log whose record CRCs, not
+/// its length field, define validity.
+Status SyncFd(int fd);
+
+/// \brief fsync on a path (file or directory). Syncing a directory makes
+/// entries created/renamed in it durable — a freshly created file whose
+/// directory was never synced can vanish on power loss.
+Status SyncPath(const std::string& path);
+
+/// \brief Atomically publishes `size` bytes from `data` under `path`:
+/// writes `path`.tmp.<pid>, fsyncs it, renames over `path`, and fsyncs the
+/// parent directory. After a crash at ANY point, `path` holds either the
+/// complete old content or the complete new content, never a prefix — the
+/// installation step of checkpoint images.
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size);
+
 }  // namespace adaptidx
 
 #endif  // ADAPTIDX_STORAGE_FILE_IO_H_

@@ -1,0 +1,125 @@
+#ifndef ADAPTIDX_UTIL_WIRE_H_
+#define ADAPTIDX_UTIL_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace adaptidx {
+
+/// \file
+/// The strict little-endian codec shared by the wire protocol
+/// (server/protocol.h) and the durability subsystem (durability/wal.h,
+/// durability/checkpoint.h). Both formats live or die by the same two
+/// disciplines: every length is validated against the remaining bytes
+/// *before* any allocation, and every decoder ends with an `Exhausted()`
+/// acceptance so trailing garbage is rejected, not ignored.
+
+/// \brief Append-only little-endian byte writer backing every payload
+/// encoder. Thread-compatible value type (confine to one thread).
+class WireWriter {
+ public:
+  /// \brief Appends one byte.
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  /// \brief Appends a little-endian u32.
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  /// \brief Appends a little-endian u64.
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  /// \brief Appends a little-endian i64 (two's-complement bit cast).
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  /// \brief Appends a u32 length prefix followed by the bytes.
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  /// \brief The accumulated bytes.
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// \brief Bounds-checked little-endian reader: every `Get` fails (returns
+/// false and poisons `ok()`) instead of reading past the end, so decoders
+/// are straight-line code with one error check at the close. Thread-
+/// compatible value type.
+class WireReader {
+ public:
+  /// \brief Reads `size` bytes starting at `data`.
+  WireReader(const void* data, size_t size)
+      : p_(static_cast<const uint8_t*>(data)), n_(size) {}
+
+  /// \brief Reads one byte.
+  bool GetU8(uint8_t* v) {
+    if (n_ < 1) return Fail();
+    *v = p_[0];
+    Skip(1);
+    return true;
+  }
+  /// \brief Reads a little-endian u32.
+  bool GetU32(uint32_t* v) {
+    if (n_ < 4) return Fail();
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(p_[i]) << (8 * i);
+    Skip(4);
+    return true;
+  }
+  /// \brief Reads a little-endian u64.
+  bool GetU64(uint64_t* v) {
+    if (n_ < 8) return Fail();
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(p_[i]) << (8 * i);
+    Skip(8);
+    return true;
+  }
+  /// \brief Reads a little-endian i64.
+  bool GetI64(int64_t* v) {
+    uint64_t u = 0;
+    if (!GetU64(&u)) return false;
+    std::memcpy(v, &u, sizeof(*v));
+    return true;
+  }
+  /// \brief Reads a u32-length-prefixed string; the length is validated
+  /// against the remaining bytes before any allocation.
+  bool GetString(std::string* s) {
+    uint32_t len = 0;
+    if (!GetU32(&len)) return false;
+    if (len > n_) return Fail();
+    s->assign(reinterpret_cast<const char*>(p_), len);
+    Skip(len);
+    return true;
+  }
+
+  size_t remaining() const { return n_; }  ///< \brief Unread byte count.
+  bool ok() const { return ok_; }          ///< \brief No read ever failed.
+  /// \brief True iff every byte was consumed and no read failed — the
+  /// strict-decode acceptance every payload decoder ends with.
+  bool Exhausted() const { return ok_ && n_ == 0; }
+
+ private:
+  bool Fail() {
+    ok_ = false;
+    return false;
+  }
+  void Skip(size_t k) {
+    p_ += k;
+    n_ -= k;
+  }
+
+  const uint8_t* p_;
+  size_t n_;
+  bool ok_ = true;
+};
+
+}  // namespace adaptidx
+
+#endif  // ADAPTIDX_UTIL_WIRE_H_

@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "storage/catalog.h"
 #include "storage/column.h"
+#include "storage/file_io.h"
 #include "storage/table.h"
 
 namespace adaptidx {
@@ -189,6 +194,96 @@ TEST(CatalogTest, EntriesKeepAliveViaSharedPtr) {
   // indexes can be dropped at any time" without invalidating running
   // queries).
   EXPECT_EQ(*std::static_pointer_cast<int>(entry), 7);
+}
+
+// -------------------------------------------------- durability primitives
+
+class FileIoDurabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("adaptidx_fileio_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string ReadAll(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FileIoDurabilityTest, AtomicWriteCreatesFile) {
+  const std::string path = (dir_ / "image").string();
+  const std::string data = "checkpoint-bytes";
+  ASSERT_TRUE(AtomicWriteFile(path, data.data(), data.size()).ok());
+  EXPECT_EQ(ReadAll(path), data);
+}
+
+TEST_F(FileIoDurabilityTest, AtomicWriteReplacesWholeContent) {
+  const std::string path = (dir_ / "image").string();
+  const std::string big(1024, 'x');
+  ASSERT_TRUE(AtomicWriteFile(path, big.data(), big.size()).ok());
+  // A shorter rewrite must fully replace, never leave a suffix of the old
+  // content (truncate-in-place would; rename guarantees it cannot).
+  const std::string small = "tiny";
+  ASSERT_TRUE(AtomicWriteFile(path, small.data(), small.size()).ok());
+  EXPECT_EQ(ReadAll(path), small);
+}
+
+TEST_F(FileIoDurabilityTest, AtomicWriteLeavesNoTempBehind) {
+  const std::string path = (dir_ / "image").string();
+  ASSERT_TRUE(AtomicWriteFile(path, "d", 1).ok());
+  size_t entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST_F(FileIoDurabilityTest, AtomicWriteEmptyPayload) {
+  const std::string path = (dir_ / "empty").string();
+  ASSERT_TRUE(AtomicWriteFile(path, nullptr, 0).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(std::filesystem::file_size(path), 0u);
+}
+
+TEST_F(FileIoDurabilityTest, AtomicWriteToMissingDirFails) {
+  const std::string path = (dir_ / "no-such-subdir" / "image").string();
+  EXPECT_FALSE(AtomicWriteFile(path, "d", 1).ok());
+}
+
+TEST_F(FileIoDurabilityTest, SyncPathOnFileAndDirectory) {
+  const std::string path = (dir_ / "f").string();
+  ASSERT_TRUE(AtomicWriteFile(path, "d", 1).ok());
+  EXPECT_TRUE(SyncPath(path).ok());
+  EXPECT_TRUE(SyncPath(dir_.string()).ok());
+}
+
+TEST_F(FileIoDurabilityTest, SyncPathMissingFileIsNotFound) {
+  Status s = SyncPath((dir_ / "missing").string());
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST_F(FileIoDurabilityTest, SyncFdOnOpenFile) {
+  const std::string path = (dir_ / "f").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("payload", f);
+  std::fflush(f);
+  EXPECT_TRUE(SyncFd(fileno(f)).ok());
+  std::fclose(f);
+}
+
+TEST_F(FileIoDurabilityTest, SyncFdBadDescriptorFails) {
+  EXPECT_FALSE(SyncFd(-1).ok());
 }
 
 }  // namespace

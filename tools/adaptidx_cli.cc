@@ -4,10 +4,15 @@
 ///
 /// Two modes:
 ///
-///   adaptidx_cli --serve [--rows N] [--port P]
+///   adaptidx_cli --serve [--rows N] [--port P] [--data-dir DIR]
 ///       Starts an in-process server over a fresh unique-random column
 ///       (ephemeral port by default), connects to it, and drops into the
-///       REPL — a self-contained demo needing no second terminal.
+///       REPL — a self-contained demo needing no second terminal. With
+///       --data-dir the served index is durable: the directory is
+///       recovered on start (the random column only seeds a virgin dir),
+///       every insert/delete is WAL-logged, and `checkpoint` persists the
+///       cracked state — quit, restart with the same dir, and the data
+///       plus its adaptation survive.
 ///
 ///   adaptidx_cli --connect HOST:PORT
 ///       Connects the REPL to an already-running server.
@@ -17,6 +22,7 @@
 ///   insert VALUE | del VALUE ROWID
 ///   batch N LO HI       (N counts over [LO,HI), one admission unit)
 ///   stats               (dump the server's counter/gauge list)
+///   checkpoint          (durable servers: write a checkpoint now)
 ///   help | quit
 
 #include <cstdio>
@@ -53,6 +59,7 @@ void PrintHelp() {
       "  del VALUE ROWID delete the tuple (VALUE, ROWID)\n"
       "  batch N LO HI   N counts over [LO,HI) as one admission unit\n"
       "  stats           server counters/gauges over the wire\n"
+      "  checkpoint      write a durable checkpoint (durable servers only)\n"
       "  help            this text\n"
       "  quit            close the session and exit\n");
 }
@@ -71,6 +78,17 @@ int Repl(Client* client) {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       PrintHelp();
+      continue;
+    }
+    if (cmd == "checkpoint") {
+      uint64_t epoch = 0;
+      Status s = client->Checkpoint(&epoch);
+      if (s.ok()) {
+        std::printf("checkpoint at epoch %llu\n",
+                    static_cast<unsigned long long>(epoch));
+      } else {
+        std::printf("error: %s\n", s.ToString().c_str());
+      }
       continue;
     }
     if (cmd == "stats") {
@@ -185,6 +203,7 @@ int Main(int argc, char** argv) {
   size_t rows = 1000000;
   uint16_t port = 0;
   std::string connect_to;
+  std::string data_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--serve") {
@@ -195,10 +214,12 @@ int Main(int argc, char** argv) {
       port = static_cast<uint16_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (arg == "--connect" && i + 1 < argc) {
       connect_to = argv[++i];
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      data_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s --serve [--rows N] [--port P] | "
-                   "--connect HOST:PORT\n",
+                   "usage: %s --serve [--rows N] [--port P] [--data-dir DIR]"
+                   " | --connect HOST:PORT\n",
                    argv[0]);
       return 1;
     }
@@ -209,6 +230,7 @@ int Main(int argc, char** argv) {
   if (serve) {
     ServerOptions opts;
     opts.port = port;
+    opts.durability.data_dir = data_dir;
     server = std::make_unique<Server>(
         Column::UniqueRandom("A", rows, /*seed=*/2012), opts);
     Status s = server->Start();
@@ -217,7 +239,18 @@ int Main(int argc, char** argv) {
       return 1;
     }
     port = server->port();
-    std::printf("serving %zu rows on 127.0.0.1:%u\n", rows, port);
+    if (data_dir.empty()) {
+      std::printf("serving %zu rows on 127.0.0.1:%u (volatile)\n", rows,
+                  port);
+    } else {
+      const auto& rs = server->durable()->recovery_stats();
+      std::printf(
+          "serving on 127.0.0.1:%u from %s (checkpoint epoch %llu, "
+          "%llu records replayed)\n",
+          port, data_dir.c_str(),
+          static_cast<unsigned long long>(rs.checkpoint_epoch),
+          static_cast<unsigned long long>(rs.records_replayed));
+    }
   } else if (!connect_to.empty()) {
     const size_t colon = connect_to.rfind(':');
     if (colon == std::string::npos) {

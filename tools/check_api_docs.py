@@ -24,6 +24,8 @@ CHECKED_HEADERS = [
     "src/core/index_factory.h",
     "src/server/server.h",
     "src/server/client.h",
+    "src/durability/wal.h",
+    "src/durability/durable_index.h",
 ]
 
 # Classes whose *class-level* doc comment must mention thread safety.
@@ -36,6 +38,8 @@ THREAD_SAFETY_CLASSES = {
     "IndexConfig",
     "Server",
     "Client",
+    "WriteAheadLog",
+    "DurableIndex",
 }
 
 # A declaration-looking line: optional specifiers, a return type, an
