@@ -50,7 +50,7 @@ void Run() {
   variants[4].name = "group-crack";
   variants[4].opts.group_crack = true;
   variants[5].name = "stochastic";
-  variants[5].opts.stochastic = true;
+  variants[5].opts.crack_policy = CrackPolicy::kDDR;
 
   std::printf("\n%-12s %12s %12s %12s %12s %12s\n", "strategy", "total (s)",
               "wait (ms)", "conflicts", "cracks", "skipped");

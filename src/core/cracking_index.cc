@@ -65,13 +65,6 @@ class MaybeUniqueLock {
   std::shared_mutex* mu_;
 };
 
-uint64_t Mix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ULL;
-  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-  return x ^ (x >> 31);
-}
-
 /// Value-bound snapshot of a piece captured at revalidation time; see the
 /// publication-safety argument in CrackPieceLocked.
 struct PieceSnapshot {
@@ -213,7 +206,9 @@ CrackingIndex::CrackingIndex(const Column* column, CrackingOptions opts)
     : column_(column),
       opts_(std::move(opts)),
       policy_(opts_.strategy, opts_.sort_piece_threshold,
-              opts_.min_piece_size) {}
+              opts_.min_piece_size),
+      decision_(opts_.crack_policy, opts_.policy_min_piece,
+                opts_.policy_seed) {}
 
 ThreadPool* CrackingIndex::CrackPool() const {
   if (opts_.parallel_crack_min_piece == 0) return nullptr;
@@ -330,10 +325,9 @@ bool CrackingIndex::UserLockConflict(QueryContext* ctx) const {
                                             ctx->txn_id);
 }
 
-Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
-                                         Value v,
-                                         const RefinementDirective& directive,
-                                         QueryContext* ctx) {
+CrackingIndex::CrackOutcome CrackingIndex::CrackPieceLocked(
+    const std::shared_ptr<Piece>& piece, Value v,
+    const RefinementDirective& directive, QueryContext* ctx) {
   // The caller holds the piece's write latch (piece mode) or is the only
   // writer (column/none mode): begin/end are stable. Value bounds are read
   // under the structure latch; neighbor cracks can only tighten them toward
@@ -367,7 +361,7 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
   // pivots always stay outside the interval.
   std::map<Value, Position> local;
   bool mark_sorted = false;
-  Position target_pos = 0;
+  CrackOutcome out;
   // Sub-ranges sorted under the coarse floor; the matching pieces are
   // flagged sorted during publication, once their bounds became piece
   // boundaries.
@@ -377,17 +371,17 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
       snap.end - snap.begin <= opts_.min_piece_size;
 
   if (snap.sorted) {
-    target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
+    out.pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
     // A coarse piece answers by binary search and publishes nothing: a
     // crack would split it below the floor and grow the piece map for no
     // scan saving (the position is exact and stable either way, since a
     // sorted piece's data never moves again).
-    if (!coarse_piece) local.emplace(v, target_pos);
+    if (!coarse_piece) local.emplace(v, out.pos);
   } else if (directive.sort_piece) {
     ScopedTimer t(&ctx->stats.crack_ns);
     array_->SortRange(snap.begin, snap.end);
-    target_pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
-    if (!directive.coarse) local.emplace(v, target_pos);
+    out.pos = array_->LowerBoundInSorted(snap.begin, snap.end, v);
+    if (!directive.coarse) local.emplace(v, out.pos);
     if (directive.coarse) latch_stats_.RecordCoarseSortHit();
     mark_sorted = true;
     ++ctx->stats.cracks;
@@ -395,30 +389,40 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
     ScopedTimer t(&ctx->stats.crack_ns);
     Position lo_pos = snap.begin;
     Position hi_pos = snap.end;
-    if (opts_.stochastic && snap.end - snap.begin >= opts_.stochastic_min_piece) {
-      // Stochastic cracking: one extra data-driven crack keeps convergence
-      // robust when query bounds are adversarial. The pivot is a value
-      // sampled pseudo-randomly from the piece itself.
-      const uint64_t h = Mix64(snap.begin ^ (snap.end << 1) ^
-                               static_cast<uint64_t>(v));
-      const Position rp = snap.begin + h % (snap.end - snap.begin);
-      const Value rv = array_->ValueAt(rp);
-      if (rv != v && rv > snap.lo_value && rv < snap.hi_value) {
-        const Position rpos = CrackRange(snap.begin, snap.end, rv);
-        local.emplace(rv, rpos);
-        ++ctx->stats.cracks;
-        if (v < rv) {
-          hi_pos = rpos;
-        } else {
-          lo_pos = rpos;
-        }
+    // Crack-policy pivots (crack_policy.h): each proposed data-driven
+    // pivot is filtered against the publication-safety invariant above
+    // (open piece value interval, not the bound itself), cracked through
+    // the same CrackRange dispatch as the bound — so the parallel path
+    // applies — and narrows the sub-range still holding v.
+    Value pv = 0;
+    for (size_t step = 0;
+         decision_.NextPivot(*array_, lo_pos, hi_pos, v, step, &pv); ++step) {
+      if (pv == v || pv <= snap.lo_value || pv >= snap.hi_value) break;
+      const Position pp = CrackRange(lo_pos, hi_pos, pv);
+      // A repeated pivot value (possible on duplicate-heavy data) cannot
+      // narrow the range further; stop rather than spin.
+      if (!local.emplace(pv, pp).second) break;
+      ++ctx->stats.cracks;
+      if (v < pv) {
+        hi_pos = pp;
+      } else {
+        lo_pos = pp;
       }
     }
-    target_pos = CrackRange(lo_pos, hi_pos, v);
-    local.emplace(v, target_pos);
-    ++ctx->stats.cracks;
+    // The bound crack — skipped only when the policy answers by scan
+    // (kMDD1R above its floor) AND a pivot crack actually landed; without
+    // that fallback an all-equal or bound-hugging piece would never shrink.
+    if (decision_.CracksBound(snap.end - snap.begin) || local.empty()) {
+      out.pos = CrackRange(lo_pos, hi_pos, v);
+      local.emplace(v, out.pos);
+      ++ctx->stats.cracks;
+    } else {
+      out.exact = false;
+      out.scan_begin = lo_pos;
+      out.scan_end = hi_pos;
+    }
 
-    if (opts_.group_crack && PieceLatchedMode()) {
+    if (out.exact && opts_.group_crack && PieceLatchedMode()) {
       // Section 7 "Dynamic Algorithms": refine for the queries queued on
       // this piece in the same step, so they find their crack ready.
       std::vector<Value> pending = piece->latch.PendingWriterBounds();
@@ -467,7 +471,7 @@ Position CrackingIndex::CrackPieceLocked(const std::shared_ptr<Piece>& piece,
   // born stable (their data moved before they became findable), and this
   // piece's extent is final again.
   if (bump_version) piece->version.fetch_add(1, std::memory_order_release);
-  return target_pos;
+  return out;
 }
 
 CrackingIndex::BoundResult CrackingIndex::ResolveBound(Value v,
@@ -579,21 +583,25 @@ CrackingIndex::BoundResult CrackingIndex::ResolveBound(Value v,
         piece->latch.WriteUnlock();
         continue;  // walk to the piece now containing v and retry
       }
-      const Position pos = CrackPieceLocked(piece, v, directive, ctx);
+      const CrackOutcome oc = CrackPieceLocked(piece, v, directive, ctx);
       piece->latch.WriteUnlock();
       policy_.OnSuccess();
       BoundResult r;
-      r.exact = true;
-      r.pos = pos;
+      r.exact = oc.exact;
+      r.pos = oc.pos;
+      r.scan_begin = oc.scan_begin;
+      r.scan_end = oc.scan_end;
       return r;
     }
 
     // Column-latch / no-CC modes: the caller serializes writers (column
     // write latch or single-threaded execution), so crack directly.
-    const Position pos = CrackPieceLocked(piece, v, directive, ctx);
+    const CrackOutcome oc = CrackPieceLocked(piece, v, directive, ctx);
     BoundResult r;
-    r.exact = true;
-    r.pos = pos;
+    r.exact = oc.exact;
+    r.pos = oc.pos;
+    r.scan_begin = oc.scan_begin;
+    r.scan_end = oc.scan_end;
     return r;
   }
 }
@@ -645,6 +653,8 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
     } else {
       snap.begin = piece->begin;
       snap.end = piece->end;
+      snap.lo_value = piece->lo_value;
+      snap.hi_value = piece->hi_value;
       snap.sorted = piece->sorted;
     }
   }
@@ -658,23 +668,59 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
   const bool bump_version = OptimisticMode();
   if (bump_version) piece->version.fetch_add(1, std::memory_order_acq_rel);
 
-  Position p1;
-  Position p2;
+  Position p1 = 0;
+  Position p2 = 0;
+  bool exact = true;
+  Position lo_pos = snap.begin;
+  Position hi_pos = snap.end;
+  std::map<Value, Position> cracks;
   std::vector<std::pair<Position, Position>> coarse_sorted;
   {
     ScopedTimer t(&ctx->stats.crack_ns);
-    std::tie(p1, p2) =
-        CrackRangeThree(snap.begin, snap.end, range.lo, range.hi);
-    ctx->stats.cracks += 2;
-    std::map<Value, Position> cracks;
-    cracks.emplace(range.lo, p1);
-    cracks.emplace(range.hi, p2);
+    // Crack-policy pivots narrow toward the range from outside; a pivot
+    // landing strictly inside (range.lo, range.hi) cannot narrow further
+    // without separating the bounds, so it ends the recursion. When the
+    // step finishes with the three-way bound crack below, such a pivot must
+    // not be cracked at all — the three-way pass would move elements back
+    // across it, contradicting the published position. Only kMDD1R (which
+    // skips the bound crack and answers by scan) keeps an inside pivot.
+    const bool bound_crack = decision_.CracksBound(snap.end - snap.begin);
+    Value pv = 0;
+    for (size_t step = 0;
+         decision_.NextPivot(*array_, lo_pos, hi_pos, range.lo, step, &pv);
+         ++step) {
+      if (pv <= snap.lo_value || pv >= snap.hi_value) break;
+      if (pv == range.lo || pv == range.hi) break;
+      const bool inside = pv > range.lo && pv < range.hi;
+      if (inside && bound_crack) break;
+      const Position pp = CrackRange(lo_pos, hi_pos, pv);
+      if (!cracks.emplace(pv, pp).second) break;
+      ++ctx->stats.cracks;
+      if (pv < range.lo) {
+        lo_pos = pp;
+      } else if (pv > range.hi) {
+        hi_pos = pp;
+      } else {
+        break;  // kMDD1R's single pivot landed inside the target range
+      }
+    }
+    if (bound_crack || cracks.empty()) {
+      std::tie(p1, p2) = CrackRangeThree(lo_pos, hi_pos, range.lo, range.hi);
+      cracks.emplace(range.lo, p1);
+      cracks.emplace(range.hi, p2);
+      ctx->stats.cracks += 2;
+    } else {
+      // kMDD1R: the random pivot is the step's only crack; both bounds
+      // answer by a filtered scan of [lo_pos, hi_pos), a region delimited
+      // by published cracks (or the piece's immutable boundaries) whose
+      // value set is therefore fixed forever.
+      exact = false;
+    }
     SortCoarseSubRanges(snap.begin, snap.end, cracks, &coarse_sorted);
   }
   {
     MaybeUniqueLock xl(&structure_mu_, latched_mode);
-    PublishCrackLocked(range.lo, p1);
-    PublishCrackLocked(range.hi, p2);
+    for (const auto& [cv, cp] : cracks) PublishCrackLocked(cv, cp);
     for (const auto& [sb, se] : coarse_sorted) {
       auto sp = pieces_->FindByBegin(sb);
       if (sp != nullptr && sp->end == se) sp->sorted = true;
@@ -684,10 +730,19 @@ bool CrackingIndex::TryCrackInThree(const ValueRange& range, QueryContext* ctx,
   if (PieceLatchedMode()) piece->latch.WriteUnlock();
   policy_.OnSuccess();
 
-  lo->exact = true;
-  lo->pos = p1;
-  hi->exact = true;
-  hi->pos = p2;
+  if (exact) {
+    lo->exact = true;
+    lo->pos = p1;
+    hi->exact = true;
+    hi->pos = p2;
+  } else {
+    lo->exact = false;
+    lo->scan_begin = lo_pos;
+    lo->scan_end = hi_pos;
+    hi->exact = false;
+    hi->scan_begin = lo_pos;
+    hi->scan_end = hi_pos;
+  }
   return true;
 }
 

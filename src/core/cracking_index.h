@@ -12,6 +12,7 @@
 #include "core/adaptive_index.h"
 #include "core/strategies.h"
 #include "cracking/avl_tree.h"
+#include "cracking/crack_policy.h"
 #include "cracking/cracker_array.h"
 #include "cracking/piece_map.h"
 #include "latch/wait_queue_latch.h"
@@ -105,11 +106,23 @@ struct CrackingOptions {
   /// thread, else cracks stay sequential.
   ThreadPool* pool = nullptr;
 
-  /// Stochastic cracking extension [16]: on large pieces, add one
-  /// data-driven random crack before the bound crack to keep convergence
-  /// robust against adversarial query sequences.
-  bool stochastic = false;
-  size_t stochastic_min_piece = 1u << 16;
+  /// Pivot-selection policy for reorganizations (crack_policy.h): plain
+  /// exact-bound cracking, or one of the stochastic variants of [16] —
+  /// DDC/DDR add recursive data-driven pivots before the bound crack,
+  /// MDD1R replaces the bound crack of large pieces with one random crack
+  /// and a materialized (filtered-scan) answer — keeping convergence robust
+  /// against adversarial query sequences.
+  CrackPolicy crack_policy = CrackPolicy::kExact;
+  /// Recursion floor of the policy: sub-ranges at or below this size get no
+  /// extra pivots, and kMDD1R reverts to exact bound cracking there (so the
+  /// index still converges to precise cracks, which the coarse floor below
+  /// then sorts).
+  size_t policy_min_piece = 1u << 16;
+  /// Seed of the per-index deterministic pivot RNG consulted by kDDR and
+  /// kMDD1R. Pivot choices are derived per call from (seed, extent, bound),
+  /// so runs are reproducible from this seed alone, independent of thread
+  /// interleaving.
+  uint64_t policy_seed = 2012;
 
   /// Retry/fallback bounds and kAdaptive demotion thresholds of the
   /// optimistic read path; consulted only under kOptimistic/kAdaptive.
@@ -251,16 +264,31 @@ class CrackingIndex : public AdaptiveIndex {
 
   /// Attempts a combined crack-in-three when both bounds fall into one
   /// piece; returns false when the precondition evaporated (caller falls
-  /// back to per-bound resolution).
+  /// back to per-bound resolution). Under kMDD1R on a large piece the step
+  /// publishes one random crack instead of the bound cracks and returns
+  /// inexact results (both bounds scan the sub-range holding the range).
   bool TryCrackInThree(const ValueRange& range, QueryContext* ctx,
                        BoundResult* lo, BoundResult* hi);
 
-  /// Cracks `piece` (already write-latched by the caller unless mode is
-  /// kNone/kColumnLatch) on `v` over its current extent and publishes.
-  /// Returns the crack position.
-  Position CrackPieceLocked(const std::shared_ptr<Piece>& piece, Value v,
-                            const RefinementDirective& directive,
-                            QueryContext* ctx);
+  /// Result of one reorganization step over a piece: an exact position for
+  /// the bound, or — when the crack policy answers by scan (kMDD1R) — the
+  /// crack-delimited sub-range still holding the bound, whose value set is
+  /// fixed forever (the contract BoundResult requires of inexact answers).
+  struct CrackOutcome {
+    bool exact = true;
+    Position pos = 0;
+    Position scan_begin = 0;
+    Position scan_end = 0;
+  };
+
+  /// Reorganizes `piece` (already write-latched by the caller unless mode
+  /// is kNone/kColumnLatch) for bound `v` over its current extent and
+  /// publishes: the crack-policy pivots first (each routed through
+  /// CrackRange like a bound pivot), then the bound crack when the policy
+  /// calls for one.
+  CrackOutcome CrackPieceLocked(const std::shared_ptr<Piece>& piece, Value v,
+                                const RefinementDirective& directive,
+                                QueryContext* ctx);
 
   /// The pool used for intra-query parallel cracks: the configured one, or
   /// a lazily created process-wide pool on multi-core machines, or null
@@ -333,6 +361,7 @@ class CrackingIndex : public AdaptiveIndex {
   const Column* column_;
   CrackingOptions opts_;
   RefinementPolicy policy_;
+  CrackDecision decision_;
 
   mutable std::shared_mutex structure_mu_;
   std::atomic<bool> initialized_{false};

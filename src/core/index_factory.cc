@@ -71,8 +71,19 @@ std::string IndexConfigKey(const IndexConfig& config) {
       // intra-piece physical order, so they participate.
       key += ",pcrack=" + std::to_string(c.parallel_crack_min_piece) + "/" +
              std::to_string(c.parallel_crack_chunks);
-      key += ",stoch=" + std::to_string(c.stochastic) + "/" +
-             std::to_string(c.stochastic_min_piece);
+      // The crack policy decides which pivots physically reorganize the
+      // array, so it (and its recursion floor) is index identity. The seed
+      // participates only for the randomized policies that consult it —
+      // kExact/kDDC configs differing only in an unused seed stay one
+      // physical index.
+      if (c.crack_policy != CrackPolicy::kExact) {
+        key += ",policy=" + ToString(c.crack_policy) + "/" +
+               std::to_string(c.policy_min_piece);
+        if (c.crack_policy == CrackPolicy::kDDR ||
+            c.crack_policy == CrackPolicy::kMDD1R) {
+          key += "/s" + std::to_string(c.policy_seed);
+        }
+      }
       if (c.mode == ConcurrencyMode::kOptimistic ||
           c.mode == ConcurrencyMode::kAdaptive) {
         // The optimistic policy block shapes runtime behavior (retry budget,

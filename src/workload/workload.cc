@@ -1,6 +1,8 @@
 #include "workload/workload.h"
 
 #include <algorithm>
+#include <cmath>
+#include <set>
 
 #include "util/rng.h"
 
@@ -26,6 +28,16 @@ std::string ToString(QueryDistribution dist) {
       return "skewed";
     case QueryDistribution::kSequential:
       return "sequential";
+    case QueryDistribution::kZipfian:
+      return "zipfian";
+    case QueryDistribution::kShiftingHotspot:
+      return "shifting-hotspot";
+    case QueryDistribution::kPeriodicPhases:
+      return "periodic-phases";
+    case QueryDistribution::kAdversarial:
+      return "adversarial";
+    case QueryDistribution::kOltpOlap:
+      return "oltp-olap";
   }
   return "unknown";
 }
@@ -58,8 +70,43 @@ std::vector<RangeQuery> WorkloadGenerator::Generate(
   const int64_t slack = domain - width;  // room for the lower bound
 
   Rng rng(opts.seed);
+  const size_t phase_len = std::max<size_t>(1, opts.phase_length);
+
+  // kZipfian: Zipf-weighted bucket CDF with ranks scattered over the domain.
+  std::vector<double> zipf_cdf;
+  std::vector<size_t> zipf_bucket_of_rank;
+  if (opts.distribution == QueryDistribution::kZipfian) {
+    const size_t buckets =
+        static_cast<size_t>(std::clamp<int64_t>(domain, 1, 1024));
+    double total = 0.0;
+    zipf_cdf.reserve(buckets);
+    for (size_t b = 0; b < buckets; ++b) {
+      total += 1.0 / std::pow(static_cast<double>(b + 1),
+                              std::max(0.0, opts.skew) + 0.5);
+      zipf_cdf.push_back(total);
+    }
+    zipf_bucket_of_rank.resize(buckets);
+    for (size_t b = 0; b < buckets; ++b) zipf_bucket_of_rank[b] = b;
+    rng.Shuffle(&zipf_bucket_of_rank);
+  }
+
+  // kShiftingHotspot state: current hotspot placement.
+  const int64_t hotspot_span = std::clamp<int64_t>(
+      static_cast<int64_t>(static_cast<double>(domain) * opts.hotspot_width),
+      width, domain);
+  int64_t hotspot_lo = 0;
+
+  // kAdversarial state: the crack positions a plain cracking index would
+  // have after the queries issued so far (offsets into [0, domain]).
+  std::set<int64_t> sim_cracks;
+  if (opts.distribution == QueryDistribution::kAdversarial) {
+    sim_cracks.insert(0);
+    sim_cracks.insert(domain);
+  }
+
   for (size_t i = 0; i < opts.num_queries; ++i) {
     int64_t offset = 0;
+    int64_t qwidth = width;
     switch (opts.distribution) {
       case QueryDistribution::kUniform:
         offset = slack == 0 ? 0 : rng.UniformRange(0, slack + 1);
@@ -80,11 +127,129 @@ std::vector<RangeQuery> WorkloadGenerator::Generate(
         }
         break;
       }
+      case QueryDistribution::kZipfian: {
+        const double r = rng.NextDouble() * zipf_cdf.back();
+        const size_t rank = static_cast<size_t>(
+            std::lower_bound(zipf_cdf.begin(), zipf_cdf.end(), r) -
+            zipf_cdf.begin());
+        const size_t bucket =
+            zipf_bucket_of_rank[std::min(rank, zipf_bucket_of_rank.size() - 1)];
+        const size_t buckets = zipf_bucket_of_rank.size();
+        const int64_t b_lo =
+            slack * static_cast<int64_t>(bucket) / static_cast<int64_t>(buckets);
+        const int64_t b_hi = slack * static_cast<int64_t>(bucket + 1) /
+                             static_cast<int64_t>(buckets);
+        offset = b_hi > b_lo ? rng.UniformRange(b_lo, b_hi + 1) : b_lo;
+        break;
+      }
+      case QueryDistribution::kShiftingHotspot: {
+        if (i % phase_len == 0) {
+          hotspot_lo = domain == hotspot_span
+                           ? 0
+                           : rng.UniformRange(0, domain - hotspot_span + 1);
+        }
+        offset = hotspot_lo + (hotspot_span == width
+                                   ? 0
+                                   : rng.UniformRange(0, hotspot_span - width + 1));
+        break;
+      }
+      case QueryDistribution::kPeriodicPhases: {
+        switch ((i / phase_len) % 3) {
+          case 0:
+            offset = slack == 0 ? 0 : rng.UniformRange(0, slack + 1);
+            break;
+          case 1: {
+            const int64_t step = static_cast<int64_t>(i % phase_len);
+            offset = slack * step / std::max<int64_t>(1, static_cast<int64_t>(phase_len) - 1);
+            break;
+          }
+          default:
+            offset = slack == 0
+                         ? 0
+                         : static_cast<int64_t>(rng.Skewed(
+                               static_cast<uint64_t>(slack + 1), opts.skew));
+            break;
+        }
+        break;
+      }
+      case QueryDistribution::kAdversarial: {
+        // Query at the left edge of the largest not-yet-cracked region, so
+        // each reorganization pass covers as many rows as possible.
+        int64_t best_lo = 0;
+        int64_t best_len = 0;
+        int64_t prev = *sim_cracks.begin();
+        for (auto it = std::next(sim_cracks.begin()); it != sim_cracks.end();
+             ++it) {
+          if (*it - prev > best_len) {
+            best_len = *it - prev;
+            best_lo = prev;
+          }
+          prev = *it;
+        }
+        offset = std::min(best_lo, slack);
+        qwidth = std::clamp<int64_t>(best_len, 1, width);
+        sim_cracks.insert(offset);
+        sim_cracks.insert(std::min(offset + qwidth, domain));
+        break;
+      }
+      case QueryDistribution::kOltpOlap: {
+        if (rng.NextDouble() < opts.olap_fraction) {
+          qwidth = std::clamp<int64_t>(
+              static_cast<int64_t>(static_cast<double>(domain) *
+                                   opts.olap_selectivity),
+              1, domain);
+          const int64_t olap_slack = domain - qwidth;
+          offset = olap_slack == 0 ? 0 : rng.UniformRange(0, olap_slack + 1);
+        } else {
+          offset = slack == 0
+                       ? 0
+                       : static_cast<int64_t>(rng.Skewed(
+                             static_cast<uint64_t>(slack + 1), opts.skew));
+        }
+        break;
+      }
     }
     const Value lo = domain_lo_ + offset;
-    queries.push_back(RangeQuery{lo, lo + width, opts.type});
+    queries.push_back(RangeQuery{lo, lo + qwidth, opts.type});
   }
   return queries;
+}
+
+std::vector<MixedOp> WorkloadGenerator::GenerateMixed(
+    const WorkloadOptions& opts) const {
+  const std::vector<RangeQuery> reads = Generate(opts);
+  std::vector<MixedOp> ops;
+  ops.reserve(opts.num_queries);
+  if (reads.empty()) return ops;
+  // Draw writes from a generator decorrelated from query placement so the
+  // read sequence matches Generate() with the same options.
+  Rng rng(opts.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  const double wf = std::clamp(opts.write_fraction, 0.0, 1.0);
+  std::vector<Value> inserted;
+  size_t next_read = 0;
+  for (size_t i = 0; i < opts.num_queries; ++i) {
+    MixedOp op;
+    if (rng.NextDouble() < wf) {
+      const bool del = !inserted.empty() && rng.Uniform(4) == 0;
+      if (del) {
+        const size_t victim = rng.Uniform(inserted.size());
+        op.kind = MixedOp::Kind::kDelete;
+        op.value = inserted[victim];
+        inserted[victim] = inserted.back();
+        inserted.pop_back();
+      } else {
+        op.kind = MixedOp::Kind::kInsert;
+        op.value = domain_lo_ + rng.UniformRange(0, domain_hi_ - domain_lo_);
+        inserted.push_back(op.value);
+      }
+    } else {
+      op.kind = MixedOp::Kind::kQuery;
+      op.query = reads[next_read % reads.size()];
+      ++next_read;
+    }
+    ops.push_back(op);
+  }
+  return ops;
 }
 
 }  // namespace adaptidx

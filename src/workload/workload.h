@@ -38,6 +38,26 @@ enum class QueryDistribution {
   /// Left-to-right sliding window — adversarial for plain cracking and the
   /// motivating case for stochastic cracking [16].
   kSequential,
+  /// Zipfian bucket popularity: the domain is divided into buckets whose
+  /// access frequency follows a Zipf law with exponent `skew`, and the
+  /// bucket ranks are scattered over the domain by `seed` (hot spots are
+  /// not necessarily adjacent).
+  kZipfian,
+  /// A narrow hotspot (`hotspot_width` of the domain) receives all queries;
+  /// every `phase_length` queries it jumps to a fresh random location, so
+  /// an index tuned to the old hotspot restarts from scratch.
+  kShiftingHotspot,
+  /// Cycles uniform -> sequential -> skewed placement every `phase_length`
+  /// queries — no single placement assumption holds for long.
+  kPeriodicPhases,
+  /// Adversary against plain cracking: simulates the cracks the index
+  /// would create and always queries at the edge of the largest still
+  /// uncracked region, keeping every reorganization maximally expensive.
+  kAdversarial,
+  /// Mixed OLTP/OLAP read profile: mostly narrow skewed point-range
+  /// lookups, with an `olap_fraction` of wide uniform scans of
+  /// `olap_selectivity` coverage.
+  kOltpOlap,
 };
 
 std::string ToString(QueryDistribution dist);
@@ -50,9 +70,20 @@ struct WorkloadOptions {
   double selectivity = 0.0001;
   QueryType type = QueryType::kSum;
   QueryDistribution distribution = QueryDistribution::kUniform;
-  /// Skew intensity in [0, 1) for kSkewed.
+  /// Skew intensity in [0, 1) for kSkewed; Zipf exponent for kZipfian.
   double skew = 0.8;
   uint64_t seed = 7;
+  /// Queries per phase for kShiftingHotspot / kPeriodicPhases.
+  size_t phase_length = 128;
+  /// Hotspot extent as a fraction of the domain for kShiftingHotspot.
+  double hotspot_width = 0.05;
+  /// Fraction of kOltpOlap queries that are wide analytical scans.
+  double olap_fraction = 0.1;
+  /// Domain coverage of each analytical scan in kOltpOlap.
+  double olap_selectivity = 0.2;
+  /// Fraction of `GenerateMixed` operations that are writes (inserts and
+  /// deletes); ignored by `Generate`.
+  double write_fraction = 0.1;
 };
 
 /// \brief Paper-style contiguous partitioning of a query sequence into
@@ -62,6 +93,16 @@ struct WorkloadOptions {
 /// `num_queries`.
 std::vector<std::pair<size_t, size_t>> SplitStreams(size_t num_queries,
                                                     size_t num_clients);
+
+/// \brief One operation of a mixed read/write stream (`GenerateMixed`).
+struct MixedOp {
+  enum class Kind { kQuery, kInsert, kDelete };
+  Kind kind = Kind::kQuery;
+  /// Valid when kind == kQuery.
+  RangeQuery query{0, 0, QueryType::kCount};
+  /// Insert or delete key when kind != kQuery.
+  Value value = 0;
+};
 
 /// \brief Deterministic range-query generator over an integer value domain.
 class WorkloadGenerator {
@@ -75,6 +116,12 @@ class WorkloadGenerator {
   /// \brief Generates `opts.num_queries` queries of width
   /// `selectivity * |domain|` (at least 1), placed per the distribution.
   std::vector<RangeQuery> Generate(const WorkloadOptions& opts) const;
+
+  /// \brief Generates `opts.num_queries` operations where a
+  /// `opts.write_fraction` share are writes (3:1 inserts to deletes;
+  /// deletes target previously inserted keys) and the rest are queries
+  /// placed per the distribution — the OLTP-vs-OLAP interference profile.
+  std::vector<MixedOp> GenerateMixed(const WorkloadOptions& opts) const;
 
   Value domain_lo() const { return domain_lo_; }
   Value domain_hi() const { return domain_hi_; }

@@ -91,7 +91,7 @@ struct ConcurrentParam {
   SchedulingPolicy policy;
   RefinementStrategy strategy;
   bool group_crack;
-  bool stochastic;
+  CrackPolicy crack_policy;
   const char* name;
 };
 
@@ -109,8 +109,8 @@ class CrackingConcurrentTest
     opts.scheduling = GetParam().policy;
     opts.strategy = GetParam().strategy;
     opts.group_crack = GetParam().group_crack;
-    opts.stochastic = GetParam().stochastic;
-    opts.stochastic_min_piece = 2048;
+    opts.crack_policy = GetParam().crack_policy;
+    opts.policy_min_piece = 2048;
     opts.sort_piece_threshold = 256;
     return opts;
   }
@@ -138,55 +138,59 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, false, false,
+                        RefinementStrategy::kStandard, false, CrackPolicy::kExact,
                         "piece_middleout"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch, SchedulingPolicy::kFifo,
-                        RefinementStrategy::kStandard, false, false,
+                        RefinementStrategy::kStandard, false, CrackPolicy::kExact,
                         "piece_fifo"},
         ConcurrentParam{ConcurrencyMode::kColumnLatch,
                         SchedulingPolicy::kFifo,
-                        RefinementStrategy::kStandard, false, false,
+                        RefinementStrategy::kStandard, false, CrackPolicy::kExact,
                         "column_latch"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kLazy, false, false,
+                        RefinementStrategy::kLazy, false, CrackPolicy::kExact,
                         "piece_lazy"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kActive, false, false,
+                        RefinementStrategy::kActive, false, CrackPolicy::kExact,
                         "piece_active"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kDynamic, false, false,
+                        RefinementStrategy::kDynamic, false, CrackPolicy::kExact,
                         "piece_dynamic"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, true, false,
+                        RefinementStrategy::kStandard, true, CrackPolicy::kExact,
                         "piece_groupcrack"},
         ConcurrentParam{ConcurrencyMode::kPieceLatch,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, false, true,
-                        "piece_stochastic"},
+                        RefinementStrategy::kStandard, false,
+                        CrackPolicy::kMDD1R, "piece_mdd1r"},
         ConcurrentParam{ConcurrencyMode::kOptimistic,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, false, false,
+                        RefinementStrategy::kStandard, false, CrackPolicy::kExact,
                         "optimistic_middleout"},
         ConcurrentParam{ConcurrencyMode::kOptimistic,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kActive, false, false,
+                        RefinementStrategy::kActive, false, CrackPolicy::kExact,
                         "optimistic_active_sorts"},
         ConcurrentParam{ConcurrencyMode::kOptimistic,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, true, false,
+                        RefinementStrategy::kStandard, true, CrackPolicy::kExact,
                         "optimistic_groupcrack"},
         ConcurrentParam{ConcurrencyMode::kAdaptive,
                         SchedulingPolicy::kMiddleOut,
-                        RefinementStrategy::kStandard, false, false,
+                        RefinementStrategy::kStandard, false, CrackPolicy::kExact,
                         "adaptive_middleout"},
         ConcurrentParam{ConcurrencyMode::kAdaptive,
                         SchedulingPolicy::kFifo,
-                        RefinementStrategy::kStandard, false, true,
-                        "adaptive_fifo_stochastic"}),
+                        RefinementStrategy::kStandard, false,
+                        CrackPolicy::kDDR, "adaptive_fifo_ddr"},
+        ConcurrentParam{ConcurrencyMode::kOptimistic,
+                        SchedulingPolicy::kMiddleOut,
+                        RefinementStrategy::kStandard, false,
+                        CrackPolicy::kDDC, "optimistic_ddc"}),
     [](const auto& info) { return info.param.name; });
 
 // ------------------------------------------------------- Specific races

@@ -326,10 +326,10 @@ TEST(CrackingStrategyTest, StochasticAddsExtraCracks) {
   Column col = Column::UniqueRandom("A", 100000, 17);
   RangeOracle oracle(col);
   CrackingOptions plain;
-  plain.stochastic = false;
+  plain.crack_policy = CrackPolicy::kExact;
   CrackingOptions stoch;
-  stoch.stochastic = true;
-  stoch.stochastic_min_piece = 1024;
+  stoch.crack_policy = CrackPolicy::kDDR;
+  stoch.policy_min_piece = 1024;
   CrackingIndex a(&col, plain);
   CrackingIndex b(&col, stoch);
   // Sequential (adversarial) workload.

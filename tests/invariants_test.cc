@@ -92,7 +92,7 @@ TEST(InvariantsTest, LayoutsProduceIdenticalCracks) {
 TEST(InvariantsTest, AtMostTwoCracksPerQuery) {
   Column col = Column::UniqueRandom("A", 5000, 96);
   CrackingOptions opts;
-  opts.stochastic = false;
+  opts.crack_policy = CrackPolicy::kExact;
   opts.group_crack = false;
   CrackingIndex index(&col, opts);
   Rng rng(97);

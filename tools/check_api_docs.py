@@ -22,6 +22,7 @@ CHECKED_HEADERS = [
     "src/core/query.h",
     "src/core/adaptive_index.h",
     "src/core/index_factory.h",
+    "src/cracking/crack_policy.h",
     "src/server/server.h",
     "src/server/client.h",
     "src/durability/wal.h",
@@ -36,6 +37,7 @@ THREAD_SAFETY_CLASSES = {
     "Query",
     "QueryResult",
     "IndexConfig",
+    "CrackDecision",
     "Server",
     "Client",
     "WriteAheadLog",
