@@ -1,21 +1,40 @@
-/// \file Ablation of the Section 4.3 multi-version commit for adaptive
-/// merging: standard merge steps hold the index write latch for the whole
+/// \file MVCC commit ablations.
+///
+/// Part 1 (Section 4.3): multi-version commit for adaptive merging —
+/// standard merge steps hold the index write latch for the whole
 /// gather+sort+publish, while the MVCC variant gathers under shared access
-/// against the immutable runs and takes the write latch only for a short
-/// revalidated publication. Under concurrent clients the MVCC variant
-/// accumulates far less exclusive-latch wait.
+/// and takes the write latch only for a short revalidated publication.
+///
+/// Part 2 (version publication): copy-chain vs delta-chain publication of
+/// the differential side store, swept over pending-differential size ×
+/// snapshot hold × publication mode. Copy-chain materializes a full flat
+/// version per commit (O(pending)); delta-chain links one O(1) delta node
+/// and consolidates periodically. The sweep measures per-commit publication
+/// latency percentiles and writes BENCH_mvcc.json (override the path with
+/// AI_BENCH_MVCC_JSON).
+///
+/// Gate (non-zero exit on failure): with a snapshot held open, delta-chain
+/// commit p99 must be <= 0.5x copy-chain commit p99 at the LARGEST swept
+/// pending size — the O(1)-publication claim the delta chain exists for.
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_common.h"
+#include "core/updatable_index.h"
 #include "merging/adaptive_merge.h"
+#include "util/rng.h"
 
 namespace adaptidx {
 namespace bench {
 namespace {
 
-void Run() {
+void RunMergeAblation() {
   const size_t rows = EnvSize("AI_BENCH_ROWS", 2000000);
   const size_t num_queries = EnvSize("AI_BENCH_QUERIES", 512);
   const size_t clients = EnvSize("AI_BENCH_ABLATION_CLIENTS", 8);
@@ -64,11 +83,180 @@ void Run() {
       waits[1] <= waits[0] * 1.15 ? "yes" : "NO");
 }
 
+// ------------------------------------------ version-publication sweep
+
+struct PublicationCell {
+  const char* publication;  // "copy" | "delta"
+  size_t pending = 0;
+  bool held_snapshot = false;
+  double commit_p50_ns = 0;
+  double commit_p99_ns = 0;
+  int64_t commit_max_ns = 0;
+  uint64_t deltas_published = 0;
+  uint64_t consolidations = 0;
+  uint64_t chain_max = 0;
+};
+
+double Percentile(std::vector<int64_t>* lat, double p) {
+  if (lat->empty()) return 0;
+  std::sort(lat->begin(), lat->end());
+  const size_t i = static_cast<size_t>(p / 100.0 *
+                                       static_cast<double>(lat->size() - 1));
+  return static_cast<double>((*lat)[i]);
+}
+
+PublicationCell RunPublicationCell(const Column& column,
+                                   SnapshotPublication publication,
+                                   size_t pending, bool held,
+                                   size_t commits) {
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  config.snapshot_reads = true;
+  config.snapshot_publication = publication;
+  UpdatableIndex index(column, config);
+  Rng rng(2012);
+  QueryContext ctx;
+  uint64_t txn = 0;
+  const Value domain = static_cast<Value>(column.size());
+  // Pre-load the pending differential: copy-chain publication cost is
+  // O(pending) per commit, so this is the swept axis.
+  for (size_t i = 0; i < pending; ++i) {
+    ctx.txn_id = ++txn;
+    index.Insert(domain + static_cast<Value>(rng.Uniform(1u << 20)), &ctx);
+  }
+
+  Snapshot pin;
+  if (held) pin = index.CaptureSnapshot();
+
+  std::vector<int64_t> lat;
+  lat.reserve(commits);
+  for (size_t i = 0; i < commits; ++i) {
+    ctx.txn_id = ++txn;
+    const Value v = domain + static_cast<Value>(rng.Uniform(1u << 20));
+    const auto start = std::chrono::steady_clock::now();
+    index.Insert(v, &ctx);
+    lat.push_back(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count());
+  }
+  if (held) pin.Release();
+
+  PublicationCell cell;
+  cell.publication =
+      publication == SnapshotPublication::kCopyChain ? "copy" : "delta";
+  cell.pending = pending;
+  cell.held_snapshot = held;
+  cell.commit_max_ns = *std::max_element(lat.begin(), lat.end());
+  cell.commit_p50_ns = Percentile(&lat, 50.0);
+  cell.commit_p99_ns = Percentile(&lat, 99.0);
+  cell.deltas_published = index.snapshots().deltas_published();
+  cell.consolidations = index.snapshots().consolidations();
+  cell.chain_max = index.latch_stats().delta_chain_max();
+  return cell;
+}
+
+bool RunPublicationSweep() {
+  const size_t base_rows = EnvSize("AI_BENCH_MVCC_BASE", 200000);
+  const size_t commits = EnvSize("AI_BENCH_MVCC_COMMITS", 512);
+  PrintHeader(
+      "Ablation: version publication (copy-chain vs delta-chain)",
+      "base_rows=" + std::to_string(base_rows) + " measured_commits=" +
+          std::to_string(commits) +
+          " sweep: pending x held-snapshot x publication");
+
+  Column column = MakeUniqueRandomColumn(base_rows);
+  const size_t pendings[] = {1024, 8192, 32768};
+  std::vector<PublicationCell> cells;
+  double gate_copy_p99 = 0;
+  double gate_delta_p99 = 0;
+  const size_t gate_pending = pendings[2];
+
+  std::printf("\n%-8s %10s %6s %14s %14s %14s %8s %8s\n", "mode", "pending",
+              "held", "p50(us)", "p99(us)", "max(us)", "consol", "chainmax");
+  for (size_t pending : pendings) {
+    for (bool held : {false, true}) {
+      for (SnapshotPublication mode : {SnapshotPublication::kCopyChain,
+                                       SnapshotPublication::kDeltaChain}) {
+        PublicationCell cell =
+            RunPublicationCell(column, mode, pending, held, commits);
+        std::printf("%-8s %10zu %6s %14.2f %14.2f %14.2f %8llu %8llu\n",
+                    cell.publication, cell.pending, held ? "yes" : "no",
+                    cell.commit_p50_ns / 1e3, cell.commit_p99_ns / 1e3,
+                    static_cast<double>(cell.commit_max_ns) / 1e3,
+                    static_cast<unsigned long long>(cell.consolidations),
+                    static_cast<unsigned long long>(cell.chain_max));
+        if (held && pending == gate_pending) {
+          if (mode == SnapshotPublication::kCopyChain) {
+            gate_copy_p99 = cell.commit_p99_ns;
+          } else {
+            gate_delta_p99 = cell.commit_p99_ns;
+          }
+        }
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  // Gate: O(1) publication must show up as a large commit-latency gap
+  // under a held snapshot at the largest pending size.
+  const bool gate_ok =
+      gate_copy_p99 > 0 && gate_delta_p99 <= 0.5 * gate_copy_p99;
+  std::printf(
+      "\ngate (held snapshot, pending=%zu): delta p99 %.2f us vs copy p99 "
+      "%.2f us -> delta <= 0.5x copy: %s\n",
+      gate_pending, gate_delta_p99 / 1e3, gate_copy_p99 / 1e3,
+      gate_ok ? "yes" : "NO");
+
+  const char* json_env = std::getenv("AI_BENCH_MVCC_JSON");
+  const std::string json_path =
+      json_env != nullptr && *json_env != '\0' ? json_env : "BENCH_mvcc.json";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return false;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"ablation_mvcc_commit\",\n"
+               "  \"base_rows\": %zu,\n  \"commits_per_cell\": %zu,\n"
+               "  \"cells\": [\n",
+               base_rows, commits);
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const PublicationCell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"publication\": \"%s\", \"pending\": %zu, "
+        "\"held_snapshot\": %s, \"commit_p50_ns\": %.0f, "
+        "\"commit_p99_ns\": %.0f, \"commit_max_ns\": %lld, "
+        "\"deltas_published\": %llu, \"consolidations\": %llu, "
+        "\"chain_max\": %llu}%s\n",
+        c.publication, c.pending, c.held_snapshot ? "true" : "false",
+        c.commit_p50_ns, c.commit_p99_ns,
+        static_cast<long long>(c.commit_max_ns),
+        static_cast<unsigned long long>(c.deltas_published),
+        static_cast<unsigned long long>(c.consolidations),
+        static_cast<unsigned long long>(c.chain_max),
+        i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"gate_pending\": %zu,\n"
+               "  \"gate_held_snapshot\": true,\n"
+               "  \"gate_copy_p99_ns\": %.0f,\n"
+               "  \"gate_delta_p99_ns\": %.0f,\n"
+               "  \"delta_p99_leq_half_copy\": %s\n}\n",
+               gate_pending, gate_copy_p99, gate_delta_p99,
+               gate_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  return gate_ok;
+}
+
 }  // namespace
 }  // namespace bench
 }  // namespace adaptidx
 
 int main() {
-  adaptidx::bench::Run();
-  return 0;
+  adaptidx::bench::RunMergeAblation();
+  // Non-zero exit enforces the delta-publication acceptance criterion in
+  // the CI bench-smoke step; the JSON records the raw numbers either way.
+  return adaptidx::bench::RunPublicationSweep() ? 0 : 1;
 }

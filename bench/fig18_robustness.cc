@@ -11,14 +11,18 @@
 /// (after a short common warm-up that pays the one-off data-arrival cost
 /// for every policy alike).
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/cracking_index.h"
+#include "core/updatable_index.h"
 
 namespace adaptidx {
 namespace bench {
@@ -88,6 +92,105 @@ Cell RunCell(const Column& column, const std::vector<RangeQuery>& queries,
   return cell;
 }
 
+/// One policy × distribution cell of the mixed phase: a hostile
+/// `GenerateMixed` read/write stream driven through the differential-update
+/// layer (UpdatableIndex), so hostile query placement and the side-store
+/// write path stress the crack policy together.
+struct MixedCell {
+  std::string distribution;
+  std::string policy;
+  double total_secs = 0;
+  double read_p50_ns = 0;
+  double read_p99_ns = 0;
+  int64_t read_max_ns = 0;
+  double write_p99_ns = 0;
+  uint64_t reads = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+};
+
+double Percentile(std::vector<int64_t>* lat, double p) {
+  if (lat->empty()) return 0;
+  std::sort(lat->begin(), lat->end());
+  const size_t i = static_cast<size_t>(p / 100.0 *
+                                       static_cast<double>(lat->size() - 1));
+  return static_cast<double>((*lat)[i]);
+}
+
+MixedCell RunMixedCell(const Column& column, const std::vector<MixedOp>& ops,
+                       QueryDistribution dist, CrackPolicy policy,
+                       uint64_t seed) {
+  IndexConfig config;
+  config.method = IndexMethod::kCrack;
+  config.cracking.crack_policy = policy;
+  config.cracking.policy_seed = seed;
+  UpdatableIndex index(column, config);
+  QueryContext ctx;
+  uint64_t txn = 0;
+  // GenerateMixed deletes name previously inserted VALUES; the differential
+  // layer deletes (value, rowid) pairs — resolve through a live multimap.
+  std::unordered_multimap<Value, RowId> live;
+  std::vector<int64_t> read_lat;
+  std::vector<int64_t> write_lat;
+  MixedCell cell;
+  cell.distribution = ToString(dist);
+  cell.policy = ToString(policy);
+  const auto bench_start = std::chrono::steady_clock::now();
+  for (const MixedOp& op : ops) {
+    const auto start = std::chrono::steady_clock::now();
+    switch (op.kind) {
+      case MixedOp::Kind::kQuery: {
+        const ValueRange range{op.query.lo, op.query.hi};
+        if (op.query.type == QueryType::kCount) {
+          uint64_t count = 0;
+          index.RangeCount(range, &ctx, &count);
+        } else if (op.query.type == QueryType::kSum) {
+          int64_t sum = 0;
+          index.RangeSum(range, &ctx, &sum);
+        } else {
+          Value mn = 0, mx = 0;
+          bool found = false;
+          index.RangeMinMax(range, &ctx, &mn, &mx, &found);
+        }
+        ++cell.reads;
+        break;
+      }
+      case MixedOp::Kind::kInsert: {
+        ctx.txn_id = ++txn;
+        RowId id;
+        if (index.Insert(op.value, &ctx, &id).ok()) live.emplace(op.value, id);
+        ++cell.inserts;
+        break;
+      }
+      case MixedOp::Kind::kDelete: {
+        ctx.txn_id = ++txn;
+        auto it = live.find(op.value);
+        if (it != live.end()) {
+          index.Delete(it->first, it->second, &ctx);
+          live.erase(it);
+        }
+        ++cell.deletes;
+        break;
+      }
+    }
+    const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    (op.kind == MixedOp::Kind::kQuery ? read_lat : write_lat).push_back(ns);
+  }
+  cell.total_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    bench_start)
+          .count();
+  cell.read_max_ns = read_lat.empty()
+                         ? 0
+                         : *std::max_element(read_lat.begin(), read_lat.end());
+  cell.read_p50_ns = Percentile(&read_lat, 50.0);
+  cell.read_p99_ns = Percentile(&read_lat, 99.0);
+  cell.write_p99_ns = Percentile(&write_lat, 99.0);
+  return cell;
+}
+
 bool Run() {
   const size_t rows = EnvSize("AI_BENCH_ROWS", 1000000);
   const size_t num_queries = EnvSize("AI_BENCH_QUERIES", 512);
@@ -145,6 +248,42 @@ bool Run() {
     }
   }
 
+  // Mixed phase (ROADMAP: hostile GenerateMixed streams through the
+  // differential-update layer): a write_fraction share of each hostile
+  // stream becomes inserts/deletes against an UpdatableIndex, so crack
+  // policies are measured with the side-store write path interleaved —
+  // informational (the gate below stays on the read-only sequential case).
+  const QueryDistribution mixed_distributions[] = {
+      QueryDistribution::kSequential, QueryDistribution::kShiftingHotspot,
+      QueryDistribution::kOltpOlap};
+  std::vector<MixedCell> mixed_cells;
+  for (QueryDistribution dist : mixed_distributions) {
+    WorkloadOptions wopts;
+    wopts.num_queries = num_queries;
+    wopts.selectivity = 0.001;
+    wopts.type = QueryType::kSum;
+    wopts.distribution = dist;
+    wopts.seed = 18;
+    wopts.write_fraction = 0.2;
+    const auto ops = gen.GenerateMixed(wopts);
+
+    std::printf("\nmixed/%-12s %-8s %10s %12s %12s %12s %6s %5s %5s\n",
+                ToString(dist).c_str(), "policy", "total(s)", "r_p99(ms)",
+                "r_max(ms)", "w_p99(ms)", "reads", "ins", "del");
+    for (CrackPolicy policy : policies) {
+      MixedCell cell = RunMixedCell(column, ops, dist, policy, policy_seed);
+      std::printf(
+          "%-18s %-8s %10.3f %12.3f %12.3f %12.3f %6llu %5llu %5llu\n", "",
+          cell.policy.c_str(), cell.total_secs, cell.read_p99_ns / 1e6,
+          static_cast<double>(cell.read_max_ns) / 1e6,
+          cell.write_p99_ns / 1e6,
+          static_cast<unsigned long long>(cell.reads),
+          static_cast<unsigned long long>(cell.inserts),
+          static_cast<unsigned long long>(cell.deletes));
+      mixed_cells.push_back(std::move(cell));
+    }
+  }
+
   // Acceptance: sequential is the quadratic-collapse case for exact-bound
   // cracking; a random-pivot policy must improve the steady-state worst
   // case (the best of DDR/MDD1R is compared so one unlucky seed cannot
@@ -191,6 +330,23 @@ bool Run() {
                    b + 1 < c.curve_mean_ns.size() ? ", " : "");
     }
     std::fprintf(f, "]}%s\n", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"mixed_write_fraction\": 0.2,\n"
+                  "  \"mixed_results\": [\n");
+  for (size_t i = 0; i < mixed_cells.size(); ++i) {
+    const MixedCell& c = mixed_cells[i];
+    std::fprintf(
+        f,
+        "    {\"distribution\": \"%s\", \"policy\": \"%s\", "
+        "\"total_secs\": %.6f, \"read_p50_ns\": %.0f, \"read_p99_ns\": "
+        "%.0f, \"read_max_ns\": %lld, \"write_p99_ns\": %.0f, "
+        "\"reads\": %llu, \"inserts\": %llu, \"deletes\": %llu}%s\n",
+        c.distribution.c_str(), c.policy.c_str(), c.total_secs,
+        c.read_p50_ns, c.read_p99_ns, static_cast<long long>(c.read_max_ns),
+        c.write_p99_ns, static_cast<unsigned long long>(c.reads),
+        static_cast<unsigned long long>(c.inserts),
+        static_cast<unsigned long long>(c.deletes),
+        i + 1 < mixed_cells.size() ? "," : "");
   }
   std::fprintf(f,
                "  ],\n  \"sequential_plain_steady_max_ns\": %lld,\n"

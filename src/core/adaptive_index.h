@@ -2,6 +2,7 @@
 #define ADAPTIDX_CORE_ADAPTIVE_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "util/status.h"
 
 namespace adaptidx {
+
+class SnapshotScope;
 
 /// \brief Per-query instrumentation, filled in by index implementations.
 ///
@@ -66,6 +69,13 @@ struct QueryContext {
   /// path. Stamped by sessions opened with `SessionOptions::snapshot_reads`;
   /// ignored by indexes without a differential layer.
   bool snapshot_reads = false;
+  /// Transactional read scope (`Session::BeginSnapshot`): when set, an
+  /// `UpdatableIndex` answers this query against the scope's pinned epoch
+  /// — the same one for every query of the scope — instead of capturing
+  /// per query. Shared ownership so async submissions that outlive an
+  /// `EndSnapshot` race find a closed (never dangling) scope. Ignored by
+  /// indexes without a differential layer.
+  std::shared_ptr<SnapshotScope> snapshot_scope;
 
   /// \brief A context carrying this one's identity with fresh stats — the
   /// per-fragment context of partitioned execution.
@@ -75,6 +85,7 @@ struct QueryContext {
     ctx.txn_id = txn_id;
     ctx.session_id = session_id;
     ctx.snapshot_reads = snapshot_reads;
+    ctx.snapshot_scope = snapshot_scope;
     return ctx;
   }
 

@@ -46,6 +46,14 @@ std::string IndexConfigKey(const IndexConfig& config) {
   // method must denote distinct entries.
   if (config.snapshot_reads) {
     key += "+snap";
+    // Publication mode (and, for delta chains, the consolidation bounds)
+    // shape what physical version state the writer maintains.
+    if (config.snapshot_publication == SnapshotPublication::kCopyChain) {
+      key += ":copy";
+    } else {
+      key += ":delta(" + std::to_string(config.snapshot_consolidate_min) +
+             "," + std::to_string(config.snapshot_consolidate_max) + ")";
+    }
   }
   // Only the option block the method consults participates — two configs
   // that differ in an unconsulted block denote the same physical index.

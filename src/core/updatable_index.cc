@@ -100,6 +100,105 @@ struct VersionDiffView {
   }
 };
 
+/// Pinned delta-chain snapshot: the consolidated base plus the era-local
+/// suffix of O(1) commit deltas, folded once per query into three sorted
+/// vectors. The arithmetic leans on (value, rowID) uniqueness — row ids
+/// are never reused, so a chained kCancelInsert names exactly one insert
+/// that the base or the chain currently counts, and anti-matter is purely
+/// additive until a checkpoint resets both stores. Fold cost is
+/// O(chain log chain), bounded by the consolidation threshold.
+struct DeltaChainView {
+  const SideStoreVersion& base;
+  std::vector<std::pair<Value, RowId>> chain_inserts;
+  std::vector<std::pair<Value, RowId>> chain_anti;
+  std::vector<std::pair<Value, RowId>> cancels;
+
+  explicit DeltaChainView(const Snapshot& snapshot)
+      : base(snapshot.version()) {
+    for (const SideStoreDelta* d = snapshot.delta_head(); d != nullptr;
+         d = d->prev.get()) {
+      const std::pair<Value, RowId> entry{d->value, d->row_id};
+      switch (d->op) {
+        case SideStoreDelta::Op::kInsert:
+          chain_inserts.push_back(entry);
+          break;
+        case SideStoreDelta::Op::kAntiMatter:
+          chain_anti.push_back(entry);
+          break;
+        case SideStoreDelta::Op::kCancelInsert:
+          cancels.push_back(entry);
+          break;
+      }
+    }
+    std::sort(chain_inserts.begin(), chain_inserts.end());
+    std::sort(chain_anti.begin(), chain_anti.end());
+    std::sort(cancels.begin(), cancels.end());
+  }
+
+  static void RangeCountSum(const std::vector<std::pair<Value, RowId>>& v,
+                            const ValueRange& range, uint64_t* count,
+                            int64_t* sum) {
+    auto it = std::lower_bound(v.begin(), v.end(),
+                               std::make_pair(range.lo, RowId{0}));
+    for (; it != v.end() && it->first < range.hi; ++it) {
+      ++*count;
+      *sum += it->first;
+    }
+  }
+
+  void InsertCountSum(const ValueRange& range, uint64_t* count,
+                      int64_t* sum) const {
+    // Each cancelled (value, rowID) is currently counted exactly once —
+    // in the base if it was pending at consolidation, in the chain if it
+    // was inserted after — so subtracting the in-range cancels nets the
+    // live pending-insert population.
+    base.InsertCountSum(range, count, sum);
+    RangeCountSum(chain_inserts, range, count, sum);
+    uint64_t cancel_count = 0;
+    int64_t cancel_sum = 0;
+    RangeCountSum(cancels, range, &cancel_count, &cancel_sum);
+    *count -= cancel_count;
+    *sum -= cancel_sum;
+  }
+  void AntiMatterCountSum(const ValueRange& range, uint64_t* count,
+                          int64_t* sum) const {
+    base.AntiMatterCountSum(range, count, sum);
+    RangeCountSum(chain_anti, range, count, sum);
+  }
+  bool AnyAntiMatter() const {
+    return !base.anti_matter.empty() || !chain_anti.empty();
+  }
+  bool AnyAntiMatterIn(const ValueRange& range) const {
+    if (base.AnyAntiMatterIn(range)) return true;
+    auto it = std::lower_bound(chain_anti.begin(), chain_anti.end(),
+                               std::make_pair(range.lo, RowId{0}));
+    return it != chain_anti.end() && it->first < range.hi;
+  }
+  bool HidesRow(Value value, RowId id) const {
+    return base.HidesRow(value, id) ||
+           std::binary_search(chain_anti.begin(), chain_anti.end(),
+                              std::make_pair(value, id));
+  }
+  bool Cancelled(Value value, RowId id) const {
+    return std::binary_search(cancels.begin(), cancels.end(),
+                              std::make_pair(value, id));
+  }
+  template <typename Fn>
+  void ForEachInsertIn(const ValueRange& range, Fn fn) const {
+    for (size_t i = base.FirstInsertAtOrAbove(range.lo);
+         i < base.inserts.size() && base.inserts[i].first < range.hi; ++i) {
+      if (Cancelled(base.inserts[i].first, base.inserts[i].second)) continue;
+      fn(base.inserts[i].first, base.inserts[i].second);
+    }
+    auto it = std::lower_bound(chain_inserts.begin(), chain_inserts.end(),
+                               std::make_pair(range.lo, RowId{0}));
+    for (; it != chain_inserts.end() && it->first < range.hi; ++it) {
+      if (Cancelled(it->first, it->second)) continue;
+      fn(it->first, it->second);
+    }
+  }
+};
+
 /// THE query evaluation of the differential layer — shared verbatim by the
 /// latched and snapshot paths: combines the base index/column answer with
 /// one differential view. The caller guarantees `diff`, `base`, and
@@ -226,10 +325,36 @@ std::shared_ptr<SideStoreVersion> UpdatableIndex::MaterializeVersionLocked()
   return v;
 }
 
-void UpdatableIndex::CommitEpochLocked() {
-  commit_epoch_.fetch_add(1, std::memory_order_release);
-  if (config_.snapshot_reads) {
+size_t UpdatableIndex::ConsolidateThresholdLocked() const {
+  const size_t pending = inserts_.size() + anti_matter_.size();
+  const size_t floor =
+      std::max<size_t>(config_.snapshot_consolidate_min, 1);
+  const size_t cap = std::max(config_.snapshot_consolidate_max, floor);
+  return std::min(cap, std::max(floor, pending / 8));
+}
+
+void UpdatableIndex::CommitEpochLocked(SideStoreDelta::Op op, Value v,
+                                       RowId row_id) {
+  const uint64_t epoch =
+      commit_epoch_.fetch_add(1, std::memory_order_release) + 1;
+  if (!config_.snapshot_reads) return;
+  if (config_.snapshot_publication == SnapshotPublication::kCopyChain) {
+    // Ablation baseline: O(pending) flat copy per commit under the writer
+    // latch — the cost delta chains remove.
     snapshots_.Publish(MaterializeVersionLocked());
+    return;
+  }
+  // O(1) publication; the chain is consolidated into a flat base before
+  // readers would fold a suffix longer than the adaptive threshold
+  // (>= floor so tiny stores don't thrash, pending/8 so the occasional
+  // O(pending) materialization stays amortized-O(1) per commit, capped so
+  // per-read fold work is bounded).
+  const size_t chain =
+      snapshots_.PublishDelta(op, v, row_id, epoch, next_row_id_);
+  latch_stats_.RecordDeltaPublish(chain);
+  if (chain >= ConsolidateThresholdLocked()) {
+    snapshots_.Consolidate(MaterializeVersionLocked());
+    latch_stats_.RecordConsolidation(chain);
   }
 }
 
@@ -269,9 +394,16 @@ Status UpdatableIndex::ExecuteSnapshot(const Query& query,
   // wrapped index are stable while the snapshot is pinned, because
   // Checkpoint() drains every outstanding snapshot before swapping them
   // (synchronized through the SnapshotManager mutex).
-  Status s = CombineWithDifferentials(
-      query, VersionDiffView{snapshot.version()}, *base_, index_.get(), ctx,
-      result);
+  Status s;
+  if (snapshot.delta_head() == nullptr) {
+    // Exactly a consolidated state — zero-copy view over its vectors.
+    s = CombineWithDifferentials(query, VersionDiffView{snapshot.version()},
+                                 *base_, index_.get(), ctx, result);
+  } else {
+    // Fold the era-local delta suffix over the consolidated base.
+    s = CombineWithDifferentials(query, DeltaChainView(snapshot), *base_,
+                                 index_.get(), ctx, result);
+  }
   if (s.ok() && query.kind == QueryKind::kRowIds) {
     result->count = result->row_ids.size();
   }
@@ -281,6 +413,19 @@ Status UpdatableIndex::ExecuteSnapshot(const Query& query,
 
 Status UpdatableIndex::ExecuteImpl(const Query& query, QueryContext* ctx,
                                    QueryResult* result) {
+  if (ctx != nullptr && ctx->snapshot_scope != nullptr) {
+    // Transactional scope: every query of the scope reads at the ONE epoch
+    // its first query pinned for this index (repeatable reads across a
+    // multi-query transaction). A scope closed mid-flight (EndSnapshot
+    // racing an async submission) refuses adoption; fall through to the
+    // per-query paths below.
+    SnapshotScope* scope = ctx->snapshot_scope.get();
+    const Snapshot* pinned = scope->Find(this);
+    if (pinned == nullptr) pinned = scope->Adopt(this, CaptureSnapshot());
+    if (pinned != nullptr) {
+      return ExecuteSnapshot(query, *pinned, ctx, result);
+    }
+  }
   if (ctx != nullptr && ctx->snapshot_reads) {
     // Per-query snapshot capture: each execution (each ticket of an async
     // batch) pins its own epoch, so every answer is individually
@@ -319,7 +464,7 @@ Status UpdatableIndex::Insert(Value v, QueryContext* ctx, RowId* row_id) {
       sink = sink_;
       lsn = sink->LogCommit(CommitSink::OpType::kInsert, v, assigned);
     }
-    CommitEpochLocked();
+    CommitEpochLocked(SideStoreDelta::Op::kInsert, v, assigned);
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);  // auto-commit
   if (sink != nullptr) {
@@ -368,7 +513,9 @@ Status UpdatableIndex::Delete(Value v, RowId row_id, QueryContext* ctx) {
         sink = sink_;
         lsn = sink->LogCommit(CommitSink::OpType::kDelete, v, row_id);
       }
-      CommitEpochLocked();
+      CommitEpochLocked(cancelled ? SideStoreDelta::Op::kCancelInsert
+                                  : SideStoreDelta::Op::kAntiMatter,
+                        v, row_id);
     }
   }
   if (locking) lock_manager_->ReleaseAll(ctx->txn_id);
@@ -442,9 +589,14 @@ void UpdatableIndex::RestoreState(
   if (config_.snapshot_reads) {
     // Re-seed the version chain at the restored epoch so the first
     // snapshot capture after recovery sees the restored differentials
-    // (Publish requires monotonic epochs; the constructor-time version sits
-    // at epoch 0, below any restored epoch).
-    snapshots_.Publish(MaterializeVersionLocked());
+    // (monotonic epochs hold: the constructor-time state sits at epoch 0,
+    // below any restored epoch). Delta mode installs the restored state as
+    // a consolidated base; copy mode publishes it as the next flat copy.
+    if (config_.snapshot_publication == SnapshotPublication::kCopyChain) {
+      snapshots_.Publish(MaterializeVersionLocked());
+    } else {
+      snapshots_.Consolidate(MaterializeVersionLocked());
+    }
   }
 }
 

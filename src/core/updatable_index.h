@@ -46,15 +46,22 @@ namespace adaptidx {
 /// MVCC snapshot reads (Section 4.3: "merge steps can run as multi-version
 /// system transactions"): every committed update advances a monotonically
 /// increasing `commit_epoch()`. With `IndexConfig::snapshot_reads` enabled
-/// the writer additionally publishes an immutable copy-on-write
-/// `SideStoreVersion` of the differentials per commit, and a query whose
-/// context sets `QueryContext::snapshot_reads` captures a `Snapshot` (one
-/// short pin, O(1)) and answers count/sum/rowIDs/minmax against exactly
-/// that epoch *without holding the side-table latch during the read* — a
-/// long analytical scan no longer blocks the update stream. Retired
-/// versions are reclaimed epoch-based once no snapshot pins them, and
-/// `Checkpoint()` drains outstanding snapshots before swapping the base
-/// (so a thread must not checkpoint while holding its own snapshot).
+/// the writer additionally publishes each commit to the version chain —
+/// by default one O(1) `SideStoreDelta` node (op, value, rowID, epoch)
+/// linked onto the current version, periodically consolidated into a flat
+/// `SideStoreVersion` so readers never fold an unbounded suffix
+/// (`IndexConfig::snapshot_publication` selects the O(pending) copy-chain
+/// baseline instead). A query whose context sets
+/// `QueryContext::snapshot_reads` captures a `Snapshot` (one short pin,
+/// O(1)) and answers count/sum/rowIDs/minmax against exactly that epoch
+/// *without holding the side-table latch during the read* — a long
+/// analytical scan no longer blocks the update stream. A query carrying a
+/// `QueryContext::snapshot_scope` instead reuses the scope's pinned epoch
+/// across every query of the scope (transactional repeatable reads).
+/// Version and delta reclamation is epoch-based — state is dropped once no
+/// pin can observe it — and `Checkpoint()` drains outstanding snapshots
+/// before swapping the base (so a thread must not checkpoint while holding
+/// its own snapshot).
 ///
 /// Thread-safety: all methods may be called concurrently from any number
 /// of threads; updates serialize on an internal writer latch, reads are
@@ -179,9 +186,10 @@ class UpdatableIndex : public AdaptiveIndex {
   size_t NumPieces() const override { return index_->NumPieces(); }
 
  protected:
-  /// \brief Dispatches to the snapshot path when `ctx->snapshot_reads` is
-  /// set (capturing a fresh per-query snapshot), to the latched
-  /// shared-side-table path otherwise.
+  /// \brief Dispatches to the snapshot path when the context carries a
+  /// `snapshot_scope` (reusing the scope's pinned epoch) or sets
+  /// `snapshot_reads` (capturing a fresh per-query snapshot), to the
+  /// latched shared-side-table path otherwise.
   Status ExecuteImpl(const Query& query, QueryContext* ctx,
                      QueryResult* result) override;
 
@@ -195,8 +203,16 @@ class UpdatableIndex : public AdaptiveIndex {
   std::shared_ptr<SideStoreVersion> MaterializeVersionLocked() const;
 
   /// Commits one epoch and, when the version chain is maintained,
-  /// publishes the post-commit version. Requires mu_ held exclusively.
-  void CommitEpochLocked();
+  /// publishes the commit — one O(1) delta node describing (`op`, `v`,
+  /// `row_id`) in delta-chain mode (consolidating when the chain reaches
+  /// the adaptive threshold), a full flat copy in copy-chain mode.
+  /// Requires mu_ held exclusively.
+  void CommitEpochLocked(SideStoreDelta::Op op, Value v, RowId row_id);
+
+  /// Chain length at which the next commit consolidates:
+  /// min(consolidate_max, max(consolidate_min, pending/8)). Requires mu_
+  /// held (shared suffices).
+  size_t ConsolidateThresholdLocked() const;
 
   IndexConfig config_;
   LockManager* lock_manager_;

@@ -73,11 +73,15 @@ Status DurableIndex::Checkpoint(uint64_t* epoch_out) {
     if (!snap.valid()) {
       return Status::Aborted("could not pin a checkpoint snapshot");
     }
-    const SideStoreVersion& v = snap.version();
+    // The image needs the FULL state at the pinned epoch — under
+    // delta-chain publication `snap.version()` is only the consolidated
+    // base, so fold the chain suffix into one flat view (a no-op copy when
+    // the chain is empty).
+    SideStoreVersion v = snap.Materialize();
     image.epoch = v.epoch;
     image.next_row_id = v.next_row_id;
-    image.inserts = v.inserts;
-    image.anti_matter = v.anti_matter;
+    image.inserts = std::move(v.inserts);
+    image.anti_matter = std::move(v.anti_matter);
     const Column* base = index_->base_column();
     image.column_name = base->name();
     image.base_values = base->values();

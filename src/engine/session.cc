@@ -93,9 +93,17 @@ Session::Session(Database* db, AdaptiveIndex* direct_index, ThreadPool* pool,
 }
 
 Session::~Session() {
-  std::unique_lock<std::mutex> lk(mu_);
-  drained_cv_.wait(
-      lk, [this] { return in_flight_.load(std::memory_order_acquire) == 0; });
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    drained_cv_.wait(lk, [this] {
+      return in_flight_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  // With every query drained, an open scope's pins have no reader left;
+  // close it so they cannot outlive the session (a held pin would block
+  // index checkpoints/destruction forever).
+  std::lock_guard<std::mutex> lk(scope_mu_);
+  if (scope_ != nullptr) scope_->Close();
 }
 
 uint32_t Session::NextSessionId() {
@@ -115,7 +123,41 @@ QueryContext Session::MakeContext() const {
   ctx.txn_id = txn_id_;
   ctx.session_id = session_id_;
   ctx.snapshot_reads = opts_.snapshot_reads;
+  {
+    std::lock_guard<std::mutex> lk(scope_mu_);
+    ctx.snapshot_scope = scope_;
+  }
   return ctx;
+}
+
+Status Session::BeginSnapshot() {
+  std::lock_guard<std::mutex> lk(scope_mu_);
+  if (scope_ != nullptr) {
+    return Status::InvalidArgument(
+        "a snapshot scope is already open (scopes do not nest)");
+  }
+  scope_ = std::make_shared<SnapshotScope>();
+  return Status::OK();
+}
+
+Status Session::EndSnapshot() {
+  std::shared_ptr<SnapshotScope> scope;
+  {
+    std::lock_guard<std::mutex> lk(scope_mu_);
+    if (scope_ == nullptr) {
+      return Status::InvalidArgument("no snapshot scope is open");
+    }
+    scope.swap(scope_);
+  }
+  // Close outside scope_mu_: releasing the last pin may unblock a draining
+  // checkpoint, and new contexts must already see no scope.
+  scope->Close();
+  return Status::OK();
+}
+
+bool Session::InSnapshotScope() const {
+  std::lock_guard<std::mutex> lk(scope_mu_);
+  return scope_ != nullptr;
 }
 
 size_t Session::queries_submitted() const {

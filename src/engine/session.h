@@ -187,6 +187,30 @@ class Session {
                 Value hi, Value* min, Value* max, bool* found,
                 QueryStats* stats = nullptr);
 
+  // ---- transactional snapshot scopes ----------------------------------
+
+  /// \brief Opens a transactional read scope: until `EndSnapshot()`, every
+  /// query this session submits (sync, async, and the two-column kSumOther
+  /// plan) reads at ONE pinned epoch per updatable index — the epoch the
+  /// scope's first query on that index captured — giving a multi-query
+  /// read transaction repeatable reads instead of per-query capture.
+  /// Scopes do not nest: InvalidArgument while one is already open.
+  /// While the scope holds a pin, a `Checkpoint()` of the pinned index
+  /// blocks until `EndSnapshot()` — never checkpoint the index from the
+  /// scope-holding thread. Indexes without a differential layer are
+  /// unaffected. Thread-safe.
+  Status BeginSnapshot();
+
+  /// \brief Closes the open scope, releasing every pinned epoch
+  /// (unblocking draining checkpoints); queries submitted afterwards
+  /// observe the live state again. InvalidArgument when no scope is
+  /// open. In-flight async queries that raced the close fall back to
+  /// per-query behavior. Thread-safe.
+  Status EndSnapshot();
+
+  /// \brief Whether a snapshot scope is currently open. Thread-safe.
+  bool InSnapshotScope() const;
+
   // ---- updates as session operations ----------------------------------
 
   /// \brief Inserts `v` through `index` as a user transaction carrying this
@@ -263,6 +287,14 @@ class Session {
   // opened afterwards.
   std::mutex resolve_mu_;
   std::unordered_map<std::string, std::shared_ptr<AdaptiveIndex>> resolved_;
+
+  // The open transactional read scope, shared into every QueryContext the
+  // session stamps while it is open (shared_ptr: an async query that
+  // outlives EndSnapshot finds a closed scope, never a dangling one). The
+  // destructor closes it after the drain so scope pins can't outlive the
+  // session.
+  mutable std::mutex scope_mu_;
+  std::shared_ptr<SnapshotScope> scope_;
 
   // submitted_ is relaxed bookkeeping; in_flight_ transitions happen under
   // mu_ so the close-time drain cannot race a completing worker (see

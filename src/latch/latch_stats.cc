@@ -5,14 +5,15 @@
 namespace adaptidx {
 
 std::string LatchStats::ToString() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "reads=%llu (blocked %llu, %.3f ms) writes=%llu (blocked %llu, "
       "%.3f ms) try_failures=%llu optimistic=%llu (retries %llu, "
       "fallbacks %llu) lookups=%llu/%llu (snapshot/locked) "
       "pcracks=%llu (chunks %llu, merge %.3f ms) coarse_sorts=%llu "
-      "snapshots=%llu (lag %llu, max %llu)",
+      "snapshots=%llu (lag %llu, max %llu) deltas=%llu (chain max %llu) "
+      "consolidations=%llu (folded %llu)",
       static_cast<unsigned long long>(read_acquires()),
       static_cast<unsigned long long>(read_conflicts()),
       static_cast<double>(read_wait_ns()) / 1e6,
@@ -31,7 +32,11 @@ std::string LatchStats::ToString() const {
       static_cast<unsigned long long>(coarse_sort_hits()),
       static_cast<unsigned long long>(snapshot_reads()),
       static_cast<unsigned long long>(snapshot_epoch_lag()),
-      static_cast<unsigned long long>(snapshot_max_epoch_lag()));
+      static_cast<unsigned long long>(snapshot_max_epoch_lag()),
+      static_cast<unsigned long long>(delta_publishes()),
+      static_cast<unsigned long long>(delta_chain_max()),
+      static_cast<unsigned long long>(consolidations()),
+      static_cast<unsigned long long>(consolidated_deltas()));
   return std::string(buf);
 }
 

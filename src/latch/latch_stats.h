@@ -80,6 +80,28 @@ class LatchStats {
     }
   }
 
+  /// \brief Accounts one O(1) delta-node publication by the MVCC write
+  /// path: the commit linked one `SideStoreDelta` onto the version chain,
+  /// which then held `chain_len` deltas. The running max of `chain_len` is
+  /// the worst fold suffix any snapshot reader could have seen — the
+  /// quantity the consolidation threshold bounds.
+  void RecordDeltaPublish(uint64_t chain_len) {
+    delta_publishes_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev = delta_chain_max_.load(std::memory_order_relaxed);
+    while (chain_len > prev &&
+           !delta_chain_max_.compare_exchange_weak(
+               prev, chain_len, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// \brief Accounts one delta-chain consolidation: `folded` chained
+  /// deltas were materialized into a flat consolidated base (the periodic
+  /// O(pending) step that keeps per-commit publication O(1) amortized).
+  void RecordConsolidation(uint64_t folded) {
+    consolidations_.fetch_add(1, std::memory_order_relaxed);
+    consolidated_deltas_.fetch_add(folded, std::memory_order_relaxed);
+  }
+
   /// \brief Accounts a batch of piece lookups performed by one region walk:
   /// `snapshot` lookups resolved their piece against the versioned boundary
   /// snapshot (no `structure_mu_` acquisition at all), `locked` lookups took
@@ -141,6 +163,10 @@ class LatchStats {
   uint64_t snapshot_max_epoch_lag() const {
     return snapshot_max_epoch_lag_.load();
   }
+  uint64_t delta_publishes() const { return delta_publishes_.load(); }
+  uint64_t delta_chain_max() const { return delta_chain_max_.load(); }
+  uint64_t consolidations() const { return consolidations_.load(); }
+  uint64_t consolidated_deltas() const { return consolidated_deltas_.load(); }
   int64_t read_wait_ns() const { return read_wait_ns_.load(); }
   int64_t write_wait_ns() const { return write_wait_ns_.load(); }
 
@@ -167,6 +193,10 @@ class LatchStats {
     snapshot_reads_ = 0;
     snapshot_epoch_lag_ = 0;
     snapshot_max_epoch_lag_ = 0;
+    delta_publishes_ = 0;
+    delta_chain_max_ = 0;
+    consolidations_ = 0;
+    consolidated_deltas_ = 0;
     read_wait_ns_ = 0;
     write_wait_ns_ = 0;
   }
@@ -191,6 +221,10 @@ class LatchStats {
   std::atomic<uint64_t> snapshot_reads_;
   std::atomic<uint64_t> snapshot_epoch_lag_;
   std::atomic<uint64_t> snapshot_max_epoch_lag_;
+  std::atomic<uint64_t> delta_publishes_;
+  std::atomic<uint64_t> delta_chain_max_;
+  std::atomic<uint64_t> consolidations_;
+  std::atomic<uint64_t> consolidated_deltas_;
   std::atomic<int64_t> read_wait_ns_;
   std::atomic<int64_t> write_wait_ns_;
 };

@@ -463,6 +463,10 @@ void Server::HandleStats(const std::shared_ptr<Connection>& conn,
     add("optimistic_fallbacks", ls.optimistic_fallbacks());
     add("snapshot_reads", ls.snapshot_reads());
     add("snapshot_epoch_lag", ls.snapshot_epoch_lag());
+    add("delta_publishes", ls.delta_publishes());
+    add("delta_chain_max", ls.delta_chain_max());
+    add("consolidations", ls.consolidations());
+    add("consolidated_deltas", ls.consolidated_deltas());
   };
   put_latch_stats("index.side.", index_->latch_stats());
   put_latch_stats("index.base.", index_->base_index()->latch_stats());

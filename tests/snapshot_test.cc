@@ -438,8 +438,13 @@ TEST(SnapshotTest, ConcurrentCheckpointsSerialize) {
 }
 
 TEST(SnapshotTest, EpochReclamationRetiresUnpinnedVersions) {
+  // Copy-chain publication: one full version per commit, retired and
+  // reclaimed individually. (Delta-chain publication retires nothing per
+  // commit — see DeltaChainConsolidationBoundsReaderFold below.)
   Column col = Column::UniqueRandom("A", 500, 8);
-  UpdatableIndex index(col, SnapConfig());
+  IndexConfig config = SnapConfig();
+  config.snapshot_publication = SnapshotPublication::kCopyChain;
+  UpdatableIndex index(col, config);
   QueryContext uctx;
   uctx.txn_id = 1;
 
@@ -465,6 +470,116 @@ TEST(SnapshotTest, EpochReclamationRetiresUnpinnedVersions) {
   EXPECT_EQ(index.snapshots().versions_reclaimed(),
             index.snapshots().versions_retired());
   EXPECT_EQ(index.snapshots().active_snapshots(), 0u);
+}
+
+// ------------------------------------------------- delta-chain publication
+
+TEST(SnapshotTest, DeltaChainPublishesO1NodesAndConsolidates) {
+  // Delta-chain publication (the default): each commit links one O(1)
+  // delta node; a full flat version is materialized only when the chain
+  // crosses the consolidation threshold. A pin taken before the stream
+  // keeps answering at its epoch across every consolidation behind it.
+  Column col = Column::UniqueRandom("A", 500, 9);
+  IndexConfig config = SnapConfig();
+  config.snapshot_consolidate_min = 8;
+  config.snapshot_consolidate_max = 32;
+  UpdatableIndex index(col, config);
+  QueryContext uctx;
+  uctx.txn_id = 1;
+
+  Snapshot pin = index.CaptureSnapshot();
+
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(index.Insert(10000 + i, &uctx).ok());
+  }
+
+  const SnapshotManager& mgr = index.snapshots();
+  EXPECT_EQ(mgr.deltas_published(), 200u);
+  EXPECT_GE(mgr.consolidations(), 200u / 32u);   // cap forces periodic folds
+  EXPECT_LE(mgr.chain_length(), 32u);            // never above the cap
+  EXPECT_EQ(index.latch_stats().delta_publishes(), 200u);
+  EXPECT_LE(index.latch_stats().delta_chain_max(), 32u);
+  EXPECT_GT(index.latch_stats().consolidated_deltas(), 0u);
+
+  // The pinned epoch still answers pre-stream state.
+  QueryContext ctx;
+  QueryResult r;
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Count("", "", 0, 20000), pin, &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.count, 500u);
+
+  // A fresh capture with a non-empty chain folds the suffix at read time.
+  ASSERT_TRUE(index.Insert(10500, &uctx).ok());
+  ASSERT_TRUE(index.Insert(10501, &uctx).ok());
+  Snapshot fresh = index.CaptureSnapshot();
+  EXPECT_GE(fresh.chain_length(), 1u);
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Count("", "", 0, 20000), fresh, &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.count, 702u);
+  ASSERT_TRUE(
+      index.ExecuteSnapshot(Query::Sum("", "", 10500, 10502), fresh, &ctx, &r)
+          .ok());
+  EXPECT_EQ(r.sum, 10500 + 10501);
+}
+
+TEST(SnapshotTest, DeltaChainFoldsDeletesAndCancellations) {
+  // The read-time fold must honor all three delta ops: pending inserts,
+  // anti-matter against base rows, and cancellation of still-pending
+  // inserts — against the logical multiset oracle after every commit.
+  Column col = Column::UniformRandom("A", 400, 0, 1000, 10);
+  IndexConfig config = SnapConfig();
+  config.snapshot_consolidate_min = 1u << 20;  // never consolidate: pure chain
+  UpdatableIndex index(col, config);
+  LogicalOracle oracle;
+  for (Value v : col.values()) oracle.values.insert(v);
+  std::vector<std::pair<Value, RowId>> pending;
+  std::vector<std::pair<Value, RowId>> base_live;
+  for (size_t i = 0; i < col.size(); ++i) {
+    base_live.emplace_back(col[i], static_cast<RowId>(i));
+  }
+
+  Rng rng(25);
+  QueryContext uctx;
+  QueryContext snap_ctx;
+  snap_ctx.snapshot_reads = true;
+  for (int i = 0; i < 300; ++i) {
+    uctx.txn_id = static_cast<uint64_t>(i) + 1;
+    const int op = static_cast<int>(rng.Uniform(3));
+    if (op == 0 || (pending.empty() && base_live.empty())) {
+      const Value v = rng.UniformRange(0, 1000);
+      RowId id;
+      ASSERT_TRUE(index.Insert(v, &uctx, &id).ok());
+      oracle.values.insert(v);
+      pending.emplace_back(v, id);
+    } else if (op == 1 && !pending.empty()) {
+      const size_t pick = rng.Uniform(pending.size());
+      const auto [v, id] = pending[pick];
+      ASSERT_TRUE(index.Delete(v, id, &uctx).ok());  // kCancelInsert
+      oracle.values.erase(oracle.values.find(v));
+      pending.erase(pending.begin() + static_cast<long>(pick));
+    } else if (!base_live.empty()) {
+      const size_t pick = rng.Uniform(base_live.size());
+      const auto [v, id] = base_live[pick];
+      ASSERT_TRUE(index.Delete(v, id, &uctx).ok());  // kAntiMatter
+      oracle.values.erase(oracle.values.find(v));
+      base_live.erase(base_live.begin() + static_cast<long>(pick));
+    }
+    if (i % 10 == 9) {
+      Value lo = rng.UniformRange(0, 1000);
+      Value hi = rng.UniformRange(0, 1000);
+      if (lo > hi) std::swap(lo, hi);
+      uint64_t count = 0;
+      int64_t sum = 0;
+      ASSERT_TRUE(index.RangeCount(ValueRange{lo, hi}, &snap_ctx, &count).ok());
+      ASSERT_TRUE(index.RangeSum(ValueRange{lo, hi}, &snap_ctx, &sum).ok());
+      EXPECT_EQ(count, oracle.Count(lo, hi)) << "at commit " << i;
+      EXPECT_EQ(sum, oracle.Sum(lo, hi)) << "at commit " << i;
+    }
+  }
+  EXPECT_EQ(index.snapshots().consolidations(), 0u);
+  EXPECT_EQ(index.snapshots().chain_length(), 300u);
 }
 
 // --------------------------------------------------- concurrent consistency
@@ -535,6 +650,194 @@ TEST(SnapshotTest, ConcurrentSnapshotReadsStayConsistent) {
   EXPECT_EQ(index.snapshots().active_snapshots(), 0u);
 }
 
+// ---------------------------------------------- transactional snapshot scopes
+
+TEST(SnapshotTest, ScopeGivesRepeatableReadsAcrossCommits) {
+  // A scope pins ONE epoch for the whole read transaction: every query
+  // between BeginSnapshot and EndSnapshot answers at the epoch the scope's
+  // first query captured, across >= 1000 interleaved commits.
+  Column col = Column::UniformRandom("A", 3000, 0, 10000, 15);
+  UpdatableIndex index(col, SnapConfig());
+  ThreadPool pool(2);
+  SessionOptions sopts;
+  sopts.snapshot_reads = true;
+  auto session = Session::OnIndex(&index, &pool, sopts);
+
+  QueryContext uctx;
+  uctx.txn_id = 77;
+  std::vector<std::pair<Value, RowId>> live;
+  for (int i = 0; i < 40; ++i) {
+    RowId id;
+    ASSERT_TRUE(index.Insert(15000 + i, &uctx, &id).ok());
+    live.emplace_back(15000 + i, id);
+  }
+
+  ASSERT_TRUE(session->BeginSnapshot().ok());
+  EXPECT_TRUE(session->InSnapshotScope());
+
+  struct Probe {
+    Value lo, hi;
+    uint64_t count;
+    int64_t sum;
+  };
+  std::vector<Probe> probes;
+  for (Value lo = 0; lo < 16000; lo += 2000) {
+    Probe p{lo, lo + 3000, 0, 0};
+    ASSERT_TRUE(session->Count("", "", p.lo, p.hi, &p.count).ok());
+    ASSERT_TRUE(session->Sum("", "", p.lo, p.hi, &p.sum).ok());
+    probes.push_back(p);
+  }
+
+  // >= 1000 commits (inserts, base deletes, cancellations) while the scope
+  // stays open; consolidations fire behind the pin.
+  Rng rng(16);
+  uint64_t committed = 0;
+  while (committed < 1100) {
+    uctx.txn_id = 1000 + committed;
+    if (rng.Uniform(10) < 6 || live.empty()) {
+      const Value v = rng.UniformRange(0, 16000);
+      RowId id;
+      ASSERT_TRUE(index.Insert(v, &uctx, &id).ok());
+      live.emplace_back(v, id);
+      ++committed;
+    } else {
+      const size_t pick = rng.Uniform(live.size());
+      const auto [v, id] = live[pick];
+      if (index.Delete(v, id, &uctx).ok()) ++committed;
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+
+  // Sync and async re-runs: identical answers at the pinned epoch.
+  for (const Probe& p : probes) {
+    uint64_t c = 0;
+    int64_t s = 0;
+    ASSERT_TRUE(session->Count("", "", p.lo, p.hi, &c).ok());
+    ASSERT_TRUE(session->Sum("", "", p.lo, p.hi, &s).ok());
+    EXPECT_EQ(c, p.count);
+    EXPECT_EQ(s, p.sum);
+    std::vector<Query> batch;
+    batch.push_back(Query::Count("", "", p.lo, p.hi));
+    auto tickets = session->SubmitBatch(std::move(batch));
+    ASSERT_TRUE(tickets[0].status().ok());
+    EXPECT_EQ(tickets[0].result().count, p.count);
+  }
+
+  ASSERT_TRUE(session->EndSnapshot().ok());
+  EXPECT_FALSE(session->InSnapshotScope());
+  // After the scope closes, the session observes the live state again.
+  uint64_t live_count = 0;
+  ASSERT_TRUE(session->Count("", "", 0, 100000, &live_count).ok());
+  EXPECT_EQ(live_count, 3000u + live.size());
+}
+
+TEST(SnapshotTest, ScopedSumOtherPlanPinsOneEpoch) {
+  // The two-column plan (select sum(B) where lo <= A < hi) under a scope:
+  // the select phase resolves rowIDs at the pinned epoch, so the fetched
+  // B-sum is repeatable across commits. B is aligned positionally with A's
+  // base and oversized to cover pending-insert rowIDs.
+  constexpr size_t kRows = 2000;
+  Column a = Column::UniformRandom("A", kRows, 0, 5000, 17);
+  Column b = Column::UniformRandom("B", kRows + 300, 1, 100, 18);
+  UpdatableIndex index(a, SnapConfig());
+  ThreadPool pool(1);
+  SessionOptions sopts;
+  sopts.snapshot_reads = true;
+  auto session = Session::OnIndex(&index, &pool, sopts);
+
+  QueryContext uctx;
+  uctx.txn_id = 5;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(index.Insert(2500, &uctx).ok());
+
+  ASSERT_TRUE(session->BeginSnapshot().ok());
+  QueryContext ctx = session->MakeContext();
+  RangeQuery rq{2000, 3000, QueryType::kSum};
+  int64_t pinned = 0;
+  ASSERT_TRUE(FetchSum(&index, b, rq, &ctx, &pinned).ok());
+
+  // Commits inside the probed range are invisible to the scope.
+  for (int i = 0; i < 200; ++i) ASSERT_TRUE(index.Insert(2500, &uctx).ok());
+  int64_t again = 0;
+  ASSERT_TRUE(FetchSum(&index, b, rq, &ctx, &again).ok());
+  EXPECT_EQ(again, pinned);
+
+  ASSERT_TRUE(session->EndSnapshot().ok());
+  QueryContext after = session->MakeContext();
+  int64_t live_sum = 0;
+  ASSERT_TRUE(FetchSum(&index, b, rq, &after, &live_sum).ok());
+  // The 200 extra qualifying rows each fetch a B value >= 1.
+  EXPECT_GT(live_sum, pinned);
+}
+
+TEST(SnapshotTest, ScopesDoNotNestAndRequireBalance) {
+  Column col = Column::UniqueRandom("A", 100, 24);
+  UpdatableIndex index(col, SnapConfig());
+  ThreadPool pool(1);
+  auto session = Session::OnIndex(&index, &pool, SessionOptions{});
+  EXPECT_TRUE(session->EndSnapshot().IsInvalidArgument());  // nothing open
+  ASSERT_TRUE(session->BeginSnapshot().ok());
+  EXPECT_TRUE(session->BeginSnapshot().IsInvalidArgument());  // no nesting
+  EXPECT_TRUE(session->InSnapshotScope());
+  ASSERT_TRUE(session->EndSnapshot().ok());
+  EXPECT_FALSE(session->InSnapshotScope());
+  EXPECT_TRUE(session->EndSnapshot().IsInvalidArgument());  // unbalanced
+  ASSERT_TRUE(session->BeginSnapshot().ok());  // balanced reopen is fine
+  ASSERT_TRUE(session->EndSnapshot().ok());
+}
+
+TEST(SnapshotTest, ScopePinBlocksCheckpointUntilEnd) {
+  Column col = Column::UniqueRandom("A", 800, 19);
+  UpdatableIndex index(col, SnapConfig());
+  ThreadPool pool(1);
+  SessionOptions sopts;
+  sopts.snapshot_reads = true;
+  auto session = Session::OnIndex(&index, &pool, sopts);
+  QueryContext uctx;
+  uctx.txn_id = 3;
+  ASSERT_TRUE(index.Insert(4242, &uctx).ok());
+
+  ASSERT_TRUE(session->BeginSnapshot().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(session->Count("", "", 0, 10000, &count).ok());  // adopts pin
+  EXPECT_EQ(count, 801u);
+
+  std::atomic<bool> done{false};
+  std::thread checkpointer([&] {
+    ASSERT_TRUE(index.Checkpoint().ok());
+    done.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(done.load(std::memory_order_acquire));
+  // The scope keeps answering at its pinned epoch while the checkpoint's
+  // drain waits on the pin.
+  ASSERT_TRUE(session->Count("", "", 0, 10000, &count).ok());
+  EXPECT_EQ(count, 801u);
+
+  ASSERT_TRUE(session->EndSnapshot().ok());
+  checkpointer.join();
+  EXPECT_TRUE(done.load());
+  EXPECT_EQ(index.pending_inserts(), 0u);  // the fold drained the side store
+}
+
+TEST(SnapshotTest, SessionCloseReleasesScopePins) {
+  Column col = Column::UniqueRandom("A", 600, 20);
+  UpdatableIndex index(col, SnapConfig());
+  ThreadPool pool(1);
+  SessionOptions sopts;
+  sopts.snapshot_reads = true;
+  auto session = Session::OnIndex(&index, &pool, sopts);
+  QueryContext uctx;
+  uctx.txn_id = 2;
+  ASSERT_TRUE(index.Insert(77, &uctx).ok());
+  ASSERT_TRUE(session->BeginSnapshot().ok());
+  uint64_t count = 0;
+  ASSERT_TRUE(session->Count("", "", 0, 10000, &count).ok());
+  EXPECT_EQ(index.snapshots().active_snapshots(), 1u);
+  session.reset();  // closed without EndSnapshot: pins must not leak
+  EXPECT_EQ(index.snapshots().active_snapshots(), 0u);
+  ASSERT_TRUE(index.Checkpoint().ok());  // would deadlock on a leaked pin
+}
+
 // ----------------------------------------------------- session integration
 
 TEST(SnapshotTest, SessionStampsSnapshotReads) {
@@ -577,6 +880,15 @@ TEST(SnapshotTest, ConfigKeySeparatesSnapshotReads) {
   snap.snapshot_reads = true;
   EXPECT_NE(IndexConfigKey(plain), IndexConfigKey(snap));
   EXPECT_EQ(IndexConfigKey(snap), IndexConfigKey(snap));
+
+  // Publication mode and consolidation tuning are part of the key: a
+  // copy-chain index and a delta-chain index must not alias in a catalog.
+  IndexConfig copy = snap;
+  copy.snapshot_publication = SnapshotPublication::kCopyChain;
+  EXPECT_NE(IndexConfigKey(snap), IndexConfigKey(copy));
+  IndexConfig tuned = snap;
+  tuned.snapshot_consolidate_min = 16;
+  EXPECT_NE(IndexConfigKey(snap), IndexConfigKey(tuned));
 }
 
 TEST(SnapshotTest, SnapshotReadsWorkOverEveryBaseMethod) {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/cracking_index.h"
 #include "core/index_factory.h"
+#include "core/updatable_index.h"
 #include "test_util.h"
 #include "util/rng.h"
 #include "workload/workload.h"
@@ -248,6 +251,98 @@ TEST(StochasticConcurrentTest, OptimisticReadersUnderStochasticCracking) {
     for (auto& th : threads) th.join();
     EXPECT_EQ(failures.load(), 0) << ToString(policy);
     EXPECT_TRUE(index.ValidateStructure()) << ToString(policy);
+  }
+}
+
+/// ROADMAP fig18 gap: hostile `GenerateMixed` read/write streams through
+/// the differential-update layer. Every read answered mid-stream — while a
+/// write_fraction share of the hostile sequence lands as side-store inserts
+/// and deletes — must match a live-multiset oracle maintained op-for-op,
+/// under every crack policy (the bench's mixed phase measures the same
+/// shape; this pins its correctness).
+TEST(StochasticMixedStreamTest, HostileMixedStreamsMatchLiveSetOracle) {
+  constexpr size_t kRows = 20000;
+  Column column = Column::UniqueRandom("A", kRows, 2012);
+  WorkloadGenerator gen(0, static_cast<Value>(kRows));
+
+  const QueryDistribution distributions[] = {
+      QueryDistribution::kSequential, QueryDistribution::kShiftingHotspot,
+      QueryDistribution::kOltpOlap};
+  const CrackPolicy policies[] = {CrackPolicy::kExact, CrackPolicy::kDDC,
+                                  CrackPolicy::kDDR, CrackPolicy::kMDD1R};
+  for (QueryDistribution dist : distributions) {
+    WorkloadOptions wopts;
+    wopts.num_queries = 600;
+    wopts.selectivity = 0.01;
+    wopts.type = QueryType::kSum;
+    wopts.distribution = dist;
+    wopts.seed = 18;
+    wopts.write_fraction = 0.3;
+    const auto ops = gen.GenerateMixed(wopts);
+
+    for (CrackPolicy policy : policies) {
+      IndexConfig config;
+      config.method = IndexMethod::kCrack;
+      config.cracking.crack_policy = policy;
+      config.cracking.policy_min_piece = 512;  // fire at test scale
+      config.cracking.policy_seed = 99;
+      UpdatableIndex index(column, config);
+
+      std::multiset<Value> oracle(column.values().begin(),
+                                  column.values().end());
+      std::unordered_multimap<Value, RowId> inserted;  // value -> rowid
+      QueryContext ctx;
+      uint64_t txn = 0;
+      size_t reads = 0;
+      for (const MixedOp& op : ops) {
+        switch (op.kind) {
+          case MixedOp::Kind::kQuery: {
+            const ValueRange range{op.query.lo, op.query.hi};
+            uint64_t count = 0;
+            int64_t sum = 0;
+            ASSERT_TRUE(index.RangeCount(range, &ctx, &count).ok());
+            ASSERT_TRUE(index.RangeSum(range, &ctx, &sum).ok());
+            uint64_t want_count = 0;
+            int64_t want_sum = 0;
+            for (auto it = oracle.lower_bound(op.query.lo);
+                 it != oracle.end() && *it < op.query.hi; ++it) {
+              ++want_count;
+              want_sum += *it;
+            }
+            ASSERT_EQ(count, want_count)
+                << ToString(dist) << "/" << ToString(policy) << " read "
+                << reads;
+            ASSERT_EQ(sum, want_sum)
+                << ToString(dist) << "/" << ToString(policy) << " read "
+                << reads;
+            ++reads;
+            break;
+          }
+          case MixedOp::Kind::kInsert: {
+            ctx.txn_id = ++txn;
+            RowId id;
+            ASSERT_TRUE(index.Insert(op.value, &ctx, &id).ok());
+            oracle.insert(op.value);
+            inserted.emplace(op.value, id);
+            break;
+          }
+          case MixedOp::Kind::kDelete: {
+            ctx.txn_id = ++txn;
+            auto it = inserted.find(op.value);
+            ASSERT_NE(it, inserted.end());  // deletes name prior inserts
+            ASSERT_TRUE(index.Delete(it->first, it->second, &ctx).ok());
+            oracle.erase(oracle.find(op.value));
+            inserted.erase(it);
+            break;
+          }
+        }
+      }
+      EXPECT_GT(reads, 0u);
+      auto* cracking = dynamic_cast<CrackingIndex*>(index.base_index());
+      ASSERT_NE(cracking, nullptr);
+      EXPECT_TRUE(cracking->ValidateStructure())
+          << ToString(dist) << "/" << ToString(policy);
+    }
   }
 }
 

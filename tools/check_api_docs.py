@@ -22,6 +22,8 @@ CHECKED_HEADERS = [
     "src/core/query.h",
     "src/core/adaptive_index.h",
     "src/core/index_factory.h",
+    "src/core/snapshot.h",
+    "src/core/updatable_index.h",
     "src/cracking/crack_policy.h",
     "src/server/server.h",
     "src/server/client.h",
@@ -38,6 +40,10 @@ THREAD_SAFETY_CLASSES = {
     "QueryResult",
     "IndexConfig",
     "CrackDecision",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotScope",
+    "UpdatableIndex",
     "Server",
     "Client",
     "WriteAheadLog",
